@@ -1,0 +1,195 @@
+//! The shared finder interface and the seed-interval/extend machinery.
+//!
+//! Every suffix-array-flavoured baseline follows the same plan for a
+//! query position `p`:
+//!
+//! 1. find the interval of (possibly sampled) reference suffixes whose
+//!    first `T` characters equal `Q[p .. p+T)` — `T` is `L` for the
+//!    full-text tools and `L − K + 1` for sparseness `K` (the same
+//!    guarantee as the paper's Eq. 1 with a seed of the sparse tool's
+//!    kind);
+//! 2. for each suffix `s` in the interval, extend with word-parallel
+//!    LCE in both directions;
+//! 3. emit the MEM only when `s` is the *first* sampled anchor inside
+//!    it (`left extension < K`), so each MEM is reported exactly once
+//!    across all query positions — which also makes query-partitioned
+//!    parallel runs exact.
+
+use std::ops::Range;
+
+use gpumem_seq::{canonicalize, Mem, PackedSeq};
+
+/// A maximal-exact-match finder over a prebuilt reference index.
+pub trait MemFinder: Sync {
+    /// Tool name as printed in the experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// MEMs anchored at query positions within `range` (half-open).
+    /// Partitioning `0..query.len()` over disjoint ranges yields exactly
+    /// the full result set (each MEM is anchored at a unique position).
+    /// The result may contain duplicates within the range in degenerate
+    /// cases; callers canonicalize.
+    fn find_in_range(&self, query: &PackedSeq, range: Range<usize>, min_len: u32) -> Vec<Mem>;
+
+    /// All MEMs of length at least `min_len`, canonical.
+    fn find_mems(&self, query: &PackedSeq, min_len: u32) -> Vec<Mem> {
+        canonicalize(self.find_in_range(query, 0..query.len(), min_len))
+    }
+
+    /// Approximate index memory footprint in bytes (for the memory
+    /// comparison the paper makes in §III-A/§IV-B).
+    fn index_bytes(&self) -> usize;
+}
+
+/// Lexicographic comparison of reference suffix `s` against the pattern
+/// `query[p .. p+depth)`, truncated at `depth` characters.
+#[inline]
+fn cmp_suffix_vs_pattern(
+    reference: &PackedSeq,
+    s: usize,
+    query: &PackedSeq,
+    p: usize,
+    depth: usize,
+) -> std::cmp::Ordering {
+    let lce = reference.lce_fwd(s, query, p, depth);
+    if lce == depth {
+        return std::cmp::Ordering::Equal;
+    }
+    if s + lce >= reference.len() {
+        // Suffix exhausted: it is a proper prefix of the pattern.
+        return std::cmp::Ordering::Less;
+    }
+    reference.code(s + lce).cmp(&query.code(p + lce))
+}
+
+/// The sub-range of `suffixes[search]` whose suffixes match
+/// `query[p .. p+depth)` exactly for `depth` characters. `suffixes`
+/// must be in lexicographic suffix order; the caller guarantees
+/// `p + depth <= query.len()`.
+pub fn interval_at_depth(
+    reference: &PackedSeq,
+    suffixes: &[u32],
+    query: &PackedSeq,
+    p: usize,
+    depth: usize,
+    search: Range<usize>,
+) -> Range<usize> {
+    debug_assert!(p + depth <= query.len());
+    let window = &suffixes[search.clone()];
+    let lo = window.partition_point(|&s| {
+        cmp_suffix_vs_pattern(reference, s as usize, query, p, depth) == std::cmp::Ordering::Less
+    });
+    let hi = window[lo..].partition_point(|&s| {
+        cmp_suffix_vs_pattern(reference, s as usize, query, p, depth) == std::cmp::Ordering::Equal
+    });
+    (search.start + lo)..(search.start + lo + hi)
+}
+
+/// Extend each anchor `(s, p)` to its MEM and emit it if this anchor is
+/// the first sampled reference position inside the MEM (`left < k`) and
+/// the MEM is long enough. See the module docs for why this reports
+/// each MEM exactly once.
+pub fn extend_and_emit(
+    reference: &PackedSeq,
+    query: &PackedSeq,
+    anchors: &[u32],
+    p: usize,
+    min_len: u32,
+    k: usize,
+    out: &mut Vec<Mem>,
+) {
+    for &s in anchors {
+        let s = s as usize;
+        let left = reference.lce_bwd(s, query, p, usize::MAX);
+        if left >= k {
+            continue; // an earlier sampled anchor reports this MEM
+        }
+        let right = reference.lce_fwd(s, query, p, usize::MAX);
+        let len = left + right;
+        if len >= min_len as usize {
+            out.push(Mem {
+                r: (s - left) as u32,
+                q: (p - left) as u32,
+                len: len as u32,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sa::suffix_array_sais;
+
+    fn seq(s: &str) -> PackedSeq {
+        s.parse().expect("valid DNA")
+    }
+
+    #[test]
+    fn interval_finds_all_matching_suffixes() {
+        let reference = seq("ACGTACGAACG");
+        let sa = suffix_array_sais(&reference.to_codes());
+        let query = seq("TTACGTT");
+        // Pattern "ACG" at p = 2, depth 3: occurs at reference 0, 4, 8.
+        let range = interval_at_depth(&reference, &sa, &query, 2, 3, 0..sa.len());
+        let mut hits: Vec<u32> = sa[range].to_vec();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn interval_is_empty_for_absent_pattern() {
+        let reference = seq("AAAACCCC");
+        let sa = suffix_array_sais(&reference.to_codes());
+        let query = seq("GGGG");
+        let range = interval_at_depth(&reference, &sa, &query, 0, 4, 0..sa.len());
+        assert!(range.is_empty());
+    }
+
+    #[test]
+    fn interval_respects_search_window() {
+        let reference = seq("ACACAC");
+        let sa = suffix_array_sais(&reference.to_codes());
+        let query = seq("AC");
+        let full = interval_at_depth(&reference, &sa, &query, 0, 2, 0..sa.len());
+        assert_eq!(full.len(), 3, "AC occurs at 0, 2, 4");
+        // Searching only a window that excludes part of the bucket.
+        let clipped = interval_at_depth(&reference, &sa, &query, 0, 2, 0..full.start + 1);
+        assert_eq!(clipped.len(), 1);
+    }
+
+    #[test]
+    fn short_suffix_counts_as_smaller() {
+        // Reference "TAC": suffix "AC" (pos 1) is a proper prefix of the
+        // pattern "ACG" and must sort below it, not match.
+        let reference = seq("TAC");
+        let sa = suffix_array_sais(&reference.to_codes());
+        let query = seq("ACG");
+        let range = interval_at_depth(&reference, &sa, &query, 0, 3, 0..sa.len());
+        assert!(range.is_empty());
+    }
+
+    #[test]
+    fn extend_and_emit_reports_once_with_k() {
+        let reference = seq("GGACGTACGG");
+        let query = seq("TTACGTACTT");
+        // MEM is (2, 2, 6) = "ACGTAC". With K = 2, anchors are sampled
+        // reference positions 2 and 4 inside the MEM; only the first
+        // (left extension 0 < 2) emits.
+        let mut out = Vec::new();
+        extend_and_emit(&reference, &query, &[2], 2, 4, 2, &mut out);
+        assert_eq!(out, vec![Mem { r: 2, q: 2, len: 6 }]);
+        let mut out2 = Vec::new();
+        extend_and_emit(&reference, &query, &[4], 4, 4, 2, &mut out2);
+        assert!(out2.is_empty(), "second anchor must not re-emit: {out2:?}");
+    }
+
+    #[test]
+    fn extend_and_emit_filters_short_matches() {
+        let reference = seq("GGACGTGG");
+        let query = seq("TTACGTTT");
+        let mut out = Vec::new();
+        extend_and_emit(&reference, &query, &[2], 2, 10, 1, &mut out);
+        assert!(out.is_empty(), "length 4 < L = 10");
+    }
+}

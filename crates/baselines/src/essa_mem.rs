@@ -1,0 +1,242 @@
+//! essaMEM baseline (Vyverman, De Baets, Fack & Dawyndt 2013).
+//!
+//! essaMEM keeps sparseMEM's sparse suffix array but adds auxiliary
+//! sparse structures that cut the per-query search cost — which is why
+//! it is "the best CPU-based tool for overall execution time in almost
+//! all the experiments" (§IV-B). Here the acceleration is:
+//!
+//! * a **prefix lookup table** over the first [`PREFIX_DEPTH`] bases:
+//!   one array of `4^PREFIX_DEPTH + 1` bucket boundaries replaces the
+//!   first ~16 probes of every binary search (the original's sparse
+//!   child array plays the equivalent role of shortcutting the top of
+//!   the traversal).
+//!
+//! The output is identical to sparseMEM's; only the search cost
+//! differs.
+
+use std::ops::Range;
+
+use gpumem_seq::{Mem, PackedSeq};
+
+use crate::common::{extend_and_emit, interval_at_depth, MemFinder};
+use crate::sa::sort_sampled_suffixes;
+
+/// Depth of the prefix lookup table (bases). `4^8 + 1` entries ≈ 256 KiB.
+pub const PREFIX_DEPTH: usize = 8;
+
+/// The enhanced sparse-suffix-array MEM finder.
+pub struct EssaMem {
+    reference: PackedSeq,
+    sa: Vec<u32>,
+    k: usize,
+    /// `table[c] .. table[c+1]` is the SA range whose suffixes start
+    /// with the MSB-first `PREFIX_DEPTH`-mer code `c` (short suffixes
+    /// padded with `A`).
+    prefix_table: Vec<u32>,
+}
+
+/// MSB-first code of `depth` bases at `pos`, padding past the end with
+/// `A` (code 0) so codes stay monotone along the suffix array.
+fn msb_code(seq: &PackedSeq, pos: usize, depth: usize) -> u32 {
+    let mut acc = 0u32;
+    for t in 0..depth {
+        let c = if pos + t < seq.len() {
+            u32::from(seq.code(pos + t))
+        } else {
+            0
+        };
+        acc = (acc << 2) | c;
+    }
+    acc
+}
+
+impl EssaMem {
+    /// Build the enhanced sparse index with sparseness `k`.
+    pub fn build(reference: &PackedSeq, k: usize) -> EssaMem {
+        assert!(k >= 1, "sparseness must be at least 1");
+        let positions: Vec<u32> = (0..reference.len() as u32).step_by(k).collect();
+        let sa = sort_sampled_suffixes(reference, positions);
+
+        // Codes are non-decreasing along the SA (A-padding keeps proper
+        // prefixes below their extensions), so bucket boundaries come
+        // from one scan.
+        let num_codes = 1usize << (2 * PREFIX_DEPTH);
+        let mut prefix_table = vec![0u32; num_codes + 1];
+        let mut prev_code = 0usize;
+        for (i, &s) in sa.iter().enumerate() {
+            let code = msb_code(reference, s as usize, PREFIX_DEPTH) as usize;
+            debug_assert!(code >= prev_code, "codes must be monotone along the SA");
+            for slot in &mut prefix_table[prev_code + 1..=code] {
+                *slot = i as u32;
+            }
+            prev_code = code;
+        }
+        for slot in &mut prefix_table[prev_code + 1..] {
+            *slot = sa.len() as u32;
+        }
+
+        EssaMem {
+            reference: reference.clone(),
+            sa,
+            k,
+            prefix_table,
+        }
+    }
+
+    /// The sparseness factor `K`.
+    pub fn sparseness(&self) -> usize {
+        self.k
+    }
+
+    /// The SA range whose suffixes share the `PREFIX_DEPTH`-base prefix
+    /// of `query[p..]`.
+    fn prefix_bucket(&self, query: &PackedSeq, p: usize) -> Range<usize> {
+        let code = msb_code(query, p, PREFIX_DEPTH) as usize;
+        self.prefix_table[code] as usize..self.prefix_table[code + 1] as usize
+    }
+}
+
+impl MemFinder for EssaMem {
+    fn name(&self) -> &'static str {
+        "essaMEM"
+    }
+
+    fn find_in_range(&self, query: &PackedSeq, range: Range<usize>, min_len: u32) -> Vec<Mem> {
+        assert!(
+            self.k <= min_len as usize,
+            "sparseness K = {} must not exceed L = {min_len}",
+            self.k
+        );
+        let depth = (min_len as usize - self.k + 1).max(1);
+        let mut out = Vec::new();
+        let end = range.end.min((query.len() + 1).saturating_sub(depth));
+        for p in range.start..end {
+            // The table is only a sound restriction when the search
+            // depth covers the whole table prefix.
+            let window = if depth >= PREFIX_DEPTH && p + PREFIX_DEPTH <= query.len() {
+                self.prefix_bucket(query, p)
+            } else {
+                0..self.sa.len()
+            };
+            if window.is_empty() {
+                continue;
+            }
+            let interval = interval_at_depth(&self.reference, &self.sa, query, p, depth, window);
+            if !interval.is_empty() {
+                extend_and_emit(
+                    &self.reference,
+                    query,
+                    &self.sa[interval],
+                    p,
+                    min_len,
+                    self.k,
+                    &mut out,
+                );
+            }
+        }
+        out
+    }
+
+    fn index_bytes(&self) -> usize {
+        (self.sa.len() + self.prefix_table.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse_mem::SparseMem;
+    use gpumem_seq::{naive_mems, table2_pairs, GenomeModel};
+
+    #[test]
+    fn matches_naive_and_sparse_mem() {
+        let spec = &table2_pairs(1.0 / 65536.0)[0];
+        let pair = spec.realize(6);
+        for (k, min_len) in [(1usize, 12u32), (4, 12), (4, 20), (8, 16)] {
+            let expect = naive_mems(&pair.reference, &pair.query, min_len);
+            let essa = EssaMem::build(&pair.reference, k);
+            assert_eq!(essa.find_mems(&pair.query, min_len), expect, "essa K={k} L={min_len}");
+            let sparse = SparseMem::build(&pair.reference, k);
+            assert_eq!(
+                essa.find_mems(&pair.query, min_len),
+                sparse.find_mems(&pair.query, min_len)
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_table_boundaries_are_consistent() {
+        let reference = GenomeModel::mammalian().generate(4_000, 51);
+        let essa = EssaMem::build(&reference, 2);
+        // Boundaries are non-decreasing and end at |SA|.
+        assert_eq!(essa.prefix_table[0], 0);
+        assert_eq!(*essa.prefix_table.last().unwrap() as usize, essa.sa.len());
+        for w in essa.prefix_table.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // Each bucket's suffixes actually carry the bucket's code.
+        for code in 0..(1usize << (2 * PREFIX_DEPTH)) {
+            let lo = essa.prefix_table[code] as usize;
+            let hi = essa.prefix_table[code + 1] as usize;
+            for &s in &essa.sa[lo..hi] {
+                assert_eq!(
+                    msb_code(&reference, s as usize, PREFIX_DEPTH) as usize,
+                    code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_l_falls_back_to_full_search() {
+        // depth < PREFIX_DEPTH path: L = 4, K = 1 → depth 4 < 8.
+        let reference = GenomeModel::uniform().generate(800, 52);
+        let query = GenomeModel::uniform().generate(600, 53);
+        let essa = EssaMem::build(&reference, 1);
+        assert_eq!(
+            essa.find_mems(&query, 4),
+            naive_mems(&reference, &query, 4)
+        );
+    }
+
+    #[test]
+    fn query_positions_near_end_are_handled() {
+        // Query barely longer than PREFIX_DEPTH exercises the
+        // `p + PREFIX_DEPTH > |Q|` fallback.
+        let reference: PackedSeq = "ACGTACGTACGTACGT".parse().unwrap();
+        let query: PackedSeq = "TACGTACGT".parse().unwrap();
+        let essa = EssaMem::build(&reference, 1);
+        assert_eq!(
+            essa.find_mems(&query, 8),
+            naive_mems(&reference, &query, 8)
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gpumem_seq::naive_mems;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn essa_mem_always_matches_naive(
+            r in proptest::collection::vec(0u8..4, 1..250),
+            q in proptest::collection::vec(0u8..4, 1..250),
+            k in 1usize..6,
+            extra_l in 0u32..10,
+        ) {
+            let min_len = k as u32 + extra_l;
+            let reference = PackedSeq::from_codes(&r);
+            let query = PackedSeq::from_codes(&q);
+            let finder = EssaMem::build(&reference, k);
+            prop_assert_eq!(
+                finder.find_mems(&query, min_len),
+                naive_mems(&reference, &query, min_len)
+            );
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! FM-index machinery (Ferragina & Manzini 2000) for the slaMEM
+//! baseline.
+
+pub mod index;
+
+pub use index::FmIndex;

@@ -1,0 +1,122 @@
+//! MUMmer-style baseline (Kurtz et al. 2004, `mummer -maxmatch`).
+//!
+//! The classic full-text tool: a complete suffix array (built with the
+//! linear-time SA-IS construction, standing in for MUMmer's suffix
+//! tree/enhanced array) and an exhaustive per-query-position search at
+//! depth `L`. Equivalent to [`crate::SparseMem`] with `K = 1`, but with
+//! the sequential full-index build the paper's Table III shows as
+//! thread-independent.
+
+use std::ops::Range;
+
+use gpumem_seq::{Mem, PackedSeq};
+
+use crate::common::{extend_and_emit, interval_at_depth, MemFinder};
+use crate::sa::suffix_array_sais;
+
+/// Full-suffix-array MEM finder.
+pub struct Mummer {
+    reference: PackedSeq,
+    sa: Vec<u32>,
+}
+
+impl Mummer {
+    /// Build the full suffix array (sequential SA-IS).
+    pub fn build(reference: &PackedSeq) -> Mummer {
+        let sa = suffix_array_sais(&reference.to_codes());
+        Mummer {
+            reference: reference.clone(),
+            sa,
+        }
+    }
+}
+
+impl MemFinder for Mummer {
+    fn name(&self) -> &'static str {
+        "MUMmer"
+    }
+
+    fn find_in_range(&self, query: &PackedSeq, range: Range<usize>, min_len: u32) -> Vec<Mem> {
+        assert!(min_len >= 1, "L must be at least 1");
+        let depth = min_len as usize;
+        let mut out = Vec::new();
+        let end = range.end.min((query.len() + 1).saturating_sub(depth));
+        for p in range.start..end {
+            let interval = interval_at_depth(&self.reference, &self.sa, query, p, depth, 0..self.sa.len());
+            if !interval.is_empty() {
+                extend_and_emit(&self.reference, query, &self.sa[interval], p, min_len, 1, &mut out);
+            }
+        }
+        out
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.sa.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumem_seq::{naive_mems, table2_pairs, GenomeModel};
+
+    #[test]
+    fn matches_naive_on_dataset_pairs() {
+        for (pair_idx, min_len) in [(2usize, 10u32), (3, 12)] {
+            let spec = &table2_pairs(1.0 / 65536.0)[pair_idx];
+            let pair = spec.realize(14);
+            let finder = Mummer::build(&pair.reference);
+            assert_eq!(
+                finder.find_mems(&pair.query, min_len),
+                naive_mems(&pair.reference, &pair.query, min_len),
+                "pair {pair_idx} L={min_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_sparse_k1() {
+        let reference = GenomeModel::mammalian().generate(2_500, 61);
+        let query = GenomeModel::mammalian().generate(1_500, 62);
+        let mummer = Mummer::build(&reference);
+        let sparse = crate::SparseMem::build(&reference, 1);
+        assert_eq!(
+            mummer.find_mems(&query, 11),
+            sparse.find_mems(&query, 11)
+        );
+    }
+
+    #[test]
+    fn query_shorter_than_l_yields_nothing() {
+        let reference = GenomeModel::uniform().generate(500, 63);
+        let query = GenomeModel::uniform().generate(10, 64);
+        let finder = Mummer::build(&reference);
+        assert!(finder.find_mems(&query, 20).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gpumem_seq::naive_mems;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn mummer_always_matches_naive(
+            r in proptest::collection::vec(0u8..4, 1..250),
+            q in proptest::collection::vec(0u8..4, 1..250),
+            min_len in 1u32..14,
+        ) {
+            let reference = PackedSeq::from_codes(&r);
+            let query = PackedSeq::from_codes(&q);
+            let finder = Mummer::build(&reference);
+            prop_assert_eq!(
+                finder.find_mems(&query, min_len),
+                naive_mems(&reference, &query, min_len)
+            );
+        }
+    }
+}

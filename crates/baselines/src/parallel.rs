@@ -1,0 +1,99 @@
+//! Shared-memory parallel drivers (the paper's τ = 1, 4, 8 runs).
+//!
+//! The query is partitioned into position ranges; because every finder
+//! reports a MEM exactly once, at a unique anchor position (see
+//! [`crate::common`]), disjoint ranges produce disjoint result sets and
+//! the union is exact. Index builds run inside the same sized pool so
+//! construction also scales with τ (Table III's sparseMEM/essaMEM
+//! columns).
+
+use std::ops::Range;
+
+use rayon::prelude::*;
+
+use gpumem_seq::{canonicalize, Mem, PackedSeq};
+
+use crate::common::MemFinder;
+
+/// Build a dedicated rayon pool of `threads` workers.
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("rayon pool construction cannot fail with valid size")
+}
+
+/// Run `build` under a τ-thread pool (any rayon parallelism inside the
+/// closure — e.g. the sparse suffix sort — uses exactly τ workers).
+pub fn build_in_pool<T: Send>(threads: usize, build: impl FnOnce() -> T + Send) -> T {
+    pool(threads).install(build)
+}
+
+/// Find all MEMs with `threads` workers over query partitions.
+pub fn find_mems_parallel<F: MemFinder + ?Sized>(
+    finder: &F,
+    query: &PackedSeq,
+    min_len: u32,
+    threads: usize,
+) -> Vec<Mem> {
+    if threads <= 1 || query.is_empty() {
+        return finder.find_mems(query, min_len);
+    }
+    let n = query.len();
+    // Over-partition 4x for load balance (MEM density is uneven).
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let ranges: Vec<Range<usize>> = (0..n)
+        .step_by(chunk)
+        .map(|lo| lo..(lo + chunk).min(n))
+        .collect();
+    let parts: Vec<Vec<Mem>> = pool(threads).install(|| {
+        ranges
+            .into_par_iter()
+            .map(|range| finder.find_in_range(query, range, min_len))
+            .collect()
+    });
+    canonicalize(parts.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EssaMem, Mummer, SlaMem, SparseMem};
+    use gpumem_seq::{naive_mems, table2_pairs};
+
+    #[test]
+    fn parallel_output_is_identical_to_sequential() {
+        let spec = &table2_pairs(1.0 / 32768.0)[1];
+        let pair = spec.realize(31);
+        let min_len = 16;
+        let expect = naive_mems(&pair.reference, &pair.query, min_len);
+
+        let finders: Vec<Box<dyn MemFinder>> = vec![
+            Box::new(SparseMem::build(&pair.reference, 4)),
+            Box::new(EssaMem::build(&pair.reference, 4)),
+            Box::new(Mummer::build(&pair.reference)),
+            Box::new(SlaMem::build(&pair.reference)),
+        ];
+        for finder in &finders {
+            for threads in [1usize, 4, 8] {
+                let got = find_mems_parallel(finder.as_ref(), &pair.query, min_len, threads);
+                assert_eq!(got, expect, "{} τ={threads}", finder.name());
+            }
+        }
+    }
+
+    #[test]
+    fn build_in_pool_runs_with_requested_width() {
+        let width = build_in_pool(3, rayon::current_num_threads);
+        assert_eq!(width, 3);
+    }
+
+    #[test]
+    fn empty_query_is_fine() {
+        let spec = &table2_pairs(1.0 / 262_144.0)[3];
+        let pair = spec.realize(1);
+        let finder = Mummer::build(&pair.reference);
+        let empty = PackedSeq::from_codes(&[]);
+        assert!(find_mems_parallel(&finder, &empty, 10, 4).is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! LCP arrays (Kasai's algorithm).
+//!
+//! `lcp[i]` is the longest common prefix length between the suffixes at
+//! `sa[i - 1]` and `sa[i]` (`lcp[0] = 0`). The enhanced-suffix-array
+//! baseline uses it to bound binary-search comparisons.
+
+/// Kasai's O(n) LCP construction from the text and its suffix array.
+pub fn lcp_kasai(codes: &[u8], sa: &[u32]) -> Vec<u32> {
+    let n = codes.len();
+    assert_eq!(sa.len(), n, "suffix array length mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![0u32; n];
+    for (i, &p) in sa.iter().enumerate() {
+        rank[p as usize] = i as u32;
+    }
+    let mut lcp = vec![0u32; n];
+    let mut h = 0usize;
+    for i in 0..n {
+        let r = rank[i] as usize;
+        if r > 0 {
+            let j = sa[r - 1] as usize;
+            while i + h < n && j + h < n && codes[i + h] == codes[j + h] {
+                h += 1;
+            }
+            lcp[r] = h as u32;
+            h = h.saturating_sub(1);
+        } else {
+            h = 0;
+        }
+    }
+    lcp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sa::sais::suffix_array_sais;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn naive_lcp(codes: &[u8], sa: &[u32]) -> Vec<u32> {
+        let mut lcp = vec![0u32; sa.len()];
+        for i in 1..sa.len() {
+            let (a, b) = (sa[i - 1] as usize, sa[i] as usize);
+            let mut h = 0;
+            while a + h < codes.len() && b + h < codes.len() && codes[a + h] == codes[b + h] {
+                h += 1;
+            }
+            lcp[i] = h as u32;
+        }
+        lcp
+    }
+
+    #[test]
+    fn kasai_matches_naive_on_random() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for len in [0usize, 1, 10, 100, 1_000] {
+            let codes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4)).collect();
+            let sa = suffix_array_sais(&codes);
+            assert_eq!(lcp_kasai(&codes, &sa), naive_lcp(&codes, &sa), "len {len}");
+        }
+    }
+
+    #[test]
+    fn kasai_on_repetitive_text() {
+        let codes: Vec<u8> = (0..200).map(|i| [0u8, 1, 0][i % 3]).collect();
+        let sa = suffix_array_sais(&codes);
+        assert_eq!(lcp_kasai(&codes, &sa), naive_lcp(&codes, &sa));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::sa::sais::suffix_array_sais;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn kasai_lcp_is_correct(codes in proptest::collection::vec(0u8..4, 0..200)) {
+            let sa = suffix_array_sais(&codes);
+            let lcp = lcp_kasai(&codes, &sa);
+            for i in 1..sa.len() {
+                let (a, b) = (sa[i - 1] as usize, sa[i] as usize);
+                let h = lcp[i] as usize;
+                prop_assert_eq!(&codes[a..a + h], &codes[b..b + h]);
+                let next_differs = a + h >= codes.len()
+                    || b + h >= codes.len()
+                    || codes[a + h] != codes[b + h];
+                prop_assert!(next_differs, "lcp not maximal at {}", i);
+            }
+        }
+    }
+}

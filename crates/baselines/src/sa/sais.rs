@@ -1,0 +1,242 @@
+//! Linear-time suffix array construction (SA-IS).
+//!
+//! Nong, Zhang & Chan's induced-sorting algorithm: classify suffixes
+//! S/L, induce-sort the LMS substrings, name them, recurse if names
+//! collide, then induce the final order. This is the construction the
+//! MUMmer-style and slaMEM baselines build on (the tools the paper
+//! compares against are all suffix-array/BWT based).
+
+/// Suffix array of a 2-bit DNA code sequence (values `0..=3`). The
+/// result has one entry per suffix of `codes` (the implicit sentinel is
+/// dropped), lexicographically ascending.
+pub fn suffix_array_sais(codes: &[u8]) -> Vec<u32> {
+    // Shift codes to 1..=4 and append the unique smallest sentinel 0.
+    let mut text: Vec<usize> = Vec::with_capacity(codes.len() + 1);
+    text.extend(codes.iter().map(|&c| c as usize + 1));
+    text.push(0);
+    let sa = sais(&text, 5);
+    sa.into_iter()
+        .filter(|&p| p < codes.len())
+        .map(|p| p as u32)
+        .collect()
+}
+
+const EMPTY: usize = usize::MAX;
+
+/// Core SA-IS over an arbitrary integer alphabet. `text` must end with
+/// a unique smallest sentinel (value 0).
+fn sais(text: &[usize], sigma: usize) -> Vec<usize> {
+    let n = text.len();
+    debug_assert!(n >= 1 && text[n - 1] == 0);
+    if n == 1 {
+        return vec![0];
+    }
+    if n == 2 {
+        return vec![1, 0];
+    }
+
+    // Suffix types: true = S-type (suffix smaller than its successor).
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        is_s[i] = text[i] < text[i + 1] || (text[i] == text[i + 1] && is_s[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+
+    // Bucket sizes per symbol.
+    let mut bucket = vec![0usize; sigma];
+    for &c in text {
+        bucket[c] += 1;
+    }
+    let heads = |bucket: &[usize]| {
+        let mut heads = vec![0usize; sigma];
+        let mut acc = 0;
+        for (c, &size) in bucket.iter().enumerate() {
+            heads[c] = acc;
+            acc += size;
+        }
+        heads
+    };
+    let tails = |bucket: &[usize]| {
+        let mut tails = vec![0usize; sigma];
+        let mut acc = 0;
+        for (c, &size) in bucket.iter().enumerate() {
+            acc += size;
+            tails[c] = acc;
+        }
+        tails
+    };
+
+    // Induced sort: given LMS suffixes in some order, place them at
+    // bucket tails, induce L-types left-to-right, then S-types
+    // right-to-left.
+    let induce = |sa: &mut [usize], lms_order: &[usize]| {
+        sa.fill(EMPTY);
+        let mut t = tails(&bucket);
+        for &j in lms_order.iter().rev() {
+            let c = text[j];
+            t[c] -= 1;
+            sa[t[c]] = j;
+        }
+        let mut h = heads(&bucket);
+        for i in 0..n {
+            let j = sa[i];
+            if j != EMPTY && j > 0 && !is_s[j - 1] {
+                let c = text[j - 1];
+                sa[h[c]] = j - 1;
+                h[c] += 1;
+            }
+        }
+        let mut t = tails(&bucket);
+        for i in (0..n).rev() {
+            let j = sa[i];
+            if j != EMPTY && j > 0 && is_s[j - 1] {
+                let c = text[j - 1];
+                t[c] -= 1;
+                sa[t[c]] = j - 1;
+            }
+        }
+    };
+
+    // First induction: LMS suffixes in text order suffice to sort the
+    // LMS *substrings*.
+    let lms: Vec<usize> = (1..n).filter(|&i| is_lms(i)).collect();
+    let mut sa = vec![EMPTY; n];
+    induce(&mut sa, &lms);
+
+    // Extract LMS suffixes in their induced (substring-sorted) order.
+    let sorted_lms: Vec<usize> = sa.iter().copied().filter(|&j| is_lms(j)).collect();
+    debug_assert_eq!(sorted_lms.len(), lms.len());
+
+    // Name LMS substrings by equality of consecutive sorted entries.
+    let lms_substring_eq = |a: usize, b: usize| -> bool {
+        if a == b {
+            return true;
+        }
+        let mut i = 0usize;
+        loop {
+            let a_end = i > 0 && is_lms(a + i);
+            let b_end = i > 0 && is_lms(b + i);
+            if a_end && b_end {
+                return true;
+            }
+            if a_end != b_end {
+                return false;
+            }
+            if a + i + 1 >= n || b + i + 1 >= n {
+                // Only the sentinel suffix may run to the end; substrings
+                // ending differently are unequal.
+                return false;
+            }
+            if text[a + i] != text[b + i] || is_s[a + i] != is_s[b + i] {
+                return false;
+            }
+            i += 1;
+        }
+    };
+    let mut names = vec![EMPTY; n];
+    let mut name = 0usize;
+    names[sorted_lms[0]] = 0;
+    for w in sorted_lms.windows(2) {
+        if !lms_substring_eq(w[0], w[1]) {
+            name += 1;
+        }
+        names[w[1]] = name;
+    }
+    let distinct = name + 1;
+
+    if distinct == lms.len() {
+        // All LMS substrings distinct: the induced order is final.
+        induce(&mut sa, &sorted_lms);
+    } else {
+        // Recurse on the reduced problem to order equal substrings.
+        let reduced: Vec<usize> = lms.iter().map(|&i| names[i]).collect();
+        let reduced_sa = sais(&reduced, distinct);
+        let ordered: Vec<usize> = reduced_sa.iter().map(|&k| lms[k]).collect();
+        induce(&mut sa, &ordered);
+    }
+    sa
+}
+
+#[cfg(test)]
+pub(crate) fn naive_suffix_array(codes: &[u8]) -> Vec<u32> {
+    let mut sa: Vec<u32> = (0..codes.len() as u32).collect();
+    sa.sort_by(|&a, &b| codes[a as usize..].cmp(&codes[b as usize..]));
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn trivial_inputs() {
+        assert_eq!(suffix_array_sais(&[]), Vec::<u32>::new());
+        assert_eq!(suffix_array_sais(&[2]), vec![0]);
+        assert_eq!(suffix_array_sais(&[1, 0]), vec![1, 0]);
+        assert_eq!(suffix_array_sais(&[0, 1]), vec![0, 1]);
+    }
+
+    #[test]
+    fn known_example() {
+        // "banana"-style on DNA: GTCTCT (codes 2,3,1,3,1,3).
+        let codes = [2u8, 3, 1, 3, 1, 3];
+        assert_eq!(suffix_array_sais(&codes), naive_suffix_array(&codes));
+    }
+
+    #[test]
+    fn all_same_symbol() {
+        // Suffixes of AAAA sort shortest-first: 3, 2, 1, 0.
+        assert_eq!(suffix_array_sais(&[0, 0, 0, 0]), vec![3, 2, 1, 0]);
+        assert_eq!(suffix_array_sais(&[3, 3, 3]), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn periodic_strings_force_recursion() {
+        // Long periodic inputs create many equal LMS substrings.
+        let codes: Vec<u8> = (0..300).map(|i| [1u8, 2, 0][i % 3]).collect();
+        assert_eq!(suffix_array_sais(&codes), naive_suffix_array(&codes));
+        let codes: Vec<u8> = (0..257).map(|i| [0u8, 1, 0, 2][i % 4]).collect();
+        assert_eq!(suffix_array_sais(&codes), naive_suffix_array(&codes));
+    }
+
+    #[test]
+    fn random_inputs_match_naive() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for len in [10usize, 50, 100, 500, 2_000] {
+            let codes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4)).collect();
+            assert_eq!(
+                suffix_array_sais(&codes),
+                naive_suffix_array(&codes),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn result_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let codes: Vec<u8> = (0..1_000).map(|_| rng.gen_range(0..4)).collect();
+        let mut sa = suffix_array_sais(&codes);
+        sa.sort_unstable();
+        let expect: Vec<u32> = (0..1_000).collect();
+        assert_eq!(sa, expect);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn sais_matches_naive(codes in proptest::collection::vec(0u8..4, 0..300)) {
+            prop_assert_eq!(suffix_array_sais(&codes), naive_suffix_array(&codes));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! slaMEM baseline (Fernandes & Freitas 2013).
+//!
+//! slaMEM retrieves MEMs with FM-index backward search. Here, for each
+//! query position `p`, the seed `Q[p .. p+L)` is counted by backward
+//! search; its row range is located through the sampled suffix array,
+//! and each located anchor is LCE-extended and emitted when
+//! left-maximal — so the output matches the suffix-array tools exactly.
+//!
+//! Substitution note (DESIGN.md §2): the original uses a *sampled LCP
+//! array* to shrink match intervals incrementally; we restart the
+//! backward search per position and rely on word-parallel LCE for the
+//! extension instead. The observable behaviour (exact MEM set; slowest
+//! index build of the CPU tools, Table III) is preserved.
+
+use std::ops::Range;
+
+use gpumem_seq::{Mem, PackedSeq};
+
+use crate::common::{extend_and_emit, MemFinder};
+use crate::fm::FmIndex;
+
+/// FM-index-based MEM finder.
+pub struct SlaMem {
+    reference: PackedSeq,
+    fm: FmIndex,
+}
+
+impl SlaMem {
+    /// Build the FM-index (suffix array → BWT → Occ checkpoints →
+    /// position samples). Deliberately the heaviest build of the CPU
+    /// baselines, as in the paper's Table III.
+    pub fn build(reference: &PackedSeq) -> SlaMem {
+        let fm = FmIndex::new(&reference.to_codes());
+        SlaMem {
+            reference: reference.clone(),
+            fm,
+        }
+    }
+}
+
+impl MemFinder for SlaMem {
+    fn name(&self) -> &'static str {
+        "slaMEM"
+    }
+
+    fn find_in_range(&self, query: &PackedSeq, range: Range<usize>, min_len: u32) -> Vec<Mem> {
+        assert!(min_len >= 1, "L must be at least 1");
+        let depth = min_len as usize;
+        let mut out = Vec::new();
+        let mut pattern = vec![0u8; depth];
+        let end = range.end.min((query.len() + 1).saturating_sub(depth));
+        for p in range.start..end {
+            for (t, slot) in pattern.iter_mut().enumerate() {
+                *slot = query.code(p + t);
+            }
+            if let Some(rows) = self.fm.pattern_range(&pattern) {
+                let anchors: Vec<u32> = rows.map(|row| self.fm.locate(row)).collect();
+                extend_and_emit(&self.reference, query, &anchors, p, min_len, 1, &mut out);
+            }
+        }
+        out
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.fm.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumem_seq::{naive_mems, table2_pairs, GenomeModel};
+
+    #[test]
+    fn matches_naive_on_dataset_pair() {
+        let spec = &table2_pairs(1.0 / 65536.0)[2];
+        let pair = spec.realize(23);
+        for min_len in [10u32, 15] {
+            let finder = SlaMem::build(&pair.reference);
+            assert_eq!(
+                finder.find_mems(&pair.query, min_len),
+                naive_mems(&pair.reference, &pair.query, min_len),
+                "L = {min_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_mummer() {
+        let reference = GenomeModel::mammalian().generate(2_000, 81);
+        let query = GenomeModel::mammalian().generate(1_200, 82);
+        let sla = SlaMem::build(&reference);
+        let mummer = crate::Mummer::build(&reference);
+        assert_eq!(
+            sla.find_mems(&query, 11),
+            mummer.find_mems(&query, 11)
+        );
+    }
+
+    #[test]
+    fn handles_query_boundaries() {
+        let reference: PackedSeq = "ACGTACGTGGGG".parse().unwrap();
+        let query: PackedSeq = "ACGTACGT".parse().unwrap();
+        let finder = SlaMem::build(&reference);
+        let mems = finder.find_mems(&query, 8);
+        assert_eq!(mems, vec![Mem { r: 0, q: 0, len: 8 }]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gpumem_seq::naive_mems;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn sla_mem_always_matches_naive(
+            r in proptest::collection::vec(0u8..4, 1..200),
+            q in proptest::collection::vec(0u8..4, 1..200),
+            min_len in 1u32..12,
+        ) {
+            let reference = PackedSeq::from_codes(&r);
+            let query = PackedSeq::from_codes(&q);
+            let finder = SlaMem::build(&reference);
+            prop_assert_eq!(
+                finder.find_mems(&query, min_len),
+                naive_mems(&reference, &query, min_len)
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Both-strand matching.
+//!
+//! Genomic matches occur on either strand; the established tools
+//! (`mummer -b`, sparseMEM/essaMEM `-b`) additionally match the
+//! reverse complement of the query against the same reference index.
+//! This driver does exactly that for any [`MemFinder`] and maps the
+//! reverse hits back to original-query coordinates.
+
+use gpumem_seq::{map_reverse_mem, Mem, PackedSeq, Strand, StrandMem};
+
+use crate::common::MemFinder;
+use crate::parallel::find_mems_parallel;
+
+/// Find MEMs on both query strands. Reverse-strand hits carry
+/// original-query coordinates (see [`gpumem_seq::map_reverse_mem`]).
+pub fn find_mems_both_strands<F: MemFinder + ?Sized>(
+    finder: &F,
+    query: &PackedSeq,
+    min_len: u32,
+    threads: usize,
+) -> Vec<StrandMem> {
+    let mut out: Vec<StrandMem> = find_mems_parallel(finder, query, min_len, threads)
+        .into_iter()
+        .map(|mem| StrandMem {
+            mem,
+            strand: Strand::Forward,
+        })
+        .collect();
+    let rc = query.reverse_complement();
+    out.extend(
+        find_mems_parallel(finder, &rc, min_len, threads)
+            .into_iter()
+            .map(|mem| StrandMem {
+                mem: map_reverse_mem(mem, query.len()),
+                strand: Strand::Reverse,
+            }),
+    );
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Verify a strand-tagged MEM against the sequences (test helper and
+/// CLI self-check): the forward variant checks directly, the reverse
+/// variant checks the reverse complement of the query interval.
+pub fn is_strand_mem_exact(
+    reference: &PackedSeq,
+    query: &PackedSeq,
+    hit: StrandMem,
+    min_len: u32,
+) -> bool {
+    let Mem { r, q, len } = hit.mem;
+    if len < min_len || (q + len) as usize > query.len() {
+        return false;
+    }
+    match hit.strand {
+        Strand::Forward => {
+            gpumem_seq::is_maximal_exact(reference, query, hit.mem, min_len)
+        }
+        Strand::Reverse => {
+            let Ok(interval) = query.subseq(q as usize, len as usize) else {
+                return false;
+            };
+            reference.eq_range(r as usize, &interval.reverse_complement(), 0, len as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mummer;
+    use gpumem_seq::GenomeModel;
+
+    #[test]
+    fn finds_planted_reverse_hits() {
+        // Reference carries a segment; query carries its reverse
+        // complement, flanked by noise.
+        let segment: PackedSeq = "ACGGTTACGGATCCA".parse().unwrap();
+        let mut ref_codes = GenomeModel::uniform().generate(200, 61).to_codes();
+        ref_codes.splice(80..80 + 15, segment.to_codes());
+        let reference = PackedSeq::from_codes(&ref_codes);
+        let mut q_codes = GenomeModel::uniform().generate(120, 62).to_codes();
+        q_codes.splice(40..40 + 15, segment.reverse_complement().to_codes());
+        let query = PackedSeq::from_codes(&q_codes);
+
+        let finder = Mummer::build(&reference);
+        let hits = find_mems_both_strands(&finder, &query, 12, 1);
+        let reverse: Vec<&StrandMem> = hits
+            .iter()
+            .filter(|h| h.strand == Strand::Reverse)
+            .collect();
+        assert!(
+            reverse.iter().any(|h| h.mem.r <= 80
+                && h.mem.r_end() >= 95
+                && h.mem.q <= 40
+                && h.mem.q_end() >= 55),
+            "planted reverse hit missing: {reverse:?}"
+        );
+        for &hit in &hits {
+            assert!(is_strand_mem_exact(&reference, &query, hit, 12), "{hit:?}");
+        }
+    }
+
+    #[test]
+    fn forward_hits_match_single_strand_search() {
+        let reference = GenomeModel::mammalian().generate(1_500, 63);
+        let query = GenomeModel::mammalian().generate(1_000, 64);
+        let finder = Mummer::build(&reference);
+        let both = find_mems_both_strands(&finder, &query, 12, 1);
+        let forward: Vec<Mem> = both
+            .iter()
+            .filter(|h| h.strand == Strand::Forward)
+            .map(|h| h.mem)
+            .collect();
+        assert_eq!(forward, finder.find_mems(&query, 12));
+    }
+
+    #[test]
+    fn palindromic_matches_appear_on_both_strands() {
+        // A reverse-complement palindrome matches identically on both
+        // strands at mirrored coordinates.
+        let palindrome: PackedSeq = "ACGCGT".parse().unwrap(); // revcomp(ACGCGT) = ACGCGT
+        assert_eq!(palindrome.reverse_complement(), palindrome);
+        let reference: PackedSeq = "TTTACGCGTTTT".parse().unwrap();
+        let query: PackedSeq = "GGACGCGTGG".parse().unwrap();
+        let finder = Mummer::build(&reference);
+        let hits = find_mems_both_strands(&finder, &query, 6, 1);
+        assert!(hits.iter().any(|h| h.strand == Strand::Forward));
+        assert!(hits.iter().any(|h| h.strand == Strand::Reverse));
+    }
+
+    #[test]
+    fn empty_query_yields_nothing() {
+        let reference = GenomeModel::uniform().generate(100, 65);
+        let finder = Mummer::build(&reference);
+        let empty = PackedSeq::from_codes(&[]);
+        assert!(find_mems_both_strands(&finder, &empty, 10, 2).is_empty());
+    }
+}

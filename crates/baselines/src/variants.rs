@@ -1,0 +1,180 @@
+//! Match-class variants: unique and rare maximal matches.
+//!
+//! The paper's §V names "unique and rare exact match extraction" as
+//! future work; both are classical restrictions of the MEM set:
+//!
+//! * a **MUM** (maximal unique match, Delcher et al. 1999) is a MEM
+//!   whose matched string occurs exactly once in the reference *and*
+//!   exactly once in the query;
+//! * a **rare match** (Ohlebusch & Kurtz 2008) relaxes uniqueness to
+//!   "at most `t` occurrences in each sequence".
+//!
+//! [`VariantFilter`] post-processes any finder's MEM set by counting
+//! each matched string's occurrences with suffix arrays of both
+//! sequences — the same machinery the baselines already use.
+
+use gpumem_seq::{Mem, PackedSeq};
+
+use crate::common::interval_at_depth;
+use crate::sa::suffix_array_sais;
+
+/// Occurrence-counting filter over a reference/query pair.
+pub struct VariantFilter {
+    reference: PackedSeq,
+    query: PackedSeq,
+    sa_ref: Vec<u32>,
+    sa_query: Vec<u32>,
+}
+
+impl VariantFilter {
+    /// Build suffix arrays of both sequences.
+    pub fn new(reference: &PackedSeq, query: &PackedSeq) -> VariantFilter {
+        VariantFilter {
+            sa_ref: suffix_array_sais(&reference.to_codes()),
+            sa_query: suffix_array_sais(&query.to_codes()),
+            reference: reference.clone(),
+            query: query.clone(),
+        }
+    }
+
+    /// Occurrences of `reference[r .. r+len)` in the reference.
+    pub fn count_in_reference(&self, r: usize, len: usize) -> usize {
+        interval_at_depth(
+            &self.reference,
+            &self.sa_ref,
+            &self.reference,
+            r,
+            len,
+            0..self.sa_ref.len(),
+        )
+        .len()
+    }
+
+    /// Occurrences of `reference[r .. r+len)` in the query.
+    pub fn count_in_query(&self, r: usize, len: usize) -> usize {
+        interval_at_depth(
+            &self.query,
+            &self.sa_query,
+            &self.reference,
+            r,
+            len,
+            0..self.sa_query.len(),
+        )
+        .len()
+    }
+
+    /// The rare matches among `mems`: matched string occurring at most
+    /// `max_occ` times in each sequence. `max_occ = 1` gives the MUMs.
+    pub fn rare_matches(&self, mems: &[Mem], max_occ: usize) -> Vec<Mem> {
+        assert!(max_occ >= 1, "max_occ must be at least 1");
+        mems.iter()
+            .copied()
+            .filter(|m| {
+                let (r, len) = (m.r as usize, m.len as usize);
+                self.count_in_reference(r, len) <= max_occ
+                    && self.count_in_query(r, len) <= max_occ
+            })
+            .collect()
+    }
+
+    /// The maximal *unique* matches (MUMs) among `mems`.
+    pub fn unique_matches(&self, mems: &[Mem]) -> Vec<Mem> {
+        self.rare_matches(mems, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemFinder, Mummer};
+    use gpumem_seq::{naive_mems, GenomeModel};
+
+    fn naive_count(hay: &PackedSeq, needle: &PackedSeq, start: usize, len: usize) -> usize {
+        if len == 0 || hay.len() < len {
+            return 0;
+        }
+        (0..=hay.len() - len)
+            .filter(|&i| hay.eq_range(i, needle, start, len))
+            .count()
+    }
+
+    #[test]
+    fn counts_match_naive() {
+        let reference = GenomeModel::mammalian().generate(1_500, 71);
+        let query = GenomeModel::mammalian().generate(1_000, 72);
+        let filter = VariantFilter::new(&reference, &query);
+        for (r, len) in [(0usize, 8usize), (100, 12), (700, 5), (1_400, 10)] {
+            assert_eq!(
+                filter.count_in_reference(r, len),
+                naive_count(&reference, &reference, r, len),
+                "ref count at ({r},{len})"
+            );
+            assert_eq!(
+                filter.count_in_query(r, len),
+                naive_count(&query, &reference, r, len),
+                "query count at ({r},{len})"
+            );
+        }
+    }
+
+    #[test]
+    fn unique_vs_repeated_segments() {
+        // Plant one unique segment and one segment duplicated in the
+        // reference; only the first yields a MUM.
+        let unique_seg: PackedSeq = "ACGGTCAGTCCATGAT".parse().unwrap();
+        let repeat_seg: PackedSeq = "TTGACCGGTAGGCCAT".parse().unwrap();
+        let mut ref_codes = GenomeModel::uniform().generate(400, 73).to_codes();
+        ref_codes.splice(50..66, unique_seg.to_codes());
+        ref_codes.splice(150..166, repeat_seg.to_codes());
+        ref_codes.splice(300..316, repeat_seg.to_codes());
+        let reference = PackedSeq::from_codes(&ref_codes);
+
+        let mut q_codes = GenomeModel::uniform().generate(200, 74).to_codes();
+        q_codes.splice(20..36, unique_seg.to_codes());
+        q_codes.splice(100..116, repeat_seg.to_codes());
+        let query = PackedSeq::from_codes(&q_codes);
+
+        let mems = Mummer::build(&reference).find_mems(&query, 14);
+        let filter = VariantFilter::new(&reference, &query);
+        let mums = filter.unique_matches(&mems);
+
+        assert!(
+            mums.iter().any(|m| m.r <= 50 && m.r_end() >= 66),
+            "unique segment must be a MUM: {mums:?}"
+        );
+        assert!(
+            !mums
+                .iter()
+                .any(|m| (m.r <= 150 && m.r_end() >= 166) || (m.r <= 300 && m.r_end() >= 316)),
+            "the duplicated segment must not be unique: {mums:?}"
+        );
+        // Rare with t = 2 readmits the duplicated segment.
+        let rare2 = filter.rare_matches(&mems, 2);
+        assert!(rare2.iter().any(|m| m.r <= 150 && m.r_end() >= 166));
+        assert!(rare2.len() >= mums.len());
+    }
+
+    #[test]
+    fn mums_are_a_subset_chain() {
+        // MUMs ⊆ rare(2) ⊆ rare(8) ⊆ MEMs.
+        let reference = GenomeModel::mammalian().generate(2_000, 75);
+        let query = GenomeModel::mammalian().generate(1_200, 76);
+        let mems = naive_mems(&reference, &query, 12);
+        let filter = VariantFilter::new(&reference, &query);
+        let mums = filter.unique_matches(&mems);
+        let rare2 = filter.rare_matches(&mems, 2);
+        let rare8 = filter.rare_matches(&mems, 8);
+        let contains = |sup: &[Mem], sub: &[Mem]| sub.iter().all(|m| sup.contains(m));
+        assert!(contains(&rare2, &mums));
+        assert!(contains(&rare8, &rare2));
+        assert!(contains(&mems, &rare8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_max_occ_rejected() {
+        let reference = GenomeModel::uniform().generate(50, 77);
+        let query = GenomeModel::uniform().generate(50, 78);
+        VariantFilter::new(&reference, &query).rare_matches(&[], 0);
+    }
+}

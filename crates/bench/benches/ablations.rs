@@ -1,0 +1,123 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! the load-balancing heuristic (Figure 7), the tile size
+//! (`n_block`), the sparsification step (full vs Eq. 1-maximal index),
+//! and the seed length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpumem_bench::scaled_seed_len;
+use gpumem_core::{Gpumem, GpumemConfig, IndexKind};
+use gpumem_seq::table2_pairs;
+
+const SCALE: f64 = 1.0 / 8192.0;
+const L: u32 = 30;
+
+fn config(seed_len: usize, n_block: usize, lb: bool, step: Option<usize>) -> GpumemConfig {
+    let mut builder = GpumemConfig::builder(L)
+        .seed_len(seed_len)
+        .threads_per_block(64)
+        .blocks_per_tile(n_block)
+        .load_balancing(lb);
+    if let Some(step) = step {
+        builder = builder.step(step);
+    }
+    builder.build().expect("valid ablation config")
+}
+
+fn bench_load_balancing(c: &mut Criterion) {
+    let pair = table2_pairs(SCALE)[0].realize(42);
+    let seed_len = scaled_seed_len(13, pair.reference.len(), L);
+    let mut group = c.benchmark_group("ablation_load_balancing");
+    group.sample_size(10);
+    for lb in [true, false] {
+        let gpumem = Gpumem::new(config(seed_len, 8, lb, None));
+        group.bench_with_input(BenchmarkId::from_parameter(lb), &lb, |b, _| {
+            b.iter(|| gpumem.run(&pair.reference, &pair.query))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tile_size(c: &mut Criterion) {
+    let pair = table2_pairs(SCALE)[0].realize(42);
+    let seed_len = scaled_seed_len(13, pair.reference.len(), L);
+    let mut group = c.benchmark_group("ablation_tile_size");
+    group.sample_size(10);
+    for n_block in [2usize, 8, 32] {
+        let gpumem = Gpumem::new(config(seed_len, n_block, true, None));
+        group.bench_with_input(BenchmarkId::from_parameter(n_block), &n_block, |b, _| {
+            b.iter(|| gpumem.run(&pair.reference, &pair.query))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparsification(c: &mut Criterion) {
+    let pair = table2_pairs(SCALE)[0].realize(42);
+    let seed_len = scaled_seed_len(13, pair.reference.len(), L);
+    let max_step = L as usize - seed_len + 1;
+    let mut group = c.benchmark_group("ablation_step");
+    group.sample_size(10);
+    for step in [1usize, max_step / 2, max_step] {
+        let gpumem = Gpumem::new(config(seed_len, 8, true, Some(step.max(1))));
+        group.bench_with_input(BenchmarkId::from_parameter(step), &step, |b, _| {
+            b.iter(|| {
+                let index = gpumem.build_index_only(&pair.reference);
+                let run = gpumem.run(&pair.reference, &pair.query);
+                (index, run)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_seed_len(c: &mut Criterion) {
+    let pair = table2_pairs(SCALE)[0].realize(42);
+    let mut group = c.benchmark_group("ablation_seed_len");
+    group.sample_size(10);
+    for seed_len in [8usize, 10, 12] {
+        let gpumem = Gpumem::new(config(seed_len, 8, true, None));
+        group.bench_with_input(BenchmarkId::from_parameter(seed_len), &seed_len, |b, _| {
+            b.iter(|| gpumem.run(&pair.reference, &pair.query))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_kind(c: &mut Criterion) {
+    let pair = table2_pairs(SCALE)[0].realize(42);
+    let seed_len = scaled_seed_len(13, pair.reference.len(), L);
+    let mut group = c.benchmark_group("ablation_index_kind");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("dense", IndexKind::DenseTable),
+        ("compact", IndexKind::CompactDirectory),
+    ] {
+        let config = GpumemConfig::builder(L)
+            .seed_len(seed_len)
+            .threads_per_block(64)
+            .blocks_per_tile(8)
+            .index_kind(kind)
+            .build()
+            .expect("valid config");
+        let gpumem = Gpumem::new(config);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let build = gpumem.build_index_only(&pair.reference);
+                let run = gpumem.run(&pair.reference, &pair.query);
+                (build, run)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_load_balancing,
+    bench_tile_size,
+    bench_sparsification,
+    bench_seed_len,
+    bench_index_kind
+);
+criterion_main!(benches);

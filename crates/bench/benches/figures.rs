@@ -1,0 +1,47 @@
+//! Criterion benches behind Figures 4 and 5: GPUMEM extraction cost vs
+//! query size and vs L.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpumem_bench::{gpumem_config, scaled_seed_len};
+use gpumem_core::Gpumem;
+use gpumem_seq::table2_pairs;
+
+const SCALE: f64 = 1.0 / 8192.0;
+
+fn bench_vs_query_size(c: &mut Criterion) {
+    let pair = table2_pairs(SCALE)[0].realize(42);
+    let seed_len = scaled_seed_len(13, pair.reference.len(), 50);
+    let gpumem = Gpumem::new(gpumem_config(50, seed_len, true));
+
+    let mut group = c.benchmark_group("fig4_query_size");
+    group.sample_size(10);
+    for frac in [4usize, 2, 1] {
+        let query = pair.query_prefix(pair.query.len() / frac);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(query.len()),
+            &query,
+            |b, query| b.iter(|| gpumem.run(&pair.reference, query)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_vs_l(c: &mut Criterion) {
+    let pair = table2_pairs(SCALE)[0].realize(42);
+    let mut group = c.benchmark_group("fig5_min_len");
+    group.sample_size(10);
+    for min_len in [20u32, 50, 100] {
+        let seed_len = scaled_seed_len(13, pair.reference.len(), min_len);
+        let gpumem = Gpumem::new(gpumem_config(min_len, seed_len, true));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(min_len),
+            &min_len,
+            |b, _| b.iter(|| gpumem.run(&pair.reference, &pair.query)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_query_size, bench_vs_l);
+criterion_main!(benches);

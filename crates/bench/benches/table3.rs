@@ -1,0 +1,33 @@
+//! Criterion bench for Table III's comparison: index construction
+//! cost per tool on the chr1m stand-in (small scale so iterations stay
+//! fast; the `table3` binary runs the full scaled experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gpumem_baselines::{EssaMem, Mummer, SlaMem, SparseMem};
+use gpumem_bench::{gpumem_config, scaled_seed_len};
+use gpumem_core::Gpumem;
+use gpumem_seq::table2_pairs;
+
+const SCALE: f64 = 1.0 / 8192.0;
+const L: u32 = 50;
+
+fn bench_index_builds(c: &mut Criterion) {
+    let pair = table2_pairs(SCALE)[0].realize(42);
+    let reference = &pair.reference;
+    let seed_len = scaled_seed_len(13, reference.len(), L);
+
+    let mut group = c.benchmark_group("table3_index_build");
+    group.sample_size(10);
+    group.bench_function("sparseMEM_k1", |b| b.iter(|| SparseMem::build(reference, 1)));
+    group.bench_function("sparseMEM_k8", |b| b.iter(|| SparseMem::build(reference, 8)));
+    group.bench_function("essaMEM_k4", |b| b.iter(|| EssaMem::build(reference, 4)));
+    group.bench_function("MUMmer", |b| b.iter(|| Mummer::build(reference)));
+    group.bench_function("slaMEM", |b| b.iter(|| SlaMem::build(reference)));
+    let gpumem = Gpumem::new(gpumem_config(L, seed_len, true));
+    group.bench_function("GPUMEM", |b| b.iter(|| gpumem.build_index_only(reference)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_builds);
+criterion_main!(benches);

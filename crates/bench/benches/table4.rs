@@ -1,0 +1,44 @@
+//! Criterion bench for Table IV's comparison: MEM extraction cost per
+//! tool on prebuilt indexes (small scale; the `table4` binary runs the
+//! full scaled experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gpumem_baselines::{find_mems_parallel, EssaMem, MemFinder, Mummer, SlaMem, SparseMem};
+use gpumem_bench::{gpumem_config, scaled_seed_len};
+use gpumem_core::Gpumem;
+use gpumem_seq::table2_pairs;
+
+const SCALE: f64 = 1.0 / 8192.0;
+const L: u32 = 30;
+
+fn bench_extraction(c: &mut Criterion) {
+    let pair = table2_pairs(SCALE)[0].realize(42);
+    let (reference, query) = (&pair.reference, &pair.query);
+    let seed_len = scaled_seed_len(13, reference.len(), L);
+
+    let sparse1 = SparseMem::build(reference, 1);
+    let sparse8 = SparseMem::build(reference, 8);
+    let essa = EssaMem::build(reference, 4);
+    let mummer = Mummer::build(reference);
+    let sla = SlaMem::build(reference);
+    let gpumem = Gpumem::new(gpumem_config(L, seed_len, true));
+
+    let mut group = c.benchmark_group("table4_extraction");
+    group.sample_size(10);
+    group.bench_function("sparseMEM_k1_t1", |b| b.iter(|| sparse1.find_mems(query, L)));
+    group.bench_function("sparseMEM_k8_t8", |b| {
+        b.iter(|| find_mems_parallel(&sparse8, query, L, 8))
+    });
+    group.bench_function("essaMEM_t1", |b| b.iter(|| essa.find_mems(query, L)));
+    group.bench_function("essaMEM_t8", |b| {
+        b.iter(|| find_mems_parallel(&essa, query, L, 8))
+    });
+    group.bench_function("MUMmer", |b| b.iter(|| mummer.find_mems(query, L)));
+    group.bench_function("slaMEM", |b| b.iter(|| sla.find_mems(query, L)));
+    group.bench_function("GPUMEM", |b| b.iter(|| gpumem.run(reference, query)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates the k40 extension experiment (see DESIGN.md §4).
+
+fn main() {
+    gpumem_bench::experiments::k40::run(
+        gpumem_bench::harness_scale(),
+        gpumem_bench::harness_seed(),
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the memtable extension experiment (see DESIGN.md §4).
+
+fn main() {
+    gpumem_bench::experiments::memtable::run(
+        gpumem_bench::harness_scale(),
+        gpumem_bench::harness_seed(),
+    );
+}

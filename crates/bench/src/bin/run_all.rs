@@ -1,0 +1,17 @@
+//! Regenerates every table and figure of the paper, plus the extension
+//! experiments, in one go.
+
+fn main() {
+    let scale = gpumem_bench::harness_scale();
+    let seed = gpumem_bench::harness_seed();
+    gpumem_bench::experiments::table3::run(scale, seed);
+    gpumem_bench::experiments::table4::run(scale, seed);
+    gpumem_bench::experiments::fig4::run(scale, seed);
+    gpumem_bench::experiments::fig5::run(scale, seed);
+    gpumem_bench::experiments::fig6::run(scale, seed);
+    gpumem_bench::experiments::fig7::run(scale, seed);
+    gpumem_bench::experiments::stages::run(scale, seed);
+    gpumem_bench::experiments::k40::run(scale, seed);
+    gpumem_bench::experiments::memtable::run(scale, seed);
+    println!("\nAll experiments written to the results directory.");
+}

@@ -1,0 +1,8 @@
+//! Regenerates the stages extension experiment (see DESIGN.md §4).
+
+fn main() {
+    gpumem_bench::experiments::stages::run(
+        gpumem_bench::harness_scale(),
+        gpumem_bench::harness_seed(),
+    );
+}

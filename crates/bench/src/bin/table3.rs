@@ -1,0 +1,8 @@
+//! Regenerates the paper's table3 (see DESIGN.md §4).
+
+fn main() {
+    gpumem_bench::experiments::table3::run(
+        gpumem_bench::harness_scale(),
+        gpumem_bench::harness_seed(),
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table4 (see DESIGN.md §4).
+
+fn main() {
+    gpumem_bench::experiments::table4::run(
+        gpumem_bench::harness_scale(),
+        gpumem_bench::harness_seed(),
+    );
+}

@@ -1,0 +1,110 @@
+//! Scaled Table II datasets and the nine Table III/IV configurations.
+
+use gpumem_seq::{table2_pairs, DatasetPair, PairSpec};
+
+/// Dataset scale from `GPUMEM_SCALE` (default `1/256`).
+pub fn harness_scale() -> f64 {
+    std::env::var("GPUMEM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0 / 256.0)
+}
+
+/// Generator seed from `GPUMEM_SEED` (default 42).
+pub fn harness_seed() -> u64 {
+    std::env::var("GPUMEM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// The seed length used at a given dataset scale.
+///
+/// The paper uses `ℓs = 13` on ~100–250 Mbp references (≈ `4^13`
+/// positions, so the `ptrs` table matches the genome's k-mer
+/// diversity). At a scale of `1/256` the references are ~1 Mbp and
+/// keeping 13 would waste a 67M-entry table on a million seeds, so the
+/// harness shrinks `ℓs` with the data: `ℓs ≈ log₄ |R|`, clamped to
+/// `[8, paper_ls]` and to `L`. At `GPUMEM_SCALE=1` this returns the
+/// paper's exact values.
+pub fn scaled_seed_len(paper_ls: usize, ref_len: usize, min_len: u32) -> usize {
+    let log4 = ((ref_len.max(2) as f64).ln() / 4.0f64.ln()).round() as usize;
+    log4.clamp(8, paper_ls).min(min_len as usize)
+}
+
+/// One of the nine Table III/IV configurations.
+#[derive(Clone, Debug)]
+pub struct ExperimentRow {
+    /// The reference/query pair spec (scaled).
+    pub pair: PairSpec,
+    /// The minimum MEM length `L`.
+    pub min_len: u32,
+    /// The (scaled) GPUMEM seed length for this row.
+    pub seed_len: usize,
+}
+
+impl ExperimentRow {
+    /// `reference/query` label as in the paper's tables.
+    pub fn label(&self) -> String {
+        format!("{} L={}", self.pair.name, self.min_len)
+    }
+
+    /// Materialise the dataset.
+    pub fn realize(&self, seed: u64) -> DatasetPair {
+        self.pair.realize(seed)
+    }
+}
+
+/// The nine configurations of Tables III/IV, scaled. The paper's note
+/// applies: every row uses `ℓs = 13` except `chrXII/chrI` at `L = 10`,
+/// which drops to `ℓs = 10` (further reduced with the scale, see
+/// [`scaled_seed_len`]).
+pub fn experiment_rows(scale: f64) -> Vec<ExperimentRow> {
+    let mut rows = Vec::new();
+    for pair in table2_pairs(scale) {
+        for &min_len in &pair.l_values {
+            let paper_ls = pair.seed_len.min(min_len as usize);
+            rows.push(ExperimentRow {
+                seed_len: scaled_seed_len(paper_ls, pair.ref_len, min_len),
+                pair: pair.clone(),
+                min_len,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_rows_matching_the_paper() {
+        let rows = experiment_rows(1.0 / 256.0);
+        assert_eq!(rows.len(), 9);
+        let labels: Vec<String> = rows.iter().map(|r| r.label()).collect();
+        assert_eq!(labels[0], "chr1m/chr2h L=100");
+        assert_eq!(labels[8], "chrXII/chrI L=10");
+    }
+
+    #[test]
+    fn full_scale_reproduces_paper_seed_lengths() {
+        let rows = experiment_rows(1.0);
+        // chr1m at full size: log4(195e6) ≈ 14 → clamped to 13.
+        assert_eq!(rows[0].seed_len, 13);
+        // chrXII/chrI L=10 row: ls capped at 10 (the paper's note),
+        // then the tiny 1.09 Mbp reference shrinks it via log4 ≈ 10.
+        assert_eq!(rows[8].seed_len, 10);
+    }
+
+    #[test]
+    fn scaled_seed_len_is_always_valid() {
+        for scale in [1.0, 1.0 / 256.0, 1.0 / 65536.0] {
+            for row in experiment_rows(scale) {
+                assert!(row.seed_len >= 1);
+                assert!(row.seed_len <= 13);
+                assert!(row.seed_len <= row.min_len as usize);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 4: GPUMEM extraction time and #MEMs vs query size.
+//!
+//! chr1m as the reference; chr2h prefixes of 50, 100, 150, 200 Mbp and
+//! the full 242.97 Mbp as queries (all scaled), with L = 50. Expected
+//! shape: both series approximately linear in |Q|.
+
+use gpumem_core::Gpumem;
+use gpumem_seq::table2_pairs;
+
+use crate::report::{secs, TsvWriter};
+use crate::{gpumem_config, scaled_seed_len};
+
+/// Query prefix sizes in paper Mbp.
+pub const PREFIX_MBP: [f64; 5] = [50.0, 100.0, 150.0, 200.0, 242.97];
+/// Figure 4/5's minimum MEM length.
+pub const L: u32 = 50;
+
+/// Run the experiment; returns `(query_len, modeled secs, #MEMs)` per
+/// point.
+pub fn run(scale: f64, seed: u64) -> Vec<(usize, f64, usize)> {
+    println!("== Figure 4: time & #MEMs vs query size (scale {scale:.6}, seed {seed}) ==");
+    let pair = table2_pairs(scale)[0].realize(seed); // chr1m/chr2h
+    let seed_len = scaled_seed_len(13, pair.reference.len(), L);
+    let gpumem = Gpumem::new(gpumem_config(L, seed_len, true));
+
+    let mut writer = TsvWriter::new(
+        "fig4",
+        &["query.mbp", "query.bases", "time.model.s", "time.wall.s", "mems"],
+    );
+    let mut points = Vec::new();
+    for mbp in PREFIX_MBP {
+        let n = ((mbp * 1.0e6 * scale) as usize).min(pair.query.len());
+        let query = pair.query_prefix(n);
+        let result = gpumem.run(&pair.reference, &query);
+        let modeled = result.stats.matching.modeled_secs();
+        writer.row(&[
+            format!("{mbp}"),
+            n.to_string(),
+            secs(modeled),
+            secs(result.stats.match_wall.as_secs_f64()),
+            result.mems.len().to_string(),
+        ]);
+        points.push((n, modeled, result.mems.len()));
+    }
+    writer.finish().expect("write fig4.tsv");
+    points
+}

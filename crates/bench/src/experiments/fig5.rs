@@ -1,0 +1,41 @@
+//! Figure 5: GPUMEM extraction time and #MEMs vs L (log-log in the
+//! paper).
+//!
+//! chr1m/chr2h with L ∈ {20, 40, 50, 100, 150}. Expected shape: both
+//! series decrease with L; time falls faster than the MEM count at
+//! small L, slower after L ≈ 50.
+
+use gpumem_core::Gpumem;
+use gpumem_seq::table2_pairs;
+
+use crate::report::{secs, TsvWriter};
+use crate::{gpumem_config, scaled_seed_len};
+
+/// The L sweep of Figure 5.
+pub const L_VALUES: [u32; 5] = [20, 40, 50, 100, 150];
+
+/// Run the experiment; returns `(L, modeled secs, #MEMs)` per point.
+pub fn run(scale: f64, seed: u64) -> Vec<(u32, f64, usize)> {
+    println!("== Figure 5: time & #MEMs vs L (scale {scale:.6}, seed {seed}) ==");
+    let pair = table2_pairs(scale)[0].realize(seed); // chr1m/chr2h
+    let mut writer = TsvWriter::new(
+        "fig5",
+        &["L", "time.model.s", "time.wall.s", "mems"],
+    );
+    let mut points = Vec::new();
+    for min_len in L_VALUES {
+        let seed_len = scaled_seed_len(13, pair.reference.len(), min_len);
+        let gpumem = Gpumem::new(gpumem_config(min_len, seed_len, true));
+        let result = gpumem.run(&pair.reference, &pair.query);
+        let modeled = result.stats.matching.modeled_secs();
+        writer.row(&[
+            min_len.to_string(),
+            secs(modeled),
+            secs(result.stats.match_wall.as_secs_f64()),
+            result.mems.len().to_string(),
+        ]);
+        points.push((min_len, modeled, result.mems.len()));
+    }
+    writer.finish().expect("write fig5.tsv");
+    points
+}

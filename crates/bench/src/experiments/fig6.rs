@@ -1,0 +1,25 @@
+//! Figure 6: the number of seeds appearing at a given number of
+//! locations (chr1m reference) — the skew that motivates the
+//! load-balancing heuristic. Expected shape: heavy-tailed; most seeds
+//! occur once, a significant mass at ≥ 6 occurrences.
+
+use gpumem_seq::stats::seed_occurrence_histogram;
+use gpumem_seq::table2_pairs;
+
+use crate::report::TsvWriter;
+use crate::scaled_seed_len;
+
+/// Run the experiment; returns the `(occurrences, #seeds)` histogram.
+pub fn run(scale: f64, seed: u64) -> Vec<(u64, u64)> {
+    println!("== Figure 6: seed occurrence histogram (scale {scale:.6}, seed {seed}) ==");
+    let pair = table2_pairs(scale)[0].realize(seed); // chr1m reference
+    let seed_len = scaled_seed_len(13, pair.reference.len(), 50);
+    let hist = seed_occurrence_histogram(&pair.reference, seed_len, 1);
+
+    let mut writer = TsvWriter::new("fig6", &["occurrences", "seeds"]);
+    for &(occ, n) in &hist {
+        writer.row(&[occ.to_string(), n.to_string()]);
+    }
+    writer.finish().expect("write fig6.tsv");
+    hist
+}

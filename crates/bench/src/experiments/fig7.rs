@@ -1,0 +1,66 @@
+//! Figure 7: impact of the proactive load-balancing heuristic.
+//!
+//! For each of the nine configurations: GPUMEM extraction time with
+//! and without Algorithm 2, and the ratio (the speedup the paper plots
+//! over the bars). Expected shape: speedup > 1 everywhere, largest
+//! (≥ ~1.6×) on the large pairs and at small L.
+
+use std::collections::HashMap;
+
+use gpumem_core::Gpumem;
+use gpumem_seq::DatasetPair;
+
+use crate::report::{secs, TsvWriter};
+use crate::{experiment_rows, gpumem_config};
+
+/// Run the experiment; returns `(with-LB secs, without-LB secs)` per
+/// row.
+pub fn run(scale: f64, seed: u64) -> Vec<(f64, f64)> {
+    println!("== Figure 7: load-balancing impact (scale {scale:.6}, seed {seed}) ==");
+    let rows = experiment_rows(scale);
+    let mut writer = TsvWriter::new(
+        "fig7",
+        &[
+            "reference/query",
+            "L",
+            "with.lb.s",
+            "without.lb.s",
+            "speedup",
+            "warp.eff.with",
+            "warp.eff.without",
+        ],
+    );
+    let mut cache: HashMap<String, DatasetPair> = HashMap::new();
+    let mut results = Vec::new();
+
+    for row in rows {
+        let pair = cache
+            .entry(row.pair.name.clone())
+            .or_insert_with(|| row.realize(seed));
+
+        let with = Gpumem::new(gpumem_config(row.min_len, row.seed_len, true))
+            .run(&pair.reference, &pair.query);
+        let without = Gpumem::new(gpumem_config(row.min_len, row.seed_len, false))
+            .run(&pair.reference, &pair.query);
+        assert_eq!(
+            with.mems, without.mems,
+            "{}: load balancing must not change the output",
+            row.label()
+        );
+
+        let t_with = with.stats.matching.modeled_secs();
+        let t_without = without.stats.matching.modeled_secs();
+        writer.row(&[
+            row.pair.name.clone(),
+            row.min_len.to_string(),
+            secs(t_with),
+            secs(t_without),
+            format!("{:.2}", t_without / t_with),
+            format!("{:.3}", with.stats.matching.warp_efficiency(32)),
+            format!("{:.3}", without.stats.matching.warp_efficiency(32)),
+        ]);
+        results.push((t_with, t_without));
+    }
+    writer.finish().expect("write fig7.tsv");
+    results
+}

@@ -1,0 +1,52 @@
+//! Tesla K40 forward-port (extension experiment E-K40).
+//!
+//! §V: "we also want to evaluate the performance of GPUMEM with newer
+//! GPUs such as Tesla K40". The simulator makes that a one-line device
+//! swap: same nine configurations, K20c vs K40 modeled extraction time.
+
+use std::collections::HashMap;
+
+use gpu_sim::{Device, DeviceSpec};
+use gpumem_core::Gpumem;
+use gpumem_seq::DatasetPair;
+
+use crate::report::{secs, TsvWriter};
+use crate::{experiment_rows, gpumem_config};
+
+/// Run the experiment; returns `(k20c secs, k40 secs)` per row.
+pub fn run(scale: f64, seed: u64) -> Vec<(f64, f64)> {
+    println!("== Tesla K40 forward-port (scale {scale:.6}, seed {seed}) ==");
+    let rows = experiment_rows(scale);
+    let mut writer = TsvWriter::new(
+        "k40",
+        &["reference/query", "L", "k20c.s", "k40.s", "speedup"],
+    );
+    let mut cache: HashMap<String, DatasetPair> = HashMap::new();
+    let mut results = Vec::new();
+
+    for row in rows {
+        let pair = cache
+            .entry(row.pair.name.clone())
+            .or_insert_with(|| row.realize(seed));
+        let config = gpumem_config(row.min_len, row.seed_len, true);
+        let k20 = Gpumem::with_device(config.clone(), Device::new(DeviceSpec::tesla_k20c()))
+            .run(&pair.reference, &pair.query);
+        let k40 = Gpumem::with_device(config, Device::new(DeviceSpec::tesla_k40()))
+            .run(&pair.reference, &pair.query);
+        assert_eq!(k20.mems, k40.mems, "device must not change results");
+        let (t20, t40) = (
+            k20.stats.matching.modeled_secs(),
+            k40.stats.matching.modeled_secs(),
+        );
+        writer.row(&[
+            row.pair.name.clone(),
+            row.min_len.to_string(),
+            secs(t20),
+            secs(t40),
+            format!("{:.2}", t20 / t40),
+        ]);
+        results.push((t20, t40));
+    }
+    writer.finish().expect("write k40.tsv");
+    results
+}

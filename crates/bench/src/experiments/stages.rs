@@ -1,0 +1,57 @@
+//! Stage-size analysis (extension experiment E-S1).
+//!
+//! §III-C2 motivates the host-side merge with the observation that "the
+//! number of out-tile triplets is much less compared to out-block
+//! ones". This harness prints the intermediate result sizes of every
+//! pipeline stage for the nine configurations and checks that claim.
+
+use std::collections::HashMap;
+
+use gpumem_core::Gpumem;
+use gpumem_seq::DatasetPair;
+
+use crate::report::TsvWriter;
+use crate::{experiment_rows, gpumem_config};
+
+/// Run the experiment; returns `(out_block, out_tile)` per row.
+pub fn run(scale: f64, seed: u64) -> Vec<(usize, usize)> {
+    println!("== Stage sizes: in/out-block and in/out-tile counts (scale {scale:.6}, seed {seed}) ==");
+    let rows = experiment_rows(scale);
+    let mut writer = TsvWriter::new(
+        "stages",
+        &[
+            "reference/query",
+            "L",
+            "in.block",
+            "out.block",
+            "in.tile",
+            "out.tile",
+            "from.global",
+            "final",
+        ],
+    );
+    let mut cache: HashMap<String, DatasetPair> = HashMap::new();
+    let mut results = Vec::new();
+
+    for row in rows {
+        let pair = cache
+            .entry(row.pair.name.clone())
+            .or_insert_with(|| row.realize(seed));
+        let gpumem = Gpumem::new(gpumem_config(row.min_len, row.seed_len, true));
+        let result = gpumem.run(&pair.reference, &pair.query);
+        let c = result.stats.counts;
+        writer.row(&[
+            row.pair.name.clone(),
+            row.min_len.to_string(),
+            c.in_block.to_string(),
+            c.out_block.to_string(),
+            c.in_tile.to_string(),
+            c.out_tile.to_string(),
+            c.from_global.to_string(),
+            c.total.to_string(),
+        ]);
+        results.push((c.out_block, c.out_tile));
+    }
+    writer.finish().expect("write stages.tsv");
+    results
+}

@@ -1,0 +1,113 @@
+//! Result output: aligned stdout tables plus TSV files under
+//! `GPUMEM_OUT` (default `results/`).
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Output directory from `GPUMEM_OUT`.
+pub fn out_dir() -> PathBuf {
+    PathBuf::from(std::env::var("GPUMEM_OUT").unwrap_or_else(|_| "results".into()))
+}
+
+/// A TSV file writer that also prints an aligned table to stdout.
+pub struct TsvWriter {
+    path: PathBuf,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TsvWriter {
+    /// Start a table named `name` (written to `<out>/<name>.tsv`).
+    pub fn new(name: &str, header: &[&str]) -> TsvWriter {
+        TsvWriter {
+            path: out_dir().join(format!("{name}.tsv")),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Write the TSV and print the aligned table; returns the file path.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        if let Some(parent) = self.path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut file = fs::File::create(&self.path)?;
+        writeln!(file, "{}", self.header.join("\t"))?;
+        for row in &self.rows {
+            writeln!(file, "{}", row.join("\t"))?;
+        }
+
+        // Aligned stdout rendering.
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("{}", line.join("  "));
+        };
+        print_row(&self.header);
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            print_row(row);
+        }
+        println!("→ {}", self.path.display());
+        Ok(self.path)
+    }
+}
+
+/// Format seconds with adaptive precision.
+pub fn secs(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.1}")
+    } else if x >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_tsv_and_prints() {
+        let dir = std::env::temp_dir().join("gpumem-bench-test");
+        std::env::set_var("GPUMEM_OUT", &dir);
+        let mut w = TsvWriter::new("unit", &["a", "b"]);
+        w.row(&["1".into(), "x".into()]);
+        w.row(&["2".into(), "y".into()]);
+        let path = w.finish().unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, "a\tb\n1\tx\n2\ty\n");
+        std::env::remove_var("GPUMEM_OUT");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut w = TsvWriter::new("unit2", &["a", "b"]);
+        w.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(123.456), "123.5");
+        assert_eq!(secs(12.345), "12.35");
+        assert_eq!(secs(0.01234), "0.0123");
+    }
+}

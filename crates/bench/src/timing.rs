@@ -1,0 +1,25 @@
+//! Wall-clock timing helper.
+
+use std::time::Instant;
+
+/// Time a closure; returns `(result, wall_seconds)`.
+pub fn time_secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_elapsed_time() {
+        let (value, secs) = time_secs(|| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            7
+        });
+        assert_eq!(value, 7);
+        assert!(secs >= 0.019, "measured {secs}");
+    }
+}

@@ -1,0 +1,323 @@
+//! The proactive load-balancing heuristic (Algorithm 2, Figure 2).
+//!
+//! Each round of a block assigns `τ` query seeds to `τ` threads. Seed
+//! occurrence counts are heavily skewed (Figure 6), so the straight
+//! thread-per-seed assignment leaves most lanes idle while a few grind
+//! through thousands of locations. The heuristic:
+//!
+//! 1. `load[tid]` ← occurrences of thread `tid`'s seed; `task[tid]` ← 1
+//!    if that seed occurs at all;
+//! 2. inclusive prefix sums over both (`GPUPrefixSum`);
+//! 3. the `T_idle = τ − task[τ−1]` threads whose seeds are absent are
+//!    redistributed: non-empty seed group `g` ends at thread
+//!    `(g+1) + ⌊T_idle · cumload(g) / T_load⌋`, i.e. idle threads are
+//!    handed out proportionally to cumulative load;
+//! 4. each thread finds its group by binary search on the `assign`
+//!    prefix array.
+//!
+//! With the heuristic disabled (Figure 7's ablation) the original
+//! one-thread-per-seed assignment is used verbatim.
+
+use std::ops::Range;
+
+use gpu_sim::primitives::{block_inclusive_scan, upper_bound_shared};
+use gpu_sim::{BlockCtx, Op};
+
+/// One thread group serving one non-empty seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupAssign {
+    /// Which of the round's `τ` seed slots this group serves.
+    pub seed_slot: usize,
+    /// The block-thread ids working for this seed.
+    pub threads: Range<usize>,
+}
+
+/// The result of one round's thread assignment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    /// Groups in seed-slot order.
+    pub groups: Vec<GroupAssign>,
+    /// `group_of_thread[tid]` — index into `groups`, or `usize::MAX`
+    /// for an idle thread (only without load balancing).
+    pub group_of_thread: Vec<usize>,
+}
+
+/// Marker for idle threads in [`Assignment::group_of_thread`].
+pub const IDLE: usize = usize::MAX;
+
+/// Run the assignment for one round. `loads[k]` is the index occurrence
+/// count of the seed at slot `k` (0 for slots without a valid seed).
+pub fn balance(ctx: &mut BlockCtx<'_>, loads: &[u32], enabled: bool) -> Assignment {
+    let tau = ctx.block_dim;
+    assert_eq!(loads.len(), tau, "one load entry per thread");
+
+    if !enabled {
+        // Straight assignment: thread k serves seed slot k (if any).
+        let mut groups = Vec::new();
+        let mut group_of_thread = vec![IDLE; tau];
+        for (k, &load) in loads.iter().enumerate() {
+            if load > 0 {
+                group_of_thread[k] = groups.len();
+                groups.push(GroupAssign {
+                    seed_slot: k,
+                    threads: k..k + 1,
+                });
+            }
+        }
+        return Assignment {
+            groups,
+            group_of_thread,
+        };
+    }
+
+    // Algorithm 2, step 1: per-thread load/task flags.
+    let mut load = vec![0u32; tau];
+    let mut task = vec![0u32; tau];
+    ctx.simt(|lane| {
+        lane.charge(Op::GlobalLoad, 1); // ptrs[s+1] - ptrs[s]
+        lane.shared(2);
+        load[lane.tid] = loads[lane.tid];
+        task[lane.tid] = u32::from(loads[lane.tid] > 0);
+    });
+
+    // Step 2: GPUPrefixSum over both arrays.
+    block_inclusive_scan(ctx, &mut load);
+    block_inclusive_scan(ctx, &mut task);
+
+    let t_load = load[tau - 1] as usize;
+    let n_groups = task[tau - 1] as usize;
+    if n_groups == 0 {
+        return Assignment {
+            groups: Vec::new(),
+            group_of_thread: vec![IDLE; tau],
+        };
+    }
+    let t_idle = tau - n_groups;
+
+    // Step 3: fill `assign` (group boundaries) and the seed slot of
+    // each group, in parallel (each non-empty slot writes its own
+    // group's entry).
+    let mut assign = vec![0u32; n_groups + 1];
+    let mut seed_slot_of_group = vec![0usize; n_groups];
+    ctx.simt(|lane| {
+        lane.charge(Op::Alu, 4);
+        lane.shared(2);
+        if lane.branch(loads[lane.tid] > 0) {
+            let g = task[lane.tid] as usize - 1;
+            let offset = t_idle * load[lane.tid] as usize / t_load;
+            assign[g + 1] = ((g + 1) + offset) as u32;
+            seed_slot_of_group[g] = lane.tid;
+        }
+    });
+    debug_assert_eq!(assign[n_groups] as usize, tau, "all threads assigned");
+
+    // Step 4: every thread binary-searches its group.
+    let mut group_of_thread = vec![IDLE; tau];
+    ctx.simt(|lane| {
+        let g = upper_bound_shared(lane, &assign, lane.tid as u32) - 1;
+        group_of_thread[lane.tid] = g;
+    });
+
+    let groups = (0..n_groups)
+        .map(|g| GroupAssign {
+            seed_slot: seed_slot_of_group[g],
+            threads: assign[g] as usize..assign[g + 1] as usize,
+        })
+        .collect();
+    Assignment {
+        groups,
+        group_of_thread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Device, DeviceSpec, LaunchConfig};
+    use parking_lot::Mutex;
+
+    fn run_balance(loads: Vec<u32>, enabled: bool) -> Assignment {
+        let device = Device::new(DeviceSpec::test_tiny());
+        let out = Mutex::new(Assignment::default());
+        device.launch_fn(LaunchConfig::new(1, loads.len()), |ctx| {
+            *out.lock() = balance(ctx, &loads, enabled);
+        });
+        out.into_inner()
+    }
+
+    /// Invariants every assignment must satisfy.
+    fn check_invariants(loads: &[u32], a: &Assignment, enabled: bool) {
+        let tau = loads.len();
+        // One group per non-empty slot, in slot order.
+        let nonempty: Vec<usize> = (0..tau).filter(|&k| loads[k] > 0).collect();
+        assert_eq!(a.groups.len(), nonempty.len());
+        for (g, &slot) in nonempty.iter().enumerate() {
+            assert_eq!(a.groups[g].seed_slot, slot);
+            assert!(!a.groups[g].threads.is_empty(), "every group gets a thread");
+        }
+        if enabled && !a.groups.is_empty() {
+            // Groups partition 0..tau contiguously.
+            assert_eq!(a.groups[0].threads.start, 0);
+            for w in a.groups.windows(2) {
+                assert_eq!(w[0].threads.end, w[1].threads.start);
+            }
+            assert_eq!(a.groups.last().unwrap().threads.end, tau);
+            // group_of_thread is consistent with the ranges.
+            for (g, group) in a.groups.iter().enumerate() {
+                for tid in group.threads.clone() {
+                    assert_eq!(a.group_of_thread[tid], g, "tid {tid}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_loads_give_no_groups() {
+        let a = run_balance(vec![0; 32], true);
+        assert!(a.groups.is_empty());
+        assert!(a.group_of_thread.iter().all(|&g| g == IDLE));
+    }
+
+    #[test]
+    fn uniform_loads_give_one_thread_each() {
+        let loads = vec![5u32; 32];
+        let a = run_balance(loads.clone(), true);
+        check_invariants(&loads, &a, true);
+        for group in &a.groups {
+            assert_eq!(group.threads.len(), 1, "no idle threads to share");
+        }
+    }
+
+    #[test]
+    fn skewed_load_attracts_idle_threads() {
+        // One heavy seed, one light seed, 30 idle slots.
+        let mut loads = vec![0u32; 32];
+        loads[3] = 90;
+        loads[20] = 10;
+        let a = run_balance(loads.clone(), true);
+        check_invariants(&loads, &a, true);
+        let heavy = &a.groups[0];
+        let light = &a.groups[1];
+        assert_eq!(heavy.seed_slot, 3);
+        assert!(
+            heavy.threads.len() > 5 * light.threads.len().min(6),
+            "heavy group {} threads vs light {}",
+            heavy.threads.len(),
+            light.threads.len()
+        );
+        assert_eq!(heavy.threads.len() + light.threads.len(), 32);
+    }
+
+    #[test]
+    fn proportionality_matches_the_formula() {
+        // loads 3, 0, 1, 2 (the shape of the paper's toy example,
+        // padded to a full warp).
+        let mut loads = vec![0u32; 32];
+        loads[0] = 3;
+        loads[2] = 1;
+        loads[3] = 2;
+        let a = run_balance(loads.clone(), true);
+        check_invariants(&loads, &a, true);
+        // T_idle = 29, T_load = 6; boundaries at
+        // 1 + ⌊29·3/6⌋ = 15, 2 + ⌊29·4/6⌋ = 21, 3 + 29 = 32.
+        assert_eq!(a.groups[0].threads, 0..15);
+        assert_eq!(a.groups[1].threads, 15..21);
+        assert_eq!(a.groups[2].threads, 21..32);
+    }
+
+    #[test]
+    fn disabled_mode_is_identity() {
+        let mut loads = vec![0u32; 16];
+        loads[2] = 50;
+        loads[7] = 1;
+        let a = run_balance(loads.clone(), false);
+        check_invariants(&loads, &a, false);
+        assert_eq!(a.groups[0].threads, 2..3);
+        assert_eq!(a.groups[1].threads, 7..8);
+        assert_eq!(a.group_of_thread[2], 0);
+        assert_eq!(a.group_of_thread[7], 1);
+        assert_eq!(a.group_of_thread[0], IDLE);
+    }
+
+    #[test]
+    fn single_heavy_seed_takes_all_threads() {
+        let mut loads = vec![0u32; 64];
+        loads[10] = 1000;
+        let a = run_balance(loads.clone(), true);
+        check_invariants(&loads, &a, true);
+        assert_eq!(a.groups.len(), 1);
+        assert_eq!(a.groups[0].threads, 0..64);
+    }
+
+    #[test]
+    fn balancing_reduces_modeled_imbalance() {
+        // Simulated round: lane work proportional to its share of the
+        // per-seed load. With balancing the heavy seed's work spreads
+        // over the block; warp cycles (max-per-warp) drop.
+        let device = Device::new(DeviceSpec::test_tiny());
+        let mut loads = vec![0u32; 64];
+        loads[0] = 6_400;
+        let work = |enabled: bool| {
+            device
+                .launch_fn(LaunchConfig::new(1, 64), |ctx| {
+                    let a = balance(ctx, &loads, enabled);
+                    ctx.simt(|lane| {
+                        let g = a.group_of_thread[lane.tid];
+                        if g == IDLE {
+                            return;
+                        }
+                        let group = &a.groups[g];
+                        let total = loads[group.seed_slot] as usize;
+                        let share = total / group.threads.len();
+                        lane.charge(Op::Compare, share as u64);
+                    });
+                })
+                .warp_cycles
+        };
+        let balanced = work(true);
+        let unbalanced = work(false);
+        assert!(
+            unbalanced > balanced * 5,
+            "unbalanced {unbalanced} vs balanced {balanced}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gpu_sim::{Device, DeviceSpec, LaunchConfig};
+    use parking_lot::Mutex;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn assignment_invariants_hold(
+            loads in proptest::collection::vec(0u32..100, 32),
+            enabled: bool,
+        ) {
+            let device = Device::new(DeviceSpec::test_tiny());
+            let out = Mutex::new(Assignment::default());
+            device.launch_fn(LaunchConfig::new(1, 32), |ctx| {
+                *out.lock() = balance(ctx, &loads, enabled);
+            });
+            let a = out.into_inner();
+            let nonempty = loads.iter().filter(|&&l| l > 0).count();
+            prop_assert_eq!(a.groups.len(), nonempty);
+            for group in &a.groups {
+                prop_assert!(loads[group.seed_slot] > 0);
+                prop_assert!(!group.threads.is_empty());
+                prop_assert!(group.threads.end <= 32);
+            }
+            if enabled && nonempty > 0 {
+                prop_assert_eq!(a.groups[0].threads.start, 0);
+                prop_assert_eq!(a.groups.last().unwrap().threads.end, 32);
+                for w in a.groups.windows(2) {
+                    prop_assert_eq!(w[0].threads.end, w[1].threads.start);
+                }
+            }
+        }
+    }
+}

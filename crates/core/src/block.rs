@@ -1,0 +1,290 @@
+//! Per-block MEM extraction (§III-B): the work of one GPU block over
+//! one `ℓ_tile × ℓ_block` region.
+//!
+//! The block sweeps `w` rounds; round `i` assigns the `τ` query
+//! locations `block_start + i + k·w` (k = 0..τ) to threads (all of a
+//! MEM's anchors share one round, because anchors are spaced exactly
+//! `w = Δs` along the diagonal). Each round runs the four steps of
+//! §III-B: load balancing, triplet generation with right extension,
+//! the tree combine, and per-base expansion with in-/out-block
+//! classification.
+
+use std::ops::Range;
+
+use gpu_sim::{BlockCtx, Op};
+use gpumem_index::SeedLookup;
+use gpumem_seq::{Mem, PackedSeq};
+
+use crate::balance::balance;
+use crate::combine::tree_combine;
+use crate::config::GpumemConfig;
+use crate::expand::{expand_within, Bounds};
+use crate::generate::{charge_lce, generate_triplets};
+
+/// The two result classes of a block (§III-B4).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockOutput {
+    /// True MEMs (≥ L, mismatch/sequence-bounded) — transferred to the
+    /// host for reporting.
+    pub in_block: Vec<Mem>,
+    /// Boundary-touching fragments — kept on the device for the tile
+    /// merge. Not length-filtered (they may grow across the boundary).
+    pub out_block: Vec<Mem>,
+}
+
+/// Process one block inside a launched kernel.
+pub fn process_block(
+    ctx: &mut BlockCtx<'_>,
+    reference: &PackedSeq,
+    query: &PackedSeq,
+    index: &dyn SeedLookup,
+    config: &GpumemConfig,
+    row_range: Range<usize>,
+    block_q: Range<usize>,
+) -> BlockOutput {
+    let codec = gpumem_index::SeedCodec::new(config.seed_len);
+    debug_assert_eq!(index.seed_len(), config.seed_len);
+    let tau = ctx.block_dim;
+    debug_assert_eq!(tau, config.threads_per_block);
+    let w = config.w();
+    let cap = config.generation_cap();
+    let bounds = Bounds {
+        r: row_range,
+        q: block_q.clone(),
+    };
+    let mut output = BlockOutput::default();
+    if block_q.is_empty() {
+        return output;
+    }
+
+    let mut q_of_slot: Vec<Option<usize>> = vec![None; tau];
+    let mut codes: Vec<Option<u32>> = vec![None; tau];
+    let mut loads: Vec<u32> = vec![0; tau];
+    let mut triplets: Vec<Vec<Mem>> = vec![Vec::new(); tau];
+
+    for round in 0..w {
+        // Slot k's query location for this round; the seed may read past
+        // the block edge but must fit the query.
+        ctx.simt(|lane| {
+            lane.charge(Op::Alu, 3);
+            let q = block_q.start + round + lane.tid * w;
+            let valid = q < block_q.end && q + config.seed_len <= query.len();
+            q_of_slot[lane.tid] = valid.then_some(q);
+            lane.charge(Op::GlobalLoad, 1); // read the seed
+            codes[lane.tid] = if valid { codec.encode(query, q) } else { None };
+            loads[lane.tid] = codes[lane.tid].map_or(0, |c| {
+                lane.charge(Op::GlobalLoad, 2 + index.lookup_overhead_loads());
+                index.occurrences(c) as u32
+            });
+        });
+        if loads.iter().all(|&l| l == 0) {
+            continue;
+        }
+
+        // Step 1: proactive load balancing (Algorithm 2).
+        let assignment = balance(ctx, &loads, config.load_balancing);
+        if assignment.groups.is_empty() {
+            continue;
+        }
+
+        // Step 2: generate + right-extend triplets.
+        for slot in triplets.iter_mut() {
+            slot.clear();
+        }
+        generate_triplets(
+            ctx,
+            reference,
+            query,
+            index,
+            &assignment,
+            &q_of_slot,
+            &codes,
+            cap,
+            &mut triplets,
+        );
+
+        // Step 3: tree combine (Algorithm 3).
+        tree_combine(ctx, &assignment, &mut triplets);
+
+        // Step 4: expand survivors per base and classify. Threads of a
+        // group split its surviving triplets as in generation.
+        ctx.simt(|lane| {
+            let g = assignment.group_of_thread[lane.tid];
+            if lane.branch(g == crate::balance::IDLE) {
+                return;
+            }
+            let group = &assignment.groups[g];
+            let list = &triplets[group.seed_slot];
+            let mut i = lane.tid - group.threads.start;
+            while i < list.len() {
+                let mem = list[i];
+                if mem.len > 0 {
+                    let (expanded, compared) = expand_within(reference, query, mem, &bounds);
+                    charge_lce(lane, compared);
+                    lane.charge(Op::GlobalStore, 1);
+                    if expanded.touches_boundary {
+                        output.out_block.push(expanded.mem);
+                    } else if expanded.mem.len >= config.min_len {
+                        output.in_block.push(expanded.mem);
+                    }
+                }
+                i += group.threads.len();
+            }
+        });
+    }
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Device, DeviceSpec, LaunchConfig};
+    use gpumem_index::{build_sequential, Region};
+    use gpumem_seq::{canonicalize, is_maximal_exact, naive_mems, GenomeModel};
+    use parking_lot::Mutex;
+
+    /// Run a single block covering the whole query against the whole
+    /// reference (one row, one block).
+    fn run_single_block(
+        reference: &PackedSeq,
+        query: &PackedSeq,
+        config: &GpumemConfig,
+    ) -> BlockOutput {
+        let index = build_sequential(
+            reference,
+            Region::whole(reference),
+            config.seed_len,
+            config.step,
+        );
+        let device = Device::new(DeviceSpec::test_tiny());
+        let out = Mutex::new(BlockOutput::default());
+        device.launch_fn(LaunchConfig::new(1, config.threads_per_block), |ctx| {
+            *out.lock() = process_block(
+                ctx,
+                reference,
+                query,
+                &index,
+                config,
+                0..reference.len(),
+                0..query.len(),
+            );
+        });
+        out.into_inner()
+    }
+
+    fn config(min_len: u32, seed_len: usize, tau: usize) -> GpumemConfig {
+        GpumemConfig::builder(min_len)
+            .seed_len(seed_len)
+            .threads_per_block(tau)
+            .blocks_per_tile(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_block_covering_everything_finds_all_mems() {
+        // Query embeds reference segments so real MEMs exist.
+        let spec = gpumem_seq::PairSpec {
+            name: "block-test".into(),
+            reference_name: "r".into(),
+            query_name: "q".into(),
+            ref_len: 700,
+            query_len: 400, // fits one block: ℓ_block = 64·7 = 448
+            relatedness: 0.7,
+            divergence: (0.01, 0.05),
+            l_values: vec![12],
+            seed_len: 6,
+            model: GenomeModel::mammalian(),
+        };
+        let pair = spec.realize(7);
+        let (reference, query) = (pair.reference, pair.query);
+        // Block covers everything, so when the query fits inside one
+        // block every MEM is in-block (sequence ends are not window
+        // boundaries).
+        let cfg = config(12, 6, 64);
+        assert!(cfg.block_width() >= query.len(), "query fits one block");
+        let output = run_single_block(&reference, &query, &cfg);
+        assert!(output.out_block.is_empty(), "no interior boundaries");
+        let got = canonicalize(output.in_block);
+        let expect = naive_mems(&reference, &query, 12);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn in_block_mems_satisfy_the_definition() {
+        let reference = GenomeModel::mammalian().generate(900, 103);
+        let query = GenomeModel::mammalian().generate(600, 104);
+        let cfg = config(8, 4, 32);
+        let output = run_single_block(&reference, &query, &cfg);
+        for &mem in &output.in_block {
+            assert!(is_maximal_exact(&reference, &query, mem, 8), "{mem:?}");
+        }
+    }
+
+    #[test]
+    fn load_balancing_off_gives_identical_output() {
+        let reference = GenomeModel::mammalian().generate(800, 105);
+        let query = GenomeModel::mammalian().generate(500, 106);
+        let on = config(10, 5, 32);
+        let off = GpumemConfig::builder(10)
+            .seed_len(5)
+            .threads_per_block(32)
+            .blocks_per_tile(1)
+            .load_balancing(false)
+            .build()
+            .unwrap();
+        let a = run_single_block(&reference, &query, &on);
+        let b = run_single_block(&reference, &query, &off);
+        assert_eq!(canonicalize(a.in_block), canonicalize(b.in_block));
+        assert_eq!(canonicalize(a.out_block), canonicalize(b.out_block));
+    }
+
+    #[test]
+    fn narrow_block_emits_boundary_fragments() {
+        // Identical sequences, block covering only part of the query:
+        // the diagonal MEM must surface as out-block fragments, not be
+        // lost or reported short.
+        let text = GenomeModel::uniform().generate(200, 107);
+        let cfg = config(8, 4, 4); // block width = 4 * 5 = 20 < 200
+        let index = build_sequential(&text, Region::whole(&text), 4, 5);
+        let device = Device::new(DeviceSpec::test_tiny());
+        let out = Mutex::new(BlockOutput::default());
+        device.launch_fn(LaunchConfig::new(1, 4), |ctx| {
+            *out.lock() = process_block(
+                ctx,
+                &text,
+                &text,
+                &index,
+                &cfg,
+                0..text.len(),
+                40..60, // interior query window
+            );
+        });
+        let output = out.into_inner();
+        // The self-match diagonal crosses both edges of the window.
+        assert!(
+            output
+                .out_block
+                .iter()
+                .any(|m| m.diagonal() == 0 && m.len >= 20),
+            "main diagonal fragment missing: {:?}",
+            output.out_block
+        );
+        // No in-block MEM may claim the main diagonal (it is not
+        // maximal inside the window).
+        assert!(output.in_block.iter().all(|m| m.diagonal() != 0));
+    }
+
+    #[test]
+    fn empty_block_range_is_a_noop() {
+        let text = GenomeModel::uniform().generate(100, 108);
+        let cfg = config(8, 4, 4);
+        let index = build_sequential(&text, Region::whole(&text), 4, 5);
+        let device = Device::new(DeviceSpec::test_tiny());
+        let out = Mutex::new(BlockOutput::default());
+        device.launch_fn(LaunchConfig::new(1, 4), |ctx| {
+            *out.lock() = process_block(ctx, &text, &text, &index, &cfg, 0..100, 50..50);
+        });
+        assert_eq!(out.into_inner(), BlockOutput::default());
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-base expansion and boundary classification (§III-B4, §III-C).
+//!
+//! After combining, each surviving triplet is expanded left and right
+//! "until a mismatch is found or the block boundaries are reached".
+//! Triplets that stop at a mismatch (or a *sequence* end) on every side
+//! are true MEMs — *in-block* (resp. *in-tile*); triplets stopped by a
+//! *working-window* boundary may extend further and are passed up as
+//! *out-block* (resp. *out-tile*) fragments.
+//!
+//! Interpretation notes (DESIGN.md §4): expansion here is per-base
+//! (word-parallel LCE), since exact maximality needs single-base
+//! granularity; and boundary-touching fragments are kept regardless of
+//! the `L` filter, because a short fragment can grow past `L` once the
+//! boundary is crossed at the next merge level.
+
+use std::ops::Range;
+
+use gpumem_seq::{Mem, PackedSeq};
+
+/// The working window a pipeline stage may look at: a reference range ×
+/// a query range, both already clipped to the sequences.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bounds {
+    /// Reference window.
+    pub r: Range<usize>,
+    /// Query window.
+    pub q: Range<usize>,
+}
+
+impl Bounds {
+    /// The whole search space (global/final stage).
+    pub fn whole(reference: &PackedSeq, query: &PackedSeq) -> Bounds {
+        Bounds {
+            r: 0..reference.len(),
+            q: 0..query.len(),
+        }
+    }
+}
+
+/// A triplet after expansion, tagged with whether it was stopped by a
+/// working-window boundary (as opposed to a mismatch or sequence end).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Expanded {
+    /// The expanded triplet.
+    pub mem: Mem,
+    /// `true` if any side stopped at an *interior* window boundary —
+    /// the triplet is out-block/out-tile and may still grow.
+    pub touches_boundary: bool,
+}
+
+/// Expand `mem` as far as the window allows and classify it. Also
+/// returns the number of bases compared (for cost charging).
+pub fn expand_within(
+    reference: &PackedSeq,
+    query: &PackedSeq,
+    mem: Mem,
+    bounds: &Bounds,
+) -> (Expanded, usize) {
+    let (r, q, len) = (mem.r as usize, mem.q as usize, mem.len as usize);
+    debug_assert!(r >= bounds.r.start && q >= bounds.q.start);
+
+    // Left expansion, limited by the window.
+    let left_room = (r - bounds.r.start).min(q - bounds.q.start);
+    let left = reference.lce_bwd(r, query, q, left_room);
+
+    // Right expansion. The triplet may already poke past the window
+    // (generation extends freely); treat that as touching.
+    let r_end = r + len;
+    let q_end = q + len;
+    let right_room = bounds
+        .r
+        .end
+        .saturating_sub(r_end)
+        .min(bounds.q.end.saturating_sub(q_end));
+    let right = reference.lce_fwd(r_end, query, q_end, right_room);
+
+    let new_r = r - left;
+    let new_q = q - left;
+    let new_len = len + left + right;
+    let new_r_end = new_r + new_len;
+    let new_q_end = new_q + new_len;
+
+    // A side touches iff it stopped exactly at a window edge that is
+    // not also a sequence edge.
+    let touches_left = (new_r == bounds.r.start && bounds.r.start > 0)
+        || (new_q == bounds.q.start && bounds.q.start > 0);
+    let touches_right = (new_r_end >= bounds.r.end && bounds.r.end < reference.len())
+        || (new_q_end >= bounds.q.end && bounds.q.end < query.len());
+
+    (
+        Expanded {
+            mem: Mem {
+                r: new_r as u32,
+                q: new_q as u32,
+                len: new_len as u32,
+            },
+            touches_boundary: touches_left || touches_right,
+        },
+        left + right + 2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> PackedSeq {
+        s.parse().expect("valid DNA")
+    }
+
+    #[test]
+    fn expands_to_mismatch_inside_window() {
+        let reference = seq("GGACGTACGG");
+        let query = seq("TTACGTACTT");
+        let bounds = Bounds::whole(&reference, &query);
+        // Start from the middle seed (4,4,2) of the MEM (2,2,6).
+        let (exp, _) = expand_within(&reference, &query, Mem { r: 4, q: 4, len: 2 }, &bounds);
+        assert_eq!(exp.mem, Mem { r: 2, q: 2, len: 6 });
+        assert!(!exp.touches_boundary, "stopped at mismatches");
+    }
+
+    #[test]
+    fn sequence_ends_do_not_count_as_boundaries() {
+        let reference = seq("ACGT");
+        let query = seq("ACGT");
+        let bounds = Bounds::whole(&reference, &query);
+        let (exp, _) = expand_within(&reference, &query, Mem { r: 1, q: 1, len: 2 }, &bounds);
+        assert_eq!(exp.mem, Mem { r: 0, q: 0, len: 4 });
+        assert!(!exp.touches_boundary);
+    }
+
+    #[test]
+    fn interior_window_edges_mark_touching() {
+        let reference = seq("AAAAAAAAAAAAAAAA");
+        let query = seq("AAAAAAAAAAAAAAAA");
+        // Window strictly inside both sequences.
+        let bounds = Bounds { r: 4..12, q: 4..12 };
+        let (exp, _) = expand_within(&reference, &query, Mem { r: 6, q: 6, len: 2 }, &bounds);
+        assert_eq!(exp.mem, Mem { r: 4, q: 4, len: 8 }, "clamped to the window");
+        assert!(exp.touches_boundary);
+    }
+
+    #[test]
+    fn one_sided_touching_is_detected() {
+        // Mismatch on the left (G vs C at position 0), window edge on
+        // the right.
+        let reference = seq("GTAAAAAAAAAAAAAA");
+        let query = seq("CTAAAAAAAAAAAAAA");
+        let bounds = Bounds { r: 0..8, q: 0..8 };
+        let (exp, _) = expand_within(&reference, &query, Mem { r: 3, q: 3, len: 2 }, &bounds);
+        assert_eq!(exp.mem, Mem { r: 1, q: 1, len: 7 });
+        assert!(exp.touches_boundary, "right side hit the interior edge");
+    }
+
+    #[test]
+    fn triplet_already_past_window_end_is_touching() {
+        // Generation can extend past the block's query edge; expansion
+        // must not shrink it and must classify it as touching.
+        let reference = seq("AAAAAAAAAAAAAAAA");
+        let query = seq("AAAAAAAAAAAAAAAA");
+        let bounds = Bounds { r: 0..16, q: 0..6 };
+        let (exp, _) = expand_within(&reference, &query, Mem { r: 0, q: 0, len: 8 }, &bounds);
+        assert_eq!(exp.mem.len, 8, "never shrinks");
+        assert!(exp.touches_boundary);
+    }
+
+    #[test]
+    fn asymmetric_windows_clamp_each_dimension() {
+        let reference = seq("CCCCAAAACCCCCCCC");
+        let query = seq("GGAAAAGGGGGGGGGG");
+        // Shared run: reference[4..8] = query[2..6] = AAAA.
+        let bounds = Bounds { r: 0..16, q: 0..16 };
+        let (exp, _) = expand_within(&reference, &query, Mem { r: 5, q: 3, len: 1 }, &bounds);
+        assert_eq!(exp.mem, Mem { r: 4, q: 2, len: 4 });
+        assert!(!exp.touches_boundary);
+    }
+
+    #[test]
+    fn comparison_count_reflects_work() {
+        let reference = seq("AAAAAAAAAAAAAAAA");
+        let query = seq("AAAAAAAAAAAAAAAA");
+        let bounds = Bounds::whole(&reference, &query);
+        let (_, compared) = expand_within(&reference, &query, Mem { r: 8, q: 8, len: 1 }, &bounds);
+        assert_eq!(compared, 8 + 7 + 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gpumem_seq::is_maximal_exact;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// A non-touching expansion of any true match seed is a true MEM.
+        #[test]
+        fn non_touching_expansions_are_maximal(
+            r_codes in proptest::collection::vec(0u8..4, 20..120),
+            q_codes in proptest::collection::vec(0u8..4, 20..120),
+            r0 in 0usize..100,
+            q0 in 0usize..100,
+        ) {
+            let reference = PackedSeq::from_codes(&r_codes);
+            let query = PackedSeq::from_codes(&q_codes);
+            prop_assume!(r0 < reference.len() && q0 < query.len());
+            prop_assume!(reference.code(r0) == query.code(q0));
+            let bounds = Bounds::whole(&reference, &query);
+            let seed = Mem { r: r0 as u32, q: q0 as u32, len: 1 };
+            let (exp, _) = expand_within(&reference, &query, seed, &bounds);
+            prop_assert!(!exp.touches_boundary, "whole-space windows never touch");
+            prop_assert!(is_maximal_exact(&reference, &query, exp.mem, 1));
+        }
+    }
+}

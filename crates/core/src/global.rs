@@ -1,0 +1,110 @@
+//! Host-side global merge (§III-C2).
+//!
+//! "The short list of out-tile triplets is transferred to the host CPU
+//! and a sequential merge-sort operation is performed to sort the list
+//! with respect to the r − q values … GPUMEM performs a simple scan
+//! over this list to obtain the final (and the longest) MEMs."
+//!
+//! Plus the final per-base expansion against the full sequences
+//! (fragments clipped by tile windows, or separated by anchor-free
+//! tiles, recover their true extent here) and the `≥ L` filter.
+
+use gpumem_seq::{canonicalize, Mem, PackedSeq};
+
+use crate::combine::{diag_key, scan_combine_sorted};
+use crate::expand::{expand_within, Bounds};
+
+/// Merge the accumulated out-tile fragments into final MEMs.
+pub fn global_merge(
+    reference: &PackedSeq,
+    query: &PackedSeq,
+    mut out_tile: Vec<Mem>,
+    min_len: u32,
+) -> Vec<Mem> {
+    if out_tile.is_empty() {
+        return Vec::new();
+    }
+    // Host merge sort by (r − q, q).
+    out_tile.sort_unstable_by_key(diag_key);
+    scan_combine_sorted(&mut out_tile);
+
+    // Final expansion over the whole space; everything that survives is
+    // a true MEM (no window to touch).
+    let bounds = Bounds::whole(reference, query);
+    let mut final_mems = Vec::new();
+    for mem in out_tile {
+        if mem.len == 0 {
+            continue;
+        }
+        let (expanded, _) = expand_within(reference, query, mem, &bounds);
+        debug_assert!(!expanded.touches_boundary);
+        if expanded.mem.len >= min_len {
+            final_mems.push(expanded.mem);
+        }
+    }
+    canonicalize(final_mems)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumem_seq::{is_maximal_exact, GenomeModel};
+
+    #[test]
+    fn cross_tile_fragments_reassemble() {
+        let text = GenomeModel::uniform().generate(400, 301);
+        // Fragments of the self-match diagonal from four tiles.
+        let fragments = vec![
+            Mem { r: 0, q: 0, len: 100 },
+            Mem { r: 100, q: 100, len: 100 },
+            Mem { r: 200, q: 200, len: 100 },
+            Mem { r: 300, q: 300, len: 100 },
+        ];
+        let out = global_merge(&text, &text, fragments, 50);
+        assert_eq!(out, vec![Mem { r: 0, q: 0, len: 400 }]);
+    }
+
+    #[test]
+    fn duplicates_from_gap_expansion_are_deduped() {
+        let text = GenomeModel::uniform().generate(300, 302);
+        let fragments = vec![
+            Mem { r: 0, q: 0, len: 30 },
+            Mem { r: 250, q: 250, len: 30 },
+        ];
+        let out = global_merge(&text, &text, fragments, 10);
+        assert_eq!(out, vec![Mem { r: 0, q: 0, len: 300 }]);
+    }
+
+    #[test]
+    fn short_final_mems_are_filtered() {
+        let reference: PackedSeq = "GGGGACGTGGGG".parse().unwrap();
+        let query: PackedSeq = "TTTTACGTTTTT".parse().unwrap();
+        let fragments = vec![Mem { r: 4, q: 4, len: 4 }];
+        assert!(global_merge(&reference, &query, fragments, 5).is_empty());
+        assert_eq!(
+            global_merge(&reference, &query, vec![Mem { r: 4, q: 4, len: 4 }], 4),
+            vec![Mem { r: 4, q: 4, len: 4 }]
+        );
+    }
+
+    #[test]
+    fn outputs_are_maximal() {
+        let reference = GenomeModel::mammalian().generate(600, 303);
+        let query = GenomeModel::mammalian().generate(500, 304);
+        let mut fragments = Vec::new();
+        for t in (0..480).step_by(11) {
+            if reference.code(t) == query.code(t) {
+                fragments.push(Mem { r: t as u32, q: t as u32, len: 1 });
+            }
+        }
+        for mem in global_merge(&reference, &query, fragments, 2) {
+            assert!(is_maximal_exact(&reference, &query, mem, 2), "{mem:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let text = GenomeModel::uniform().generate(50, 305);
+        assert!(global_merge(&text, &text, Vec::new(), 10).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! GPUMEM: maximal exact match extraction on a (simulated) GPU.
+//!
+//! The paper's primary contribution, reproduced end to end:
+//!
+//! * [`config`] — the Table I parameters with the paper's derivation
+//!   rules (`w = Δs`, `ℓ_block = τ·w`, `ℓ_tile = n_block·ℓ_block`,
+//!   Eq. 1 validation);
+//! * [`tile`] — the 2-D reference × query tiling (Fig. 1);
+//! * [`balance`] — the proactive load-balancing heuristic
+//!   (Algorithm 2, Fig. 2);
+//! * [`generate`] — triplet generation with seed right-extension
+//!   (§III-B2);
+//! * [`combine`] — the conflict-free tree combine (Algorithm 3,
+//!   Fig. 3) and the sorted scan combine (§III-C);
+//! * [`expand`] — per-base expansion and in-/out-boundary
+//!   classification (§III-B4);
+//! * [`block`] / [`tile_run`] / [`global`] — the three merge levels
+//!   (block → tile → host);
+//! * [`pipeline`] — the [`Gpumem`] runner tying everything together on
+//!   a [`gpu_sim::Device`].
+//!
+//! The output is the exact canonical MEM set: property tests pin it to
+//! the ground-truth [`gpumem_seq::naive_mems`] and (in the workspace
+//! integration tests) to all four CPU baselines.
+//!
+//! ```
+//! use gpumem_core::{Gpumem, GpumemConfig};
+//! use gpumem_seq::PackedSeq;
+//!
+//! let reference: PackedSeq = "ACGTACGTACGTGGGGACGTACGTACGT".parse().unwrap();
+//! let query: PackedSeq = "TTTTACGTACGTACGTCCCC".parse().unwrap();
+//! let config = GpumemConfig::builder(8).seed_len(4).build().unwrap();
+//! let result = Gpumem::new(config).run(&reference, &query);
+//! assert!(result.mems.iter().all(|m| m.len >= 8));
+//! ```
+
+pub mod balance;
+pub mod block;
+pub mod combine;
+pub mod config;
+pub mod expand;
+pub mod generate;
+pub mod global;
+pub mod pipeline;
+pub mod tile;
+pub mod tile_run;
+
+pub use config::{ConfigError, GpumemConfig, GpumemConfigBuilder, IndexKind};
+pub use expand::Bounds;
+pub use pipeline::{Gpumem, GpumemResult, GpumemStats, StageCounts};
+pub use tile::Tiling;

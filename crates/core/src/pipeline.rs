@@ -1,0 +1,563 @@
+//! The end-to-end GPUMEM runner (Figure 1).
+//!
+//! For each tile row: build the row's partial index on the device
+//! (Algorithm 1), then for each tile in the row launch one GPU block
+//! per `ℓ_tile × ℓ_block` slice (§III-B), merge the tile's out-block
+//! fragments (§III-C1), and finally merge the accumulated out-tile
+//! fragments on the host (§III-C2).
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use gpu_sim::{Device, DeviceSpec, LaunchConfig, LaunchStats};
+use gpumem_index::{build_compact_gpu, build_gpu, Region, SeedLookup};
+use gpumem_seq::{canonicalize, Mem, PackedSeq};
+
+use crate::block::process_block;
+use crate::config::GpumemConfig;
+use crate::expand::Bounds;
+use crate::global::global_merge;
+use crate::tile::Tiling;
+use crate::tile_run::merge_tile;
+
+/// How many MEM fragments each stage produced (§IV would call these the
+/// intermediate result sizes; Fig. 7's discussion leans on them).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageCounts {
+    /// In-block MEMs reported by block kernels.
+    pub in_block: usize,
+    /// Out-block fragments passed to tile merges.
+    pub out_block: usize,
+    /// In-tile MEMs reported by tile merges.
+    pub in_tile: usize,
+    /// Out-tile fragments passed to the host merge.
+    pub out_tile: usize,
+    /// MEMs produced by the final host merge.
+    pub from_global: usize,
+    /// Final canonical MEM count.
+    pub total: usize,
+}
+
+/// Aggregated run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct GpumemStats {
+    /// Device statistics of the index-construction launches. Table III
+    /// reports `index.modeled_time`.
+    pub index: LaunchStats,
+    /// Device statistics of the extraction launches (blocks + tile
+    /// merges). Table IV reports `matching.modeled_time`.
+    pub matching: LaunchStats,
+    /// Wall time spent simulating index construction.
+    pub index_wall: Duration,
+    /// Wall time spent simulating extraction (including the host merge).
+    pub match_wall: Duration,
+    /// Stage result sizes.
+    pub counts: StageCounts,
+    /// Tile grid dimensions (`n_r`, `n_c`).
+    pub rows: usize,
+    /// Number of tile columns.
+    pub cols: usize,
+}
+
+impl std::fmt::Display for GpumemStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "tiles: {} rows x {} cols; modeled device time: index {:.3} ms + matching {:.3} ms",
+            self.rows,
+            self.cols,
+            self.index.modeled_secs() * 1e3,
+            self.matching.modeled_secs() * 1e3
+        )?;
+        writeln!(
+            f,
+            "warp efficiency {:.2}, {} divergence events, {} atomics, {} comparisons",
+            self.matching.warp_efficiency(32),
+            self.matching.divergence_events,
+            self.index.atomic_ops + self.matching.atomic_ops,
+            self.matching.comparisons
+        )?;
+        write!(
+            f,
+            "stages: {} in-block + {} in-tile + {} global = {} MEMs ({} out-block, {} out-tile fragments)",
+            self.counts.in_block,
+            self.counts.in_tile,
+            self.counts.from_global,
+            self.counts.total,
+            self.counts.out_block,
+            self.counts.out_tile
+        )
+    }
+}
+
+/// The result of a run.
+#[derive(Clone, Debug)]
+pub struct GpumemResult {
+    /// All maximal exact matches of length ≥ L, canonical.
+    pub mems: Vec<Mem>,
+    /// Run statistics.
+    pub stats: GpumemStats,
+}
+
+/// The GPUMEM tool: a configuration bound to a (simulated) device.
+pub struct Gpumem {
+    config: GpumemConfig,
+    device: Device,
+}
+
+impl Gpumem {
+    /// Run on the paper's Tesla K20c.
+    pub fn new(config: GpumemConfig) -> Gpumem {
+        Gpumem {
+            config,
+            device: Device::new(DeviceSpec::tesla_k20c()),
+        }
+    }
+
+    /// Run on an explicit device (ablations; tests use a small spec).
+    pub fn with_device(config: GpumemConfig, device: Device) -> Gpumem {
+        Gpumem { config, device }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpumemConfig {
+        &self.config
+    }
+
+    /// The device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Estimated device bytes for one tile row: the partial index
+    /// (`ptrs` + `locs`), the packed tile of reference bases, and
+    /// working triplet buffers. This is the quantity the paper sizes
+    /// the tiling against ("to fit the problem to GPU memory", §III).
+    pub fn device_memory_estimate(&self) -> u64 {
+        let n_locs = (self.config.tile_len() / self.config.step + 1) as u64;
+        let directory = match self.config.index_kind {
+            // Dense: the full 4^ℓs ptrs table.
+            crate::config::IndexKind::DenseTable => ((1u64 << (2 * self.config.seed_len)) + 1) * 4,
+            // Compact: entries + offsets, both ≤ n_locs.
+            crate::config::IndexKind::CompactDirectory => 2 * (n_locs + 1) * 4,
+        };
+        let locs = n_locs * 4;
+        let tile_bases = (self.config.tile_len() as u64).div_ceil(4); // 2-bit packed
+        // Triplet working set: generously assume every sampled location
+        // anchors one 12-byte triplet, twice (block + tile stage).
+        let triplets = n_locs * 12 * 2;
+        directory + locs + 2 * tile_bases + triplets
+    }
+
+    /// `true` if a tile row's working set fits the device's global
+    /// memory. [`Gpumem::run`] asserts this.
+    pub fn fits_device(&self) -> bool {
+        self.device_memory_estimate() <= self.device.spec().global_mem_bytes
+    }
+
+    /// Build the configured index layout for one reference region.
+    fn build_row_index(&self, reference: &PackedSeq, region: Region) -> (Box<dyn SeedLookup>, LaunchStats) {
+        match self.config.index_kind {
+            crate::config::IndexKind::DenseTable => {
+                let (index, stats) = build_gpu(
+                    &self.device,
+                    reference,
+                    region,
+                    self.config.seed_len,
+                    self.config.step,
+                );
+                (Box::new(index), stats)
+            }
+            crate::config::IndexKind::CompactDirectory => {
+                let (index, stats) = build_compact_gpu(
+                    &self.device,
+                    reference,
+                    region,
+                    self.config.seed_len,
+                    self.config.step,
+                );
+                (Box::new(index), stats)
+            }
+        }
+    }
+
+    /// Build all per-row partial indexes without matching — the Table
+    /// III measurement (index generation time).
+    pub fn build_index_only(&self, reference: &PackedSeq) -> (LaunchStats, Duration) {
+        let tiling = Tiling::new(self.config.tile_len(), reference.len(), usize::MAX);
+        let mut stats = LaunchStats::default();
+        let start = Instant::now();
+        for row in 0..tiling.n_rows() {
+            let range = tiling.row_range(row);
+            let (_, s) = self.build_row_index(
+                reference,
+                Region {
+                    start: range.start,
+                    len: range.len(),
+                },
+            );
+            stats += s;
+        }
+        (stats, start.elapsed())
+    }
+
+    /// Extract all MEMs of length ≥ L between `reference` and `query`.
+    pub fn run(&self, reference: &PackedSeq, query: &PackedSeq) -> GpumemResult {
+        assert!(
+            reference.len() < (1 << 30) && query.len() < (1 << 30),
+            "sequences must be under 1 Gbp (sort-key packing)"
+        );
+        assert!(
+            self.fits_device(),
+            "tile working set (~{} bytes) exceeds device memory ({} bytes); \
+             reduce blocks_per_tile or seed_len",
+            self.device_memory_estimate(),
+            self.device.spec().global_mem_bytes
+        );
+        let config = &self.config;
+        let mut stats = GpumemStats::default();
+        let mut reported: Vec<Mem> = Vec::new();
+        let mut out_tile_all: Vec<Mem> = Vec::new();
+
+        if reference.len() >= config.seed_len && !query.is_empty() {
+            let tiling = Tiling::new(config.tile_len(), reference.len(), query.len());
+            stats.rows = tiling.n_rows();
+            stats.cols = tiling.n_cols();
+
+            for row in 0..tiling.n_rows() {
+                let row_range = tiling.row_range(row);
+
+                // Partial index of this row (Algorithm 1, on device).
+                let t0 = Instant::now();
+                let (index, istats) = self.build_row_index(
+                    reference,
+                    Region {
+                        start: row_range.start,
+                        len: row_range.len(),
+                    },
+                );
+                stats.index += istats;
+                stats.index_wall += t0.elapsed();
+
+                for col in 0..tiling.n_cols() {
+                    let t1 = Instant::now();
+
+                    // One GPU block per ℓ_tile × ℓ_block slice.
+                    let collector = Mutex::new(Vec::new());
+                    let launch = self.device.launch_fn(
+                        LaunchConfig::new(config.blocks_per_tile, config.threads_per_block),
+                        |ctx| {
+                            let block_q =
+                                tiling.block_range(col, ctx.block_id, config.block_width());
+                            let out = process_block(
+                                ctx,
+                                reference,
+                                query,
+                                index.as_ref(),
+                                config,
+                                row_range.clone(),
+                                block_q,
+                            );
+                            collector.lock().push(out);
+                        },
+                    );
+                    stats.matching += launch;
+
+                    let mut out_block: Vec<Mem> = Vec::new();
+                    for block_out in collector.into_inner() {
+                        stats.counts.in_block += block_out.in_block.len();
+                        reported.extend(block_out.in_block);
+                        out_block.extend(block_out.out_block);
+                    }
+                    stats.counts.out_block += out_block.len();
+
+                    // Tile merge (§III-C1) as its own kernel.
+                    if !out_block.is_empty() {
+                        let tile_bounds = Bounds {
+                            r: row_range.clone(),
+                            q: tiling.col_range(col),
+                        };
+                        let tile_collector = Mutex::new(crate::tile_run::TileOutput::default());
+                        let launch = self.device.launch_fn(
+                            LaunchConfig::new(1, config.threads_per_block),
+                            |ctx| {
+                                *tile_collector.lock() = merge_tile(
+                                    ctx,
+                                    reference,
+                                    query,
+                                    out_block.clone(),
+                                    &tile_bounds,
+                                    config.min_len,
+                                );
+                            },
+                        );
+                        stats.matching += launch;
+                        let tile_out = tile_collector.into_inner();
+                        stats.counts.in_tile += tile_out.in_tile.len();
+                        reported.extend(tile_out.in_tile);
+                        out_tile_all.extend(tile_out.out_tile);
+                    }
+                    stats.match_wall += t1.elapsed();
+                }
+            }
+        }
+
+        // Host merge of out-tile fragments (§III-C2).
+        let t2 = Instant::now();
+        stats.counts.out_tile = out_tile_all.len();
+        let global = global_merge(reference, query, out_tile_all, config.min_len);
+        stats.counts.from_global = global.len();
+        reported.extend(global);
+        let mems = canonicalize(reported);
+        stats.match_wall += t2.elapsed();
+        stats.counts.total = mems.len();
+
+        GpumemResult { mems, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumem_seq::{is_maximal_exact, naive_mems, table2_pairs, GenomeModel};
+
+    fn small_gpumem(min_len: u32, seed_len: usize, tau: usize, n_block: usize) -> Gpumem {
+        let config = GpumemConfig::builder(min_len)
+            .seed_len(seed_len)
+            .threads_per_block(tau)
+            .blocks_per_tile(n_block)
+            .build()
+            .unwrap();
+        Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()))
+    }
+
+    #[test]
+    fn matches_naive_on_related_pair_with_many_tiles() {
+        let spec = &table2_pairs(1.0 / 65536.0)[1]; // chrXc/chrXh shape
+        let pair = spec.realize(42);
+        // Small tiles force the full multi-tile path:
+        // tile_len = 2 * 8 * w.
+        let gpumem = small_gpumem(16, 8, 8, 2);
+        assert!(gpumem.config().tile_len() < pair.reference.len());
+        let result = gpumem.run(&pair.reference, &pair.query);
+        let expect = naive_mems(&pair.reference, &pair.query, 16);
+        assert_eq!(result.mems, expect);
+        assert!(result.stats.rows > 1 && result.stats.cols > 1);
+    }
+
+    #[test]
+    fn matches_naive_on_self_comparison() {
+        // Self-comparison has a full-length diagonal crossing every
+        // tile — the hardest boundary case.
+        let text = GenomeModel::mammalian().generate(3_000, 401);
+        let gpumem = small_gpumem(20, 8, 8, 2);
+        let result = gpumem.run(&text, &text);
+        let expect = naive_mems(&text, &text, 20);
+        assert_eq!(result.mems, expect);
+        assert!(result.mems.contains(&Mem {
+            r: 0,
+            q: 0,
+            len: text.len() as u32
+        }));
+    }
+
+    #[test]
+    fn matches_naive_across_l_values() {
+        let spec = &table2_pairs(1.0 / 65536.0)[3];
+        let pair = spec.realize(43);
+        for min_len in [10u32, 14, 20, 31] {
+            let gpumem = small_gpumem(min_len, 7, 8, 2);
+            let result = gpumem.run(&pair.reference, &pair.query);
+            let expect = naive_mems(&pair.reference, &pair.query, min_len);
+            assert_eq!(result.mems, expect, "L = {min_len}");
+        }
+    }
+
+    #[test]
+    fn load_balancing_toggle_changes_stats_not_output() {
+        let spec = &table2_pairs(1.0 / 65536.0)[0];
+        let pair = spec.realize(44);
+        let on = small_gpumem(15, 7, 16, 2);
+        let off = {
+            let config = GpumemConfig::builder(15)
+                .seed_len(7)
+                .threads_per_block(16)
+                .blocks_per_tile(2)
+                .load_balancing(false)
+                .build()
+                .unwrap();
+            Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()))
+        };
+        let a = on.run(&pair.reference, &pair.query);
+        let b = off.run(&pair.reference, &pair.query);
+        assert_eq!(a.mems, b.mems, "output must be identical");
+        assert!(
+            b.stats.matching.warp_efficiency(32) <= a.stats.matching.warp_efficiency(32) + 1e-9,
+            "disabling balancing cannot improve warp efficiency"
+        );
+    }
+
+    #[test]
+    fn every_output_mem_is_maximal_and_long_enough() {
+        let reference = GenomeModel::mammalian().generate(4_000, 402);
+        let query = GenomeModel::mammalian().generate(2_500, 403);
+        let gpumem = small_gpumem(12, 6, 8, 2);
+        let result = gpumem.run(&reference, &query);
+        for &mem in &result.mems {
+            assert!(is_maximal_exact(&reference, &query, mem, 12), "{mem:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let gpumem = small_gpumem(10, 5, 8, 2);
+        let empty = PackedSeq::from_codes(&[]);
+        let short: PackedSeq = "ACG".parse().unwrap();
+        let normal = GenomeModel::uniform().generate(200, 404);
+        assert!(gpumem.run(&empty, &normal).mems.is_empty());
+        assert!(gpumem.run(&normal, &empty).mems.is_empty());
+        assert!(gpumem.run(&short, &normal).mems.is_empty(), "ref < seed");
+    }
+
+    #[test]
+    fn index_only_build_visits_every_row() {
+        let reference = GenomeModel::uniform().generate(5_000, 405);
+        let gpumem = small_gpumem(20, 10, 8, 2);
+        let rows = reference.len().div_ceil(gpumem.config().tile_len());
+        let (stats, wall) = gpumem.build_index_only(&reference);
+        assert!(stats.launches >= 4 * rows as u64);
+        assert!(wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn compact_index_produces_identical_output() {
+        let spec = &table2_pairs(1.0 / 65536.0)[1];
+        let pair = spec.realize(48);
+        let build = |kind: crate::config::IndexKind| {
+            let config = GpumemConfig::builder(16)
+                .seed_len(8)
+                .threads_per_block(8)
+                .blocks_per_tile(2)
+                .index_kind(kind)
+                .build()
+                .unwrap();
+            Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()))
+        };
+        let dense = build(crate::config::IndexKind::DenseTable).run(&pair.reference, &pair.query);
+        let compact =
+            build(crate::config::IndexKind::CompactDirectory).run(&pair.reference, &pair.query);
+        assert_eq!(dense.mems, compact.mems, "index layout must not change results");
+        assert_eq!(dense.mems, naive_mems(&pair.reference, &pair.query, 16));
+        // The compact directory trades lookup overhead for memory.
+        assert!(
+            compact.stats.matching.global_mem_ops > dense.stats.matching.global_mem_ops,
+            "compact lookups pay binary-search loads"
+        );
+    }
+
+    #[test]
+    fn compact_index_shrinks_the_memory_estimate() {
+        let dense = small_gpumem(20, 10, 8, 2);
+        let config = GpumemConfig::builder(20)
+            .seed_len(10)
+            .threads_per_block(8)
+            .blocks_per_tile(2)
+            .index_kind(crate::config::IndexKind::CompactDirectory)
+            .build()
+            .unwrap();
+        let compact = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
+        assert!(compact.device_memory_estimate() * 50 < dense.device_memory_estimate());
+    }
+
+    #[test]
+    fn stats_display_is_informative() {
+        let text = GenomeModel::mammalian().generate(1_000, 407);
+        let gpumem = small_gpumem(20, 8, 8, 2);
+        let result = gpumem.run(&text, &text);
+        let rendered = result.stats.to_string();
+        assert!(rendered.contains("tiles:"));
+        assert!(rendered.contains("warp efficiency"));
+        assert!(rendered.contains("MEMs"));
+    }
+
+    #[test]
+    fn memory_fit_is_checked() {
+        let config = GpumemConfig::builder(50)
+            .seed_len(13)
+            .threads_per_block(64)
+            .blocks_per_tile(4)
+            .build()
+            .unwrap();
+        // ptrs alone for ℓs = 13 is ~268 MB.
+        let spacious = Gpumem::with_device(config.clone(), Device::new(DeviceSpec::tesla_k20c()));
+        assert!(spacious.fits_device());
+        assert!(spacious.device_memory_estimate() > 268_000_000);
+        let mut cramped_spec = DeviceSpec::test_tiny();
+        cramped_spec.global_mem_bytes = 1 << 20; // 1 MiB device
+        let cramped = Gpumem::with_device(config, Device::new(cramped_spec));
+        assert!(!cramped.fits_device());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device memory")]
+    fn run_rejects_oversized_working_set() {
+        let mut spec = DeviceSpec::test_tiny();
+        spec.global_mem_bytes = 1 << 16; // 64 KiB device
+        let config = GpumemConfig::builder(20)
+            .seed_len(10)
+            .threads_per_block(16)
+            .blocks_per_tile(2)
+            .build()
+            .unwrap();
+        let text = GenomeModel::uniform().generate(1_000, 500);
+        Gpumem::with_device(config, Device::new(spec)).run(&text, &text);
+    }
+
+    #[test]
+    fn stage_counts_are_plausible() {
+        let text = GenomeModel::mammalian().generate(2_000, 406);
+        let gpumem = small_gpumem(20, 8, 8, 2);
+        let result = gpumem.run(&text, &text);
+        let c = result.stats.counts;
+        assert!(c.out_block > 0, "the main diagonal crosses blocks");
+        assert!(c.out_tile > 0, "and tiles");
+        assert_eq!(c.total, result.mems.len());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gpumem_seq::naive_mems;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The whole pipeline equals the ground truth on arbitrary
+        /// inputs and parameters.
+        #[test]
+        fn pipeline_always_matches_naive(
+            r in proptest::collection::vec(0u8..4, 1..500),
+            q in proptest::collection::vec(0u8..4, 1..500),
+            seed_len in 2usize..7,
+            extra in 0u32..10,
+            tau_pow in 1u32..5,
+            n_block in 1usize..4,
+        ) {
+            let min_len = seed_len as u32 + extra;
+            let reference = PackedSeq::from_codes(&r);
+            let query = PackedSeq::from_codes(&q);
+            let config = GpumemConfig::builder(min_len)
+                .seed_len(seed_len)
+                .threads_per_block(1 << tau_pow)
+                .blocks_per_tile(n_block)
+                .build()
+                .unwrap();
+            let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
+            let got = gpumem.run(&reference, &query).mems;
+            prop_assert_eq!(got, naive_mems(&reference, &query, min_len));
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! Kernel launch and SIMT execution.
+//!
+//! See the crate docs for the model. In short: blocks run truly in
+//! parallel (rayon); inside a block, [`BlockCtx::simt`] runs a closure
+//! once per logical thread, warp by warp; each region boundary is a
+//! block barrier; warp cost is the max over lane costs plus a
+//! divergence serialization charge.
+
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+use crate::cost::{CostModel, Op};
+use crate::memory::{GpuU32, GpuU64};
+use crate::spec::DeviceSpec;
+use crate::stats::LaunchStats;
+
+/// Fixed per-launch overhead (driver + scheduling), modeled as wall
+/// seconds added to every launch's modeled time.
+const LAUNCH_OVERHEAD_S: f64 = 5.0e-6;
+
+/// A 1-D launch configuration (the paper's kernels are 1-D grids of 1-D
+/// blocks: one GPU block per `ℓ_tile × ℓ_block` region, `τ` threads per
+/// block).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of blocks in the grid.
+    pub grid_dim: usize,
+    /// Threads per block (`τ`).
+    pub block_dim: usize,
+}
+
+impl LaunchConfig {
+    /// Create a config; `block_dim` must be positive.
+    pub fn new(grid_dim: usize, block_dim: usize) -> LaunchConfig {
+        assert!(block_dim > 0, "block_dim must be positive");
+        LaunchConfig { grid_dim, block_dim }
+    }
+}
+
+/// A kernel executed once per block.
+pub trait BlockKernel: Sync {
+    /// Execute the block's work. All SIMT structure is expressed through
+    /// the context.
+    fn block(&self, ctx: &mut BlockCtx<'_>);
+}
+
+impl<F> BlockKernel for F
+where
+    F: Fn(&mut BlockCtx<'_>) + Sync,
+{
+    fn block(&self, ctx: &mut BlockCtx<'_>) {
+        self(ctx)
+    }
+}
+
+/// The simulated GPU.
+pub struct Device {
+    spec: DeviceSpec,
+    cost: CostModel,
+}
+
+impl Device {
+    /// A device with the default cost model.
+    pub fn new(spec: DeviceSpec) -> Device {
+        Device {
+            spec,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// A device with an explicit cost model (ablations).
+    pub fn with_cost_model(spec: DeviceSpec, cost: CostModel) -> Device {
+        Device { spec, cost }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Launch `kernel` over `cfg.grid_dim` blocks of `cfg.block_dim`
+    /// logical threads and return aggregate statistics.
+    pub fn launch<K: BlockKernel>(&self, cfg: LaunchConfig, kernel: &K) -> LaunchStats {
+        assert!(
+            cfg.block_dim <= self.spec.max_threads_per_block,
+            "block_dim {} exceeds device limit {}",
+            cfg.block_dim,
+            self.spec.max_threads_per_block
+        );
+        let start = Instant::now();
+        let outs: Vec<BlockOut> = (0..cfg.grid_dim)
+            .into_par_iter()
+            .map(|block_id| {
+                let mut ctx = BlockCtx::new(block_id, cfg, &self.cost, self.spec.warp_size);
+                kernel.block(&mut ctx);
+                ctx.finish()
+            })
+            .collect();
+        let wall = start.elapsed();
+        self.aggregate(outs, wall)
+    }
+
+    /// Convenience: launch a closure kernel.
+    pub fn launch_fn<F>(&self, cfg: LaunchConfig, f: F) -> LaunchStats
+    where
+        F: Fn(&mut BlockCtx<'_>) + Sync,
+    {
+        self.launch(cfg, &f)
+    }
+
+    /// Fold per-block results into launch statistics, scheduling block
+    /// costs onto SMs with a greedy LPT assignment.
+    fn aggregate(&self, outs: Vec<BlockOut>, wall: Duration) -> LaunchStats {
+        let warps_in_flight = self.spec.warps_in_flight_per_sm() as u64;
+        let mut block_cycles: Vec<u64> = outs
+            .iter()
+            .map(|o| o.warp_cycles.div_ceil(warps_in_flight))
+            .collect();
+        block_cycles.sort_unstable_by(|a, b| b.cmp(a));
+        let mut sm_load = vec![0u64; self.spec.sm_count];
+        for cycles in block_cycles {
+            let min = sm_load
+                .iter_mut()
+                .min()
+                .expect("sm_count is positive");
+            *min += cycles;
+        }
+        let device_cycles = sm_load.into_iter().max().unwrap_or(0);
+        let modeled =
+            Duration::from_secs_f64(device_cycles as f64 / self.spec.clock_hz + LAUNCH_OVERHEAD_S);
+
+        let mut stats = LaunchStats {
+            launches: 1,
+            blocks: outs.len() as u64,
+            device_cycles,
+            modeled_time: modeled,
+            wall_time: wall,
+            ..LaunchStats::default()
+        };
+        for o in outs {
+            stats.warps += o.warps;
+            stats.warp_cycles += o.warp_cycles;
+            stats.lane_cycles += o.lane_cycles;
+            stats.divergence_events += o.divergence_events;
+            stats.atomic_ops += o.atomic_ops;
+            stats.global_mem_ops += o.global_ops;
+            stats.comparisons += o.comparisons;
+        }
+        stats
+    }
+}
+
+/// Per-block accumulation, reduced into [`LaunchStats`] after the launch.
+struct BlockOut {
+    warps: u64,
+    warp_cycles: u64,
+    lane_cycles: u64,
+    divergence_events: u64,
+    atomic_ops: u64,
+    global_ops: u64,
+    comparisons: u64,
+}
+
+/// Execution context of one simulated block.
+pub struct BlockCtx<'c> {
+    /// This block's index in the grid.
+    pub block_id: usize,
+    /// Number of blocks in the grid.
+    pub grid_dim: usize,
+    /// Threads per block (`τ`).
+    pub block_dim: usize,
+    cost: &'c CostModel,
+    warp_size: usize,
+    out: BlockOut,
+}
+
+impl<'c> BlockCtx<'c> {
+    fn new(block_id: usize, cfg: LaunchConfig, cost: &'c CostModel, warp_size: usize) -> BlockCtx<'c> {
+        BlockCtx {
+            block_id,
+            grid_dim: cfg.grid_dim,
+            block_dim: cfg.block_dim,
+            cost,
+            warp_size,
+            out: BlockOut {
+                warps: 0,
+                warp_cycles: 0,
+                lane_cycles: 0,
+                divergence_events: 0,
+                atomic_ops: 0,
+                global_ops: 0,
+                comparisons: 0,
+            },
+        }
+    }
+
+    /// One barrier-delimited SIMT region over all `block_dim` threads.
+    ///
+    /// The closure runs once per logical thread; returning from `simt`
+    /// is a `__syncthreads()` barrier. Because lanes run sequentially in
+    /// the simulator, the closure may capture shared (per-block) state
+    /// by `&mut` — that models shared memory without synchronization
+    /// (the cost of shared accesses is still charged via
+    /// [`Lane::shared`]).
+    pub fn simt<F: FnMut(&mut Lane<'_>)>(&mut self, f: F) {
+        self.simt_range(0..self.block_dim, f)
+    }
+
+    /// A SIMT region over a sub-range of the block's threads (threads
+    /// outside the range are masked off, as with an early `if (tid >= n)
+    /// return;` guard in CUDA).
+    pub fn simt_range<F: FnMut(&mut Lane<'_>)>(&mut self, threads: Range<usize>, mut f: F) {
+        let end = threads.end.min(self.block_dim);
+        let mut warp_start = threads.start;
+        while warp_start < end {
+            let warp_end = (warp_start + self.warp_size).min(end);
+            let mut warp_max = 0u64;
+            let mut signatures: Vec<u64> = Vec::with_capacity(self.warp_size);
+            for tid in warp_start..warp_end {
+                let mut lane = Lane {
+                    tid,
+                    block_id: self.block_id,
+                    cost: self.cost,
+                    cycles: 0,
+                    branch_signature: 0xcbf2_9ce4_8422_2325,
+                    atomic_ops: 0,
+                    global_ops: 0,
+                    comparisons: 0,
+                };
+                f(&mut lane);
+                warp_max = warp_max.max(lane.cycles);
+                self.out.lane_cycles += lane.cycles;
+                self.out.atomic_ops += lane.atomic_ops;
+                self.out.global_ops += lane.global_ops;
+                self.out.comparisons += lane.comparisons;
+                if !signatures.contains(&lane.branch_signature) {
+                    signatures.push(lane.branch_signature);
+                }
+            }
+            let distinct_paths = signatures.len() as u64;
+            if distinct_paths > 1 {
+                self.out.divergence_events += 1;
+            }
+            self.out.warps += 1;
+            self.out.warp_cycles += warp_max
+                + self.cost.sync
+                + (distinct_paths - 1) * self.cost.divergence_penalty;
+            warp_start = warp_end;
+        }
+    }
+
+    /// The device's warp size.
+    pub fn warp_size(&self) -> usize {
+        self.warp_size
+    }
+
+    fn finish(self) -> BlockOut {
+        self.out
+    }
+}
+
+/// One logical thread inside a SIMT region. All cost accounting flows
+/// through this handle.
+pub struct Lane<'c> {
+    /// Thread index within the block (`threadIdx.x`).
+    pub tid: usize,
+    /// Block index within the grid (`blockIdx.x`).
+    pub block_id: usize,
+    cost: &'c CostModel,
+    cycles: u64,
+    branch_signature: u64,
+    atomic_ops: u64,
+    global_ops: u64,
+    comparisons: u64,
+}
+
+impl Lane<'_> {
+    /// Charge `count` operations of class `op`.
+    #[inline(always)]
+    pub fn charge(&mut self, op: Op, count: u64) {
+        self.cycles += self.cost.cycles(op, count);
+        match op {
+            Op::Atomic => self.atomic_ops += count,
+            Op::GlobalLoad | Op::GlobalStore => self.global_ops += count,
+            Op::Compare => self.comparisons += count,
+            _ => {}
+        }
+    }
+
+    /// Record a branch decision (for divergence accounting) and charge
+    /// one branch op.
+    #[inline(always)]
+    pub fn branch(&mut self, taken: bool) -> bool {
+        self.charge(Op::Branch, 1);
+        self.branch_signature = (self.branch_signature ^ u64::from(taken) ^ 0x9E37)
+            .wrapping_mul(0x0000_0100_0000_01B3);
+        taken
+    }
+
+    /// Charge `count` base comparisons.
+    #[inline(always)]
+    pub fn compare(&mut self, count: u64) {
+        self.charge(Op::Compare, count);
+    }
+
+    /// Charge `count` shared-memory accesses.
+    #[inline(always)]
+    pub fn shared(&mut self, count: u64) {
+        self.charge(Op::Shared, count);
+    }
+
+    /// Global load through the cost model.
+    #[inline(always)]
+    pub fn ld32(&mut self, buf: &GpuU32, i: usize) -> u32 {
+        self.charge(Op::GlobalLoad, 1);
+        buf.load(i)
+    }
+
+    /// Global store through the cost model.
+    #[inline(always)]
+    pub fn st32(&mut self, buf: &GpuU32, i: usize, v: u32) {
+        self.charge(Op::GlobalStore, 1);
+        buf.store(i, v);
+    }
+
+    /// `atomicAdd` on a `u32` buffer, returning the old value.
+    #[inline(always)]
+    pub fn atomic_add32(&mut self, buf: &GpuU32, i: usize, v: u32) -> u32 {
+        self.charge(Op::Atomic, 1);
+        buf.atomic_add(i, v)
+    }
+
+    /// Global load of a `u64` element.
+    #[inline(always)]
+    pub fn ld64(&mut self, buf: &GpuU64, i: usize) -> u64 {
+        self.charge(Op::GlobalLoad, 1);
+        buf.load(i)
+    }
+
+    /// Global store of a `u64` element.
+    #[inline(always)]
+    pub fn st64(&mut self, buf: &GpuU64, i: usize, v: u64) {
+        self.charge(Op::GlobalStore, 1);
+        buf.store(i, v);
+    }
+
+    /// `atomicAdd` on a `u64` buffer, returning the old value.
+    #[inline(always)]
+    pub fn atomic_add64(&mut self, buf: &GpuU64, i: usize, v: u64) -> u64 {
+        self.charge(Op::Atomic, 1);
+        buf.atomic_add(i, v)
+    }
+
+    /// Cycles charged to this lane so far in the current region.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    fn tiny() -> Device {
+        Device::new(DeviceSpec::test_tiny())
+    }
+
+    #[test]
+    fn every_thread_runs_exactly_once() {
+        let device = tiny();
+        let counter = GpuU32::new(1);
+        let cfg = LaunchConfig::new(7, 65); // deliberately not warp-aligned
+        let stats = device.launch_fn(cfg, |ctx| {
+            ctx.simt(|lane| {
+                lane.atomic_add32(&counter, 0, 1);
+            });
+        });
+        assert_eq!(counter.load(0), 7 * 65);
+        assert_eq!(stats.blocks, 7);
+        assert_eq!(stats.atomic_ops, 7 * 65);
+        // 65 threads = 3 warps (32 + 32 + 1) per block.
+        assert_eq!(stats.warps, 7 * 3);
+    }
+
+    #[test]
+    fn thread_and_block_ids_are_correct() {
+        let device = tiny();
+        let seen = GpuU32::new(4 * 64);
+        device.launch_fn(LaunchConfig::new(4, 64), |ctx| {
+            ctx.simt(|lane| {
+                lane.st32(&seen, lane.block_id * 64 + lane.tid, 1);
+            });
+        });
+        assert!(seen.to_vec().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn warp_cost_is_max_over_lanes() {
+        let device = Device::with_cost_model(
+            DeviceSpec::test_tiny(),
+            CostModel {
+                sync: 0,
+                divergence_penalty: 0,
+                ..CostModel::default()
+            },
+        );
+        // One warp; lane t charges t ALU cycles. Warp cost must be 31.
+        let stats = device.launch_fn(LaunchConfig::new(1, 32), |ctx| {
+            ctx.simt(|lane| {
+                lane.charge(Op::Alu, lane.tid as u64);
+            });
+        });
+        assert_eq!(stats.warp_cycles, 31);
+        let total: u64 = (0..32).sum();
+        assert_eq!(stats.lane_cycles, total);
+        // mean lane cost is 15.5 against a warp max of 31 → exactly 0.5.
+        assert!((stats.warp_efficiency(32) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_work_has_high_efficiency() {
+        let device = Device::with_cost_model(
+            DeviceSpec::test_tiny(),
+            CostModel {
+                sync: 0,
+                divergence_penalty: 0,
+                ..CostModel::default()
+            },
+        );
+        let stats = device.launch_fn(LaunchConfig::new(2, 64), |ctx| {
+            ctx.simt(|lane| lane.charge(Op::Alu, 100));
+        });
+        assert!((stats.warp_efficiency(32) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divergence_is_detected_and_penalized() {
+        let model = CostModel {
+            sync: 0,
+            divergence_penalty: 10,
+            branch: 0,
+            ..CostModel::default()
+        };
+        let device = Device::with_cost_model(DeviceSpec::test_tiny(), model);
+        // Half the warp takes one path, half the other: 2 distinct paths.
+        let stats = device.launch_fn(LaunchConfig::new(1, 32), |ctx| {
+            ctx.simt(|lane| {
+                if lane.branch(lane.tid % 2 == 0) {
+                    lane.charge(Op::Alu, 5);
+                } else {
+                    lane.charge(Op::Alu, 7);
+                }
+            });
+        });
+        assert_eq!(stats.divergence_events, 1);
+        // max lane (7) + (2-1) * penalty (10) = 17.
+        assert_eq!(stats.warp_cycles, 17);
+    }
+
+    #[test]
+    fn uniform_branches_do_not_diverge() {
+        let device = tiny();
+        let stats = device.launch_fn(LaunchConfig::new(1, 64), |ctx| {
+            ctx.simt(|lane| {
+                lane.branch(true);
+                lane.branch(false);
+            });
+        });
+        assert_eq!(stats.divergence_events, 0);
+    }
+
+    #[test]
+    fn simt_range_masks_threads() {
+        let device = tiny();
+        let counter = GpuU32::new(1);
+        device.launch_fn(LaunchConfig::new(1, 128), |ctx| {
+            ctx.simt_range(10..50, |lane| {
+                assert!((10..50).contains(&lane.tid));
+                lane.atomic_add32(&counter, 0, 1);
+            });
+        });
+        assert_eq!(counter.load(0), 40);
+    }
+
+    #[test]
+    fn regions_are_barriers_shared_memory_is_coherent() {
+        let device = tiny();
+        let result = GpuU32::new(64);
+        device.launch_fn(LaunchConfig::new(1, 64), |ctx| {
+            let mut shared = vec![0u32; 64];
+            ctx.simt(|lane| {
+                lane.shared(1);
+                shared[lane.tid] = lane.tid as u32;
+            });
+            // Barrier here: every lane may now read any slot.
+            ctx.simt(|lane| {
+                lane.shared(1);
+                let other = shared[63 - lane.tid];
+                lane.st32(&result, lane.tid, other);
+            });
+        });
+        let out = result.to_vec();
+        for (tid, &v) in out.iter().enumerate() {
+            assert_eq!(v, (63 - tid) as u32);
+        }
+    }
+
+    #[test]
+    fn modeled_time_scales_with_work() {
+        let device = tiny();
+        let small = device.launch_fn(LaunchConfig::new(4, 64), |ctx| {
+            ctx.simt(|lane| lane.charge(Op::Alu, 1_000));
+        });
+        let large = device.launch_fn(LaunchConfig::new(4, 64), |ctx| {
+            ctx.simt(|lane| lane.charge(Op::Alu, 100_000));
+        });
+        assert!(large.modeled_secs() > small.modeled_secs() * 10.0);
+    }
+
+    #[test]
+    fn lpt_scheduling_balances_sms() {
+        // test_tiny has 2 SMs and 2 warps in flight per SM. Four equal
+        // single-warp blocks of cost C: each block contributes C/2
+        // cycles (div_ceil by warps-in-flight 2), LPT splits 2+2, so
+        // device_cycles = C.
+        let device = Device::with_cost_model(
+            DeviceSpec::test_tiny(),
+            CostModel {
+                sync: 0,
+                divergence_penalty: 0,
+                ..CostModel::default()
+            },
+        );
+        let stats = device.launch_fn(LaunchConfig::new(4, 32), |ctx| {
+            ctx.simt(|lane| lane.charge(Op::Alu, 1_000));
+        });
+        assert_eq!(stats.warp_cycles, 4_000);
+        assert_eq!(stats.device_cycles, 1_000);
+    }
+
+    #[test]
+    fn empty_grid_is_a_noop() {
+        let device = tiny();
+        let stats = device.launch_fn(LaunchConfig::new(0, 32), |ctx| {
+            ctx.simt(|_| panic!("no blocks should run"));
+        });
+        assert_eq!(stats.blocks, 0);
+        assert_eq!(stats.warp_cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn oversized_block_rejected() {
+        let device = tiny();
+        device.launch_fn(LaunchConfig::new(1, 512), |_| {});
+    }
+
+    #[test]
+    fn struct_kernel_trait_objects_work() {
+        struct AddK {
+            out: GpuU32,
+        }
+        impl BlockKernel for AddK {
+            fn block(&self, ctx: &mut BlockCtx<'_>) {
+                ctx.simt(|lane| {
+                    lane.atomic_add32(&self.out, 0, lane.tid as u32);
+                });
+            }
+        }
+        let device = tiny();
+        let kernel = AddK { out: GpuU32::new(1) };
+        device.launch(LaunchConfig::new(2, 16), &kernel);
+        let expect: u32 = 2 * (0..16).sum::<u32>();
+        assert_eq!(kernel.out.load(0), expect);
+    }
+}

@@ -1,0 +1,191 @@
+//! Simulated global device memory.
+//!
+//! Blocks run concurrently on different CPU threads, so global buffers
+//! use relaxed atomics per element. Relaxed is sufficient: the
+//! simulator's launch boundary is a full synchronization point (rayon
+//! join), matching a CUDA kernel-launch boundary, and within a launch
+//! the paper's algorithms only communicate through `atomicAdd`-reserved
+//! disjoint slots.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A global-memory buffer of `u32` (locations, pointers, lengths — the
+/// index's `ptrs`/`locs` arrays live here).
+pub struct GpuU32 {
+    data: Vec<AtomicU32>,
+}
+
+impl GpuU32 {
+    /// Allocate `len` zeroed elements.
+    pub fn new(len: usize) -> GpuU32 {
+        let mut data = Vec::with_capacity(len);
+        data.resize_with(len, || AtomicU32::new(0));
+        GpuU32 { data }
+    }
+
+    /// Copy a host slice to the device.
+    pub fn from_slice(src: &[u32]) -> GpuU32 {
+        GpuU32 {
+            data: src.iter().map(|&v| AtomicU32::new(v)).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Plain element read.
+    #[inline(always)]
+    pub fn load(&self, i: usize) -> u32 {
+        self.data[i].load(Ordering::Relaxed)
+    }
+
+    /// Plain element write.
+    #[inline(always)]
+    pub fn store(&self, i: usize, v: u32) {
+        self.data[i].store(v, Ordering::Relaxed);
+    }
+
+    /// `atomicAdd(mem, val)`: adds and returns the *old* value, exactly
+    /// as the CUDA intrinsic the paper's Algorithm 1 relies on.
+    #[inline(always)]
+    pub fn atomic_add(&self, i: usize, v: u32) -> u32 {
+        self.data[i].fetch_add(v, Ordering::Relaxed)
+    }
+
+    /// `atomicMax`.
+    #[inline(always)]
+    pub fn atomic_max(&self, i: usize, v: u32) -> u32 {
+        self.data[i].fetch_max(v, Ordering::Relaxed)
+    }
+
+    /// Zero every element (host-side, like `cudaMemset`).
+    pub fn zero(&self) {
+        for cell in &self.data {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy back to the host.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.data.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// A global-memory buffer of `u64` (packed match triplets).
+pub struct GpuU64 {
+    data: Vec<AtomicU64>,
+}
+
+impl GpuU64 {
+    /// Allocate `len` zeroed elements.
+    pub fn new(len: usize) -> GpuU64 {
+        let mut data = Vec::with_capacity(len);
+        data.resize_with(len, || AtomicU64::new(0));
+        GpuU64 { data }
+    }
+
+    /// Copy a host slice to the device.
+    pub fn from_slice(src: &[u64]) -> GpuU64 {
+        GpuU64 {
+            data: src.iter().map(|&v| AtomicU64::new(v)).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Plain element read.
+    #[inline(always)]
+    pub fn load(&self, i: usize) -> u64 {
+        self.data[i].load(Ordering::Relaxed)
+    }
+
+    /// Plain element write.
+    #[inline(always)]
+    pub fn store(&self, i: usize, v: u64) {
+        self.data[i].store(v, Ordering::Relaxed);
+    }
+
+    /// `atomicAdd` returning the old value.
+    #[inline(always)]
+    pub fn atomic_add(&self, i: usize, v: u64) -> u64 {
+        self.data[i].fetch_add(v, Ordering::Relaxed)
+    }
+
+    /// Copy back to the host.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.data.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let buf = GpuU32::new(8);
+        assert_eq!(buf.to_vec(), vec![0; 8]);
+        assert_eq!(buf.len(), 8);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let buf = GpuU32::from_slice(&[3, 1, 4, 1, 5]);
+        assert_eq!(buf.to_vec(), vec![3, 1, 4, 1, 5]);
+        let big = GpuU64::from_slice(&[u64::MAX, 0]);
+        assert_eq!(big.to_vec(), vec![u64::MAX, 0]);
+    }
+
+    #[test]
+    fn atomic_add_returns_old_value() {
+        let buf = GpuU32::new(1);
+        assert_eq!(buf.atomic_add(0, 5), 0);
+        assert_eq!(buf.atomic_add(0, 2), 5);
+        assert_eq!(buf.load(0), 7);
+    }
+
+    #[test]
+    fn atomic_add_is_race_free_across_threads() {
+        let buf = GpuU32::new(1);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        buf.atomic_add(0, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(buf.load(0), 80_000);
+    }
+
+    #[test]
+    fn zero_resets() {
+        let buf = GpuU32::from_slice(&[1, 2, 3]);
+        buf.zero();
+        assert_eq!(buf.to_vec(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn atomic_max_works() {
+        let buf = GpuU32::new(1);
+        buf.atomic_max(0, 4);
+        buf.atomic_max(0, 2);
+        assert_eq!(buf.load(0), 4);
+    }
+}

@@ -1,0 +1,255 @@
+//! Parallel prefix sums.
+//!
+//! Two granularities, matching the two uses in the paper:
+//!
+//! * **Block scans** over shared-memory arrays of at most `block_dim`
+//!   elements — Algorithm 2 runs `GPUPrefixSum` over the `load` and
+//!   `task` arrays (size `τ`). Implemented as a Hillis–Steele scan with
+//!   one SIMT region per doubling step, so the modeled cost is
+//!   `O(n log n)` lane-ops across `log n` barriers, like the classic
+//!   shared-memory scan.
+//! * **Device-wide scan** over a global buffer — Algorithm 1 step 2
+//!   prefix-sums the `ptrs` array (up to `4^ℓs` entries). Implemented as
+//!   the standard three-phase chunked scan: per-block local scan, scan
+//!   of the per-block totals (recursively), then per-block offset add.
+
+use crate::exec::{BlockCtx, Device, LaunchConfig};
+use crate::memory::GpuU32;
+use crate::stats::LaunchStats;
+
+/// In-place inclusive scan of a shared-memory array within a block.
+///
+/// `data.len()` must not exceed the block's thread count, mirroring the
+/// one-element-per-thread shared-memory scan.
+pub fn block_inclusive_scan(ctx: &mut BlockCtx<'_>, data: &mut [u32]) {
+    let n = data.len();
+    assert!(
+        n <= ctx.block_dim,
+        "block scan over {n} elements needs at least {n} threads (block_dim = {})",
+        ctx.block_dim
+    );
+    let mut dist = 1;
+    while dist < n {
+        // Hillis–Steele needs the pre-step values; a real kernel double
+        // buffers, we snapshot (cost charged per lane below).
+        let src = data.to_vec();
+        ctx.simt_range(0..n, |lane| {
+            lane.charge(crate::cost::Op::Alu, 1);
+            if lane.branch(lane.tid >= dist) {
+                lane.shared(2);
+                data[lane.tid] = src[lane.tid].wrapping_add(src[lane.tid - dist]);
+            }
+        });
+        dist *= 2;
+    }
+}
+
+/// In-place exclusive scan of a shared-memory array within a block.
+pub fn block_exclusive_scan(ctx: &mut BlockCtx<'_>, data: &mut [u32]) {
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    block_inclusive_scan(ctx, data);
+    // Shift right by one (one more SIMT region = one more barrier).
+    let src = data.to_vec();
+    ctx.simt_range(0..n, |lane| {
+        lane.shared(2);
+        data[lane.tid] = if lane.branch(lane.tid == 0) {
+            0
+        } else {
+            src[lane.tid - 1]
+        };
+    });
+}
+
+/// Elements scanned by one block of the device-wide scan.
+const SCAN_CHUNK: usize = 4096;
+/// Threads per block for the device-wide scan kernels.
+const SCAN_BLOCK_DIM: usize = 256;
+
+/// In-place device-wide **exclusive** scan of a global buffer:
+/// `buf[i] ← Σ_{j<i} buf[j]`. Returns the accumulated launch stats of
+/// all passes. This is `GPUPrefixSum(ptrs)` from Algorithm 1.
+pub fn device_exclusive_scan(device: &Device, buf: &GpuU32) -> LaunchStats {
+    let n = buf.len();
+    if n == 0 {
+        return LaunchStats::default();
+    }
+    let n_chunks = n.div_ceil(SCAN_CHUNK);
+    let sums = GpuU32::new(n_chunks);
+    let per_thread = SCAN_CHUNK.div_ceil(SCAN_BLOCK_DIM);
+
+    // Pass 1: each block exclusively scans its chunk and records the
+    // chunk total.
+    let mut stats = device.launch_fn(LaunchConfig::new(n_chunks, SCAN_BLOCK_DIM), |ctx| {
+        let chunk_start = ctx.block_id * SCAN_CHUNK;
+        let chunk_end = (chunk_start + SCAN_CHUNK).min(n);
+        let m = chunk_end - chunk_start;
+        let mut local = vec![0u32; SCAN_BLOCK_DIM];
+        ctx.simt(|lane| {
+            let lo = chunk_start + lane.tid * per_thread;
+            let hi = (lo + per_thread).min(chunk_end);
+            let mut sum = 0u32;
+            for i in lo..hi {
+                sum = sum.wrapping_add(lane.ld32(buf, i));
+            }
+            lane.shared(1);
+            local[lane.tid] = sum;
+        });
+        block_exclusive_scan(ctx, &mut local);
+        let last_lane = (m.saturating_sub(1)) / per_thread;
+        let block_id = ctx.block_id;
+        ctx.simt(|lane| {
+            let lo = chunk_start + lane.tid * per_thread;
+            let hi = (lo + per_thread).min(chunk_end);
+            lane.shared(1);
+            let mut acc = local[lane.tid];
+            for i in lo..hi {
+                let v = lane.ld32(buf, i);
+                lane.st32(buf, i, acc);
+                acc = acc.wrapping_add(v);
+            }
+            if lane.branch(lane.tid == last_lane) {
+                lane.st32(&sums, block_id, acc);
+            }
+        });
+    });
+
+    // Pass 2: scan the chunk totals (recursive; depth is logarithmic).
+    if n_chunks > 1 {
+        stats += device_exclusive_scan(device, &sums);
+
+        // Pass 3: add each chunk's offset to its elements.
+        stats += device.launch_fn(LaunchConfig::new(n_chunks, SCAN_BLOCK_DIM), |ctx| {
+            let chunk_start = ctx.block_id * SCAN_CHUNK;
+            let chunk_end = (chunk_start + SCAN_CHUNK).min(n);
+            let block_id = ctx.block_id;
+            ctx.simt(|lane| {
+                let offset = lane.ld32(&sums, block_id);
+                let lo = chunk_start + lane.tid * per_thread;
+                let hi = (lo + per_thread).min(chunk_end);
+                for i in lo..hi {
+                    let v = lane.ld32(buf, i);
+                    lane.st32(buf, i, v.wrapping_add(offset));
+                }
+            });
+        });
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn host_exclusive(data: &[u32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(data.len());
+        let mut acc = 0u32;
+        for &v in data {
+            out.push(acc);
+            acc = acc.wrapping_add(v);
+        }
+        out
+    }
+
+    fn device() -> Device {
+        Device::new(DeviceSpec::test_tiny())
+    }
+
+    #[test]
+    fn block_inclusive_matches_host() {
+        let device = device();
+        for n in [1usize, 2, 3, 31, 32, 33, 100, 256] {
+            let input: Vec<u32> = (0..n as u32).map(|i| i * 3 + 1).collect();
+            let expect: Vec<u32> = input
+                .iter()
+                .scan(0u32, |acc, &v| {
+                    *acc = acc.wrapping_add(v);
+                    Some(*acc)
+                })
+                .collect();
+            let out = GpuU32::new(n);
+            device.launch_fn(LaunchConfig::new(1, 256), |ctx| {
+                let mut shared = input.clone();
+                block_inclusive_scan(ctx, &mut shared);
+                ctx.simt_range(0..n, |lane| {
+                    lane.st32(&out, lane.tid, shared[lane.tid]);
+                });
+            });
+            assert_eq!(out.to_vec(), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn block_exclusive_matches_host() {
+        let device = device();
+        let input: Vec<u32> = vec![5, 0, 2, 9, 1, 1, 7];
+        let out = GpuU32::new(input.len());
+        device.launch_fn(LaunchConfig::new(1, 64), |ctx| {
+            let mut shared = input.clone();
+            block_exclusive_scan(ctx, &mut shared);
+            ctx.simt_range(0..shared.len(), |lane| {
+                lane.st32(&out, lane.tid, shared[lane.tid]);
+            });
+        });
+        assert_eq!(out.to_vec(), host_exclusive(&input));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least")]
+    fn block_scan_larger_than_block_rejected() {
+        let device = device();
+        device.launch_fn(LaunchConfig::new(1, 32), |ctx| {
+            let mut shared = vec![0u32; 64];
+            block_inclusive_scan(ctx, &mut shared);
+        });
+    }
+
+    #[test]
+    fn device_scan_small() {
+        let device = device();
+        let input = vec![1u32, 2, 3, 4, 5];
+        let buf = GpuU32::from_slice(&input);
+        device_exclusive_scan(&device, &buf);
+        assert_eq!(buf.to_vec(), vec![0, 1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn device_scan_multi_chunk_random() {
+        let device = device();
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in [SCAN_CHUNK - 1, SCAN_CHUNK, SCAN_CHUNK + 1, 3 * SCAN_CHUNK + 17, 100_000] {
+            let input: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+            let buf = GpuU32::from_slice(&input);
+            let stats = device_exclusive_scan(&device, &buf);
+            assert_eq!(buf.to_vec(), host_exclusive(&input), "n = {n}");
+            assert!(stats.launches >= 1);
+            assert!(stats.global_mem_ops > 0);
+        }
+    }
+
+    #[test]
+    fn device_scan_empty_and_singleton() {
+        let device = device();
+        let empty = GpuU32::new(0);
+        let stats = device_exclusive_scan(&device, &empty);
+        assert_eq!(stats, LaunchStats::default());
+        let one = GpuU32::from_slice(&[42]);
+        device_exclusive_scan(&device, &one);
+        assert_eq!(one.to_vec(), vec![0]);
+    }
+
+    #[test]
+    fn device_scan_cost_grows_with_n() {
+        let device = device();
+        let small = GpuU32::from_slice(&vec![1; 1_000]);
+        let large = GpuU32::from_slice(&vec![1; 50_000]);
+        let s = device_exclusive_scan(&device, &small);
+        let l = device_exclusive_scan(&device, &large);
+        assert!(l.warp_cycles > s.warp_cycles * 10);
+    }
+}

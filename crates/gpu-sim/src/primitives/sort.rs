@@ -1,0 +1,177 @@
+//! Sorting primitives.
+//!
+//! Algorithm 1 step 4 assigns *one thread per seed* to sort that seed's
+//! bucket of the `locs` array ([`lane_sort_bucket`] — buckets are short,
+//! so insertion sort is what a real kernel would run). §III-C1 sorts a
+//! block's out-block MEMs by `(r − q, q)` with a parallel in-block sort
+//! ([`block_bitonic_sort_u64`]).
+
+use crate::cost::Op;
+use crate::exec::{BlockCtx, Lane};
+use crate::memory::GpuU32;
+
+/// Insertion-sort the global-memory range `[start, end)` of `buf`,
+/// performed by a single lane with every access charged.
+pub fn lane_sort_bucket(lane: &mut Lane<'_>, buf: &GpuU32, start: usize, end: usize) {
+    for i in (start + 1)..end {
+        let value = lane.ld32(buf, i);
+        let mut j = i;
+        while j > start {
+            let prev = lane.ld32(buf, j - 1);
+            lane.compare(1);
+            if prev <= value {
+                break;
+            }
+            lane.st32(buf, j, prev);
+            j -= 1;
+        }
+        lane.st32(buf, j, value);
+    }
+}
+
+/// In-place ascending bitonic sort of a shared-memory `u64` array,
+/// executed block-wide with one SIMT region per compare-exchange step.
+///
+/// The array is padded to a power of two with `u64::MAX` internally;
+/// `data`'s length is unchanged on return. Lanes are strided over the
+/// compare-exchange pairs, so arrays larger than `block_dim` are
+/// handled (each lane does several pairs per step, as real kernels do).
+pub fn block_bitonic_sort_u64(ctx: &mut BlockCtx<'_>, data: &mut Vec<u64>) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let padded = n.next_power_of_two();
+    data.resize(padded, u64::MAX);
+
+    let lanes = ctx.block_dim.min(padded / 2).max(1);
+    let mut k = 2;
+    while k <= padded {
+        let mut j = k / 2;
+        while j >= 1 {
+            ctx.simt_range(0..lanes, |lane| {
+                let mut i = lane.tid;
+                while i < padded {
+                    let partner = i ^ j;
+                    if partner > i {
+                        lane.shared(2);
+                        lane.compare(1);
+                        let ascending = (i & k) == 0;
+                        if (data[i] > data[partner]) == ascending {
+                            data.swap(i, partner);
+                            lane.shared(2);
+                        }
+                    }
+                    lane.charge(Op::Alu, 2);
+                    i += lanes;
+                }
+            });
+            j /= 2;
+        }
+        k *= 2;
+    }
+    data.truncate(n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Device, LaunchConfig};
+    use crate::memory::GpuU64;
+    use crate::spec::DeviceSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn device() -> Device {
+        Device::new(DeviceSpec::test_tiny())
+    }
+
+    #[test]
+    fn lane_sort_sorts_bucket_only() {
+        let device = device();
+        let buf = GpuU32::from_slice(&[9, 5, 3, 8, 1, 7, 0]);
+        device.launch_fn(LaunchConfig::new(1, 1), |ctx| {
+            ctx.simt(|lane| lane_sort_bucket(lane, &buf, 1, 6));
+        });
+        // Only [1, 6) sorted; ends untouched.
+        assert_eq!(buf.to_vec(), vec![9, 1, 3, 5, 7, 8, 0]);
+    }
+
+    #[test]
+    fn lane_sort_handles_trivial_buckets() {
+        let device = device();
+        let buf = GpuU32::from_slice(&[2, 1]);
+        device.launch_fn(LaunchConfig::new(1, 1), |ctx| {
+            ctx.simt(|lane| {
+                lane_sort_bucket(lane, &buf, 0, 0);
+                lane_sort_bucket(lane, &buf, 0, 1);
+            });
+        });
+        assert_eq!(buf.to_vec(), vec![2, 1]);
+    }
+
+    #[test]
+    fn lane_sort_random_against_std() {
+        let device = device();
+        let mut rng = StdRng::seed_from_u64(4);
+        let input: Vec<u32> = (0..200).map(|_| rng.gen()).collect();
+        let buf = GpuU32::from_slice(&input);
+        device.launch_fn(LaunchConfig::new(1, 1), |ctx| {
+            ctx.simt(|lane| lane_sort_bucket(lane, &buf, 0, 200));
+        });
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(buf.to_vec(), expect);
+    }
+
+    #[test]
+    fn bitonic_sorts_various_sizes() {
+        let device = device();
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [0usize, 1, 2, 3, 7, 8, 9, 63, 64, 65, 500, 1024, 1500] {
+            let input: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+            let out = GpuU64::new(n);
+            device.launch_fn(LaunchConfig::new(1, 128), |ctx| {
+                let mut shared = input.clone();
+                block_bitonic_sort_u64(ctx, &mut shared);
+                assert_eq!(shared.len(), n, "length preserved");
+                let stride = ctx.block_dim.min(n.max(1));
+                ctx.simt_range(0..stride, |lane| {
+                    let mut i = lane.tid;
+                    while i < n {
+                        lane.st64(&out, i, shared[i]);
+                        i += stride;
+                    }
+                });
+            });
+            let mut expect = input;
+            expect.sort_unstable();
+            assert_eq!(out.to_vec(), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bitonic_handles_duplicates_and_max_values() {
+        let device = device();
+        let input = vec![u64::MAX, 3, 3, u64::MAX, 0, 3];
+        device.launch_fn(LaunchConfig::new(1, 32), |ctx| {
+            let mut shared = input.clone();
+            block_bitonic_sort_u64(ctx, &mut shared);
+            assert_eq!(shared, vec![0, 3, 3, 3, u64::MAX, u64::MAX]);
+        });
+    }
+
+    #[test]
+    fn bitonic_charges_nlogsquared_cost() {
+        let device = device();
+        let small = device.launch_fn(LaunchConfig::new(1, 64), |ctx| {
+            let mut v: Vec<u64> = (0..64u64).rev().collect();
+            block_bitonic_sort_u64(ctx, &mut v);
+        });
+        let large = device.launch_fn(LaunchConfig::new(1, 64), |ctx| {
+            let mut v: Vec<u64> = (0..1024u64).rev().collect();
+            block_bitonic_sort_u64(ctx, &mut v);
+        });
+        assert!(large.lane_cycles > small.lane_cycles * 10);
+    }
+}

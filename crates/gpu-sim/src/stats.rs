@@ -1,0 +1,125 @@
+//! Launch statistics.
+
+use std::ops::{Add, AddAssign};
+use std::time::Duration;
+
+/// Aggregate statistics for one kernel launch (or a sum of launches).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LaunchStats {
+    /// Number of kernel launches folded into this value.
+    pub launches: u64,
+    /// Blocks executed.
+    pub blocks: u64,
+    /// Warps executed (every SIMT region contributes its warp count).
+    pub warps: u64,
+    /// Sum over warps of the warp's cycle cost (max over lanes plus
+    /// divergence serialization).
+    pub warp_cycles: u64,
+    /// Sum over *lanes* of lane cycles — the "useful" work. The ratio
+    /// `warp_cycles * warp_size / lane_cycles` measures load imbalance.
+    pub lane_cycles: u64,
+    /// Modeled device cycles after scheduling blocks onto SMs.
+    pub device_cycles: u64,
+    /// Modeled device time (device_cycles / clock).
+    pub modeled_time: Duration,
+    /// Measured wall time of the simulated launch.
+    pub wall_time: Duration,
+    /// Warp-level divergence events (lanes of one warp disagreeing on a
+    /// branch within one SIMT region).
+    pub divergence_events: u64,
+    /// Atomic operations performed.
+    pub atomic_ops: u64,
+    /// Global-memory element operations performed.
+    pub global_mem_ops: u64,
+    /// Base comparisons charged (the domain-level work measure).
+    pub comparisons: u64,
+}
+
+impl LaunchStats {
+    /// Warp occupancy efficiency in `(0, 1]`: 1.0 means every lane of
+    /// every warp was busy for the warp's whole duration.
+    pub fn warp_efficiency(&self, warp_size: usize) -> f64 {
+        if self.warp_cycles == 0 {
+            return 1.0;
+        }
+        self.lane_cycles as f64 / (self.warp_cycles as f64 * warp_size as f64)
+    }
+
+    /// Modeled device time in seconds.
+    pub fn modeled_secs(&self) -> f64 {
+        self.modeled_time.as_secs_f64()
+    }
+}
+
+impl Add for LaunchStats {
+    type Output = LaunchStats;
+
+    fn add(mut self, rhs: LaunchStats) -> LaunchStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for LaunchStats {
+    fn add_assign(&mut self, rhs: LaunchStats) {
+        self.launches += rhs.launches;
+        self.blocks += rhs.blocks;
+        self.warps += rhs.warps;
+        self.warp_cycles += rhs.warp_cycles;
+        self.lane_cycles += rhs.lane_cycles;
+        self.device_cycles += rhs.device_cycles;
+        self.modeled_time += rhs.modeled_time;
+        self.wall_time += rhs.wall_time;
+        self.divergence_events += rhs.divergence_events;
+        self.atomic_ops += rhs.atomic_ops;
+        self.global_mem_ops += rhs.global_mem_ops;
+        self.comparisons += rhs.comparisons;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_accumulates_every_field() {
+        let a = LaunchStats {
+            launches: 1,
+            blocks: 2,
+            warps: 3,
+            warp_cycles: 10,
+            lane_cycles: 100,
+            device_cycles: 5,
+            modeled_time: Duration::from_millis(1),
+            wall_time: Duration::from_millis(2),
+            divergence_events: 4,
+            atomic_ops: 6,
+            global_mem_ops: 7,
+            comparisons: 8,
+        };
+        let sum = a.clone() + a.clone();
+        assert_eq!(sum.launches, 2);
+        assert_eq!(sum.blocks, 4);
+        assert_eq!(sum.warp_cycles, 20);
+        assert_eq!(sum.lane_cycles, 200);
+        assert_eq!(sum.modeled_time, Duration::from_millis(2));
+        assert_eq!(sum.comparisons, 16);
+    }
+
+    #[test]
+    fn warp_efficiency_bounds() {
+        let perfect = LaunchStats {
+            warp_cycles: 10,
+            lane_cycles: 320,
+            ..LaunchStats::default()
+        };
+        assert!((perfect.warp_efficiency(32) - 1.0).abs() < 1e-12);
+        let idle = LaunchStats {
+            warp_cycles: 10,
+            lane_cycles: 32,
+            ..LaunchStats::default()
+        };
+        assert!((idle.warp_efficiency(32) - 0.1).abs() < 1e-12);
+        assert_eq!(LaunchStats::default().warp_efficiency(32), 1.0);
+    }
+}

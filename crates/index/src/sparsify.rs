@@ -1,0 +1,132 @@
+//! Sparsification (Eq. 1).
+//!
+//! The index samples a seed every `Δs` reference positions. A MEM of
+//! length exactly `L` aligned anywhere on its diagonal must still
+//! contain one *complete* sampled seed, which holds iff
+//! `Δs ≤ L − ℓs + 1` (Eq. 1): the match has `L − ℓs + 1` seed start
+//! offsets, and any `Δs` consecutive positions contain a sample point.
+//! GPUMEM always uses the maximum step, minimizing index size and build
+//! time.
+
+use std::fmt;
+
+/// Configuration errors for the index and pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IndexError {
+    /// `Δs` violates Eq. 1 for the given `L` and `ℓs`.
+    StepTooLarge {
+        /// Requested step.
+        step: usize,
+        /// Minimum MEM length.
+        min_len: u32,
+        /// Seed length.
+        seed_len: usize,
+    },
+    /// `Δs` must be at least 1.
+    StepZero,
+    /// `ℓs > L`: no seed fits inside a minimum-length MEM.
+    SeedLongerThanL {
+        /// Seed length.
+        seed_len: usize,
+        /// Minimum MEM length.
+        min_len: u32,
+    },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::StepTooLarge { step, min_len, seed_len } => write!(
+                f,
+                "step {step} violates Eq. 1: must be <= L - ls + 1 = {} for L = {min_len}, ls = {seed_len}",
+                max_step(*min_len, *seed_len)
+            ),
+            IndexError::StepZero => write!(f, "step must be at least 1"),
+            IndexError::SeedLongerThanL { seed_len, min_len } => write!(
+                f,
+                "seed length {seed_len} exceeds minimum MEM length {min_len}; no seed fits inside a MEM"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// The largest step satisfying Eq. 1: `Δs = L − ℓs + 1`. GPUMEM always
+/// uses this value (§III-A). Panics if `ℓs > L` — validate with
+/// [`check_step`] first for a recoverable error.
+pub fn max_step(min_len: u32, seed_len: usize) -> usize {
+    assert!(
+        seed_len as u32 <= min_len,
+        "seed length {seed_len} exceeds L = {min_len}"
+    );
+    (min_len as usize) - seed_len + 1
+}
+
+/// Validate a `(Δs, L, ℓs)` combination against Eq. 1.
+pub fn check_step(step: usize, min_len: u32, seed_len: usize) -> Result<(), IndexError> {
+    if seed_len as u32 > min_len {
+        return Err(IndexError::SeedLongerThanL { seed_len, min_len });
+    }
+    if step == 0 {
+        return Err(IndexError::StepZero);
+    }
+    if step > max_step(min_len, seed_len) {
+        return Err(IndexError::StepTooLarge {
+            step,
+            min_len,
+            seed_len,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_step_matches_eq1() {
+        // Table III's configurations: ℓs = 13.
+        assert_eq!(max_step(100, 13), 88);
+        assert_eq!(max_step(50, 13), 38);
+        assert_eq!(max_step(30, 13), 18);
+        assert_eq!(max_step(20, 13), 8);
+        assert_eq!(max_step(15, 13), 3);
+        // The L = 10 row needs ℓs = 10 (the paper's note): step 1 = full index.
+        assert_eq!(max_step(10, 10), 1);
+    }
+
+    #[test]
+    fn step_one_is_always_valid() {
+        for l in [10u32, 20, 50, 100] {
+            assert_eq!(check_step(1, l, 10), Ok(()));
+        }
+    }
+
+    #[test]
+    fn check_step_rejects_violations() {
+        assert_eq!(
+            check_step(39, 50, 13),
+            Err(IndexError::StepTooLarge {
+                step: 39,
+                min_len: 50,
+                seed_len: 13
+            })
+        );
+        assert_eq!(check_step(0, 50, 13), Err(IndexError::StepZero));
+        assert_eq!(
+            check_step(1, 10, 13),
+            Err(IndexError::SeedLongerThanL {
+                seed_len: 13,
+                min_len: 10
+            })
+        );
+    }
+
+    #[test]
+    fn errors_display_actionably() {
+        let msg = check_step(39, 50, 13).unwrap_err().to_string();
+        assert!(msg.contains("38"), "mentions the allowed maximum: {msg}");
+    }
+}

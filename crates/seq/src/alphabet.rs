@@ -1,0 +1,168 @@
+//! The DNA alphabet and its 2-bit encoding.
+//!
+//! The paper fixes `Σ = {A, C, G, T}` and the encoding
+//! `A = 00, C = 01, G = 10, T = 11` (§III-A). Everything downstream —
+//! packed sequences, seed codes, the index — uses these codes.
+
+use std::fmt;
+
+/// A single DNA base.
+///
+/// The discriminant values are the paper's 2-bit codes, so
+/// `base as u8` is the packed representation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine, code `00`.
+    A = 0,
+    /// Cytosine, code `01`.
+    C = 1,
+    /// Guanine, code `10`.
+    G = 2,
+    /// Thymine, code `11`.
+    T = 3,
+}
+
+/// All four bases in code order. Handy for exhaustive iteration.
+pub const BASES: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+impl Base {
+    /// Decode a 2-bit code (`0..=3`). Values above 3 are masked, which
+    /// matches how codes are extracted from packed words.
+    #[inline(always)]
+    pub fn from_code(code: u8) -> Base {
+        match code & 3 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        }
+    }
+
+    /// The 2-bit code of this base.
+    #[inline(always)]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parse an ASCII base letter (either case). Returns `None` for
+    /// anything outside `{A, C, G, T, a, c, g, t}` — ambiguity codes such
+    /// as `N` are handled by the FASTA layer's [`crate::AmbigPolicy`].
+    #[inline]
+    pub fn from_ascii(ch: u8) -> Option<Base> {
+        match ch {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// Upper-case ASCII letter for this base.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        b"ACGT"[self as usize]
+    }
+
+    /// Watson–Crick complement (`A↔T`, `C↔G`). With this encoding the
+    /// complement is just bitwise NOT of the 2-bit code.
+    #[inline(always)]
+    pub fn complement(self) -> Base {
+        Base::from_code(!self.code())
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+/// Errors raised by the sequence layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SeqError {
+    /// An input byte was not an ACGT letter (position, offending byte).
+    InvalidBase { pos: usize, byte: u8 },
+    /// A FASTA stream was structurally malformed.
+    MalformedFasta(String),
+    /// An operation referenced a position outside the sequence.
+    OutOfBounds { pos: usize, len: usize },
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::InvalidBase { pos, byte } => {
+                write!(f, "invalid base {:?} at position {pos}", *byte as char)
+            }
+            SeqError::MalformedFasta(msg) => write!(f, "malformed FASTA: {msg}"),
+            SeqError::OutOfBounds { pos, len } => {
+                write!(f, "position {pos} out of bounds for sequence of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_paper_encoding() {
+        assert_eq!(Base::A.code(), 0b00);
+        assert_eq!(Base::C.code(), 0b01);
+        assert_eq!(Base::G.code(), 0b10);
+        assert_eq!(Base::T.code(), 0b11);
+    }
+
+    #[test]
+    fn from_code_round_trips() {
+        for b in BASES {
+            assert_eq!(Base::from_code(b.code()), b);
+        }
+    }
+
+    #[test]
+    fn from_code_masks_high_bits() {
+        assert_eq!(Base::from_code(0b100), Base::A);
+        assert_eq!(Base::from_code(0xFF), Base::T);
+    }
+
+    #[test]
+    fn ascii_round_trips_both_cases() {
+        for (upper, lower, base) in [
+            (b'A', b'a', Base::A),
+            (b'C', b'c', Base::C),
+            (b'G', b'g', Base::G),
+            (b'T', b't', Base::T),
+        ] {
+            assert_eq!(Base::from_ascii(upper), Some(base));
+            assert_eq!(Base::from_ascii(lower), Some(base));
+            assert_eq!(base.to_ascii(), upper);
+        }
+    }
+
+    #[test]
+    fn non_acgt_rejected() {
+        for ch in [b'N', b'n', b'U', b'-', b' ', b'>', 0u8] {
+            assert_eq!(Base::from_ascii(ch), None, "byte {ch:#x}");
+        }
+    }
+
+    #[test]
+    fn complement_is_involution_and_correct() {
+        assert_eq!(Base::A.complement(), Base::T);
+        assert_eq!(Base::C.complement(), Base::G);
+        for b in BASES {
+            assert_eq!(b.complement().complement(), b);
+        }
+    }
+
+    #[test]
+    fn display_prints_letter() {
+        assert_eq!(Base::G.to_string(), "G");
+    }
+}

@@ -1,0 +1,537 @@
+//! Synthetic genome and reference/query pair generation.
+//!
+//! The paper evaluates on real chromosomes (Table II): human chr2/chrX,
+//! mouse chr1, chimp chrX, *D. melanogaster* 2L, *E. coli* K12 and
+//! *S. cerevisiae* chrXII/chrI. Those files are not available here, so
+//! this module builds synthetic stand-ins that reproduce the three
+//! properties the MEM workload actually depends on (DESIGN.md §2):
+//!
+//! 1. **Length** — each pair is generated at the paper's Mbp sizes times
+//!    a configurable `scale`.
+//! 2. **Shared-segment structure** — the query is a mosaic of segments
+//!    copied from the reference and mutated at a per-segment divergence
+//!    drawn log-uniformly from a range, plus unrelated background. The
+//!    log-uniform mixture yields the heavy-tailed MEM-length distribution
+//!    real cross-species pairs show (so Figure 5's counts fall smoothly
+//!    with `L`).
+//! 3. **Seed-occurrence skew** — interspersed repeats copied around the
+//!    reference make some seeds occur thousands of times while most occur
+//!    once (Figure 6), which is the motivation for the paper's
+//!    load-balancing heuristic.
+//!
+//! All generation is deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packed::PackedSeq;
+
+/// Parameters for background genome synthesis.
+#[derive(Clone, Debug)]
+pub struct GenomeModel {
+    /// Probability that a background base is G or C.
+    pub gc_content: f64,
+    /// Target fraction of the genome covered by segmental-duplication
+    /// style repeat copies (long, low copy number).
+    pub repeat_fraction: f64,
+    /// Min/max length of one repeat copy.
+    pub repeat_len: (usize, usize),
+    /// Per-base substitution rate applied to each repeat copy, so copies
+    /// are near- but not always perfectly identical (as in real genomes).
+    pub repeat_divergence: f64,
+    /// Target fraction covered by a high-copy interspersed family
+    /// (Alu/LINE-like: one consensus unit pasted many times with
+    /// per-copy divergence). This is what gives real chromosomes their
+    /// heavy-tailed seed-occurrence distribution (Figure 6).
+    pub family_fraction: f64,
+    /// Min/max length of the family consensus unit.
+    pub family_unit_len: (usize, usize),
+    /// Per-copy substitution rate for family copies.
+    pub family_divergence: f64,
+    /// Target fraction covered by microsatellites (short tandem motif
+    /// runs) — the extreme end of the seed-occurrence tail.
+    pub micro_fraction: f64,
+}
+
+impl GenomeModel {
+    /// Mammalian-chromosome-like model: ~41% GC; long segmental
+    /// duplications, a high-copy interspersed family, and a little
+    /// microsatellite content.
+    pub fn mammalian() -> GenomeModel {
+        GenomeModel {
+            gc_content: 0.41,
+            repeat_fraction: 0.25,
+            repeat_len: (300, 6_000),
+            repeat_divergence: 0.02,
+            family_fraction: 0.15,
+            family_unit_len: (150, 400),
+            family_divergence: 0.05,
+            micro_fraction: 0.04,
+        }
+    }
+
+    /// Bacterial-like model: balanced GC, few repeats, no interspersed
+    /// family, trace microsatellites.
+    pub fn bacterial() -> GenomeModel {
+        GenomeModel {
+            gc_content: 0.50,
+            repeat_fraction: 0.05,
+            repeat_len: (50, 1_000),
+            repeat_divergence: 0.01,
+            family_fraction: 0.02,
+            family_unit_len: (100, 300),
+            family_divergence: 0.03,
+            micro_fraction: 0.015,
+        }
+    }
+
+    /// Repeat-free uniform model (useful in tests where chance matches
+    /// must be the only matches).
+    pub fn uniform() -> GenomeModel {
+        GenomeModel {
+            gc_content: 0.5,
+            repeat_fraction: 0.0,
+            repeat_len: (1, 2),
+            repeat_divergence: 0.0,
+            family_fraction: 0.0,
+            family_unit_len: (1, 2),
+            family_divergence: 0.0,
+            micro_fraction: 0.0,
+        }
+    }
+
+    /// Generate `len` bases of 2-bit codes under this model.
+    pub fn generate_codes(&self, len: usize, rng: &mut StdRng) -> Vec<u8> {
+        let mut codes = Vec::with_capacity(len);
+        for _ in 0..len {
+            codes.push(random_base(self.gc_content, rng));
+        }
+        if len == 0 {
+            return codes;
+        }
+
+        // Segmental duplications: copy long segments around.
+        if self.repeat_fraction > 0.0 {
+            let target = (self.repeat_fraction * len as f64) as usize;
+            let mut covered = 0usize;
+            let (lo, hi) = self.repeat_len;
+            let lo = lo.clamp(1, len);
+            let hi = hi.clamp(lo, len);
+            while covered < target {
+                let copy_len = rng.gen_range(lo..=hi).min(len);
+                let src = rng.gen_range(0..=len - copy_len);
+                let dst = rng.gen_range(0..=len - copy_len);
+                for t in 0..copy_len {
+                    let mut code = codes[src + t];
+                    if self.repeat_divergence > 0.0 && rng.gen_bool(self.repeat_divergence) {
+                        code = (code + rng.gen_range(1u8..4)) & 3;
+                    }
+                    codes[dst + t] = code;
+                }
+                covered += copy_len;
+            }
+        }
+
+        // High-copy interspersed family: one consensus, many diverged
+        // copies.
+        if self.family_fraction > 0.0 {
+            let (lo, hi) = self.family_unit_len;
+            let unit_len = rng.gen_range(lo.clamp(1, len)..=hi.clamp(lo.clamp(1, len), len));
+            let unit: Vec<u8> = (0..unit_len)
+                .map(|_| random_base(self.gc_content, rng))
+                .collect();
+            let target = (self.family_fraction * len as f64) as usize;
+            let mut covered = 0usize;
+            while covered < target && unit_len <= len {
+                let dst = rng.gen_range(0..=len - unit_len);
+                for (t, &code) in unit.iter().enumerate() {
+                    codes[dst + t] = if self.family_divergence > 0.0
+                        && rng.gen_bool(self.family_divergence)
+                    {
+                        (code + rng.gen_range(1u8..4)) & 3
+                    } else {
+                        code
+                    };
+                }
+                covered += unit_len;
+            }
+        }
+
+        // Microsatellites: short tandem motifs repeated in runs. Real
+        // genomes reuse a handful of dominant motifs ((A)n, (CA)n, …),
+        // which is what concentrates seed occurrences into the heavy
+        // tail of Figure 6 — so draw a small fixed motif set per genome
+        // and reuse it across runs.
+        if self.micro_fraction > 0.0 {
+            let motifs: Vec<Vec<u8>> = (0..3)
+                .map(|_| {
+                    let motif_len = rng.gen_range(2usize..=4);
+                    (0..motif_len).map(|_| rng.gen_range(0u8..4)).collect()
+                })
+                .collect();
+            let target = (self.micro_fraction * len as f64) as usize;
+            let mut covered = 0usize;
+            while covered < target {
+                let motif = &motifs[rng.gen_range(0..motifs.len())];
+                let run_len = rng.gen_range(60usize..=240).min(len);
+                let dst = rng.gen_range(0..=len - run_len);
+                for t in 0..run_len {
+                    codes[dst + t] = motif[t % motif.len()];
+                }
+                covered += run_len;
+            }
+        }
+        codes
+    }
+
+    /// Generate a packed sequence of `len` bases, seeded deterministically.
+    pub fn generate(&self, len: usize, seed: u64) -> PackedSeq {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PackedSeq::from_codes(&self.generate_codes(len, &mut rng))
+    }
+}
+
+#[inline]
+fn random_base(gc_content: f64, rng: &mut StdRng) -> u8 {
+    // A=0, C=1, G=2, T=3 — C/G drawn with probability gc_content.
+    if rng.gen_bool(gc_content) {
+        if rng.gen_bool(0.5) {
+            1
+        } else {
+            2
+        }
+    } else if rng.gen_bool(0.5) {
+        0
+    } else {
+        3
+    }
+}
+
+/// Point-mutation + indel model used to derive query segments from
+/// reference segments.
+#[derive(Clone, Copy, Debug)]
+pub struct MutationModel {
+    /// Per-base substitution probability.
+    pub sub_rate: f64,
+    /// Per-base probability of an indel event (split evenly between a
+    /// 1-base insertion and a 1-base deletion).
+    pub indel_rate: f64,
+}
+
+impl MutationModel {
+    /// Apply the model to a code slice, returning the mutated copy.
+    pub fn apply(&self, codes: &[u8], rng: &mut StdRng) -> Vec<u8> {
+        let mut out = Vec::with_capacity(codes.len() + codes.len() / 16);
+        for &code in codes {
+            if self.indel_rate > 0.0 && rng.gen_bool(self.indel_rate) {
+                if rng.gen_bool(0.5) {
+                    continue; // deletion
+                }
+                out.push(rng.gen_range(0u8..4)); // insertion, then the base
+            }
+            if self.sub_rate > 0.0 && rng.gen_bool(self.sub_rate) {
+                out.push((code + rng.gen_range(1u8..4)) & 3);
+            } else {
+                out.push(code);
+            }
+        }
+        out
+    }
+}
+
+/// Specification of one Table II reference/query pair, scaled.
+#[derive(Clone, Debug)]
+pub struct PairSpec {
+    /// Short identifier, e.g. `"chr1m/chr2h"`.
+    pub name: String,
+    /// Reference sequence name (Table II).
+    pub reference_name: String,
+    /// Query sequence name (Table II).
+    pub query_name: String,
+    /// Reference length in bases (already scaled).
+    pub ref_len: usize,
+    /// Query length in bases (already scaled).
+    pub query_len: usize,
+    /// Fraction of the query derived from the reference (vs. unrelated
+    /// background).
+    pub relatedness: f64,
+    /// Per-segment divergence is drawn log-uniformly from this range.
+    pub divergence: (f64, f64),
+    /// The `L` values Tables III/IV evaluate this pair at.
+    pub l_values: Vec<u32>,
+    /// The seed length `ℓs` the paper uses for this pair (13, or 10 for
+    /// the `L = 10` row).
+    pub seed_len: usize,
+    /// Background model for the reference.
+    pub model: GenomeModel,
+}
+
+impl PairSpec {
+    /// Deterministically materialise the pair.
+    pub fn realize(&self, seed: u64) -> DatasetPair {
+        // Derive distinct streams for reference and query from the user
+        // seed and the pair name so pairs never share randomness.
+        let name_hash = self
+            .name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+            });
+        let mut ref_rng = StdRng::seed_from_u64(seed ^ name_hash);
+        let ref_codes = self.model.generate_codes(self.ref_len, &mut ref_rng);
+
+        let mut q_rng = StdRng::seed_from_u64(seed ^ name_hash ^ 0x9E37_79B9_7F4A_7C15);
+        let query_codes = self.generate_query(&ref_codes, &mut q_rng);
+
+        DatasetPair {
+            spec: self.clone(),
+            reference: PackedSeq::from_codes(&ref_codes),
+            query: PackedSeq::from_codes(&query_codes),
+        }
+    }
+
+    /// Build the query as a mosaic of mutated reference segments and
+    /// unrelated background.
+    fn generate_query(&self, ref_codes: &[u8], rng: &mut StdRng) -> Vec<u8> {
+        let mut out: Vec<u8> = Vec::with_capacity(self.query_len);
+        if self.ref_len == 0 || self.query_len == 0 {
+            return out;
+        }
+        let seg_len_base = (self.ref_len / 64).clamp(64, 8_000);
+        let (div_lo, div_hi) = self.divergence;
+        while out.len() < self.query_len {
+            let seg_len = rng.gen_range(seg_len_base / 2..=seg_len_base * 2);
+            if rng.gen_bool(self.relatedness) {
+                let seg_len = seg_len.min(ref_codes.len());
+                let start = rng.gen_range(0..=ref_codes.len() - seg_len);
+                // Log-uniform per-segment divergence: many near-identical
+                // segments (long MEMs) and a tail of diverged ones.
+                let div = if div_hi <= div_lo {
+                    div_lo
+                } else {
+                    (div_lo.ln() + rng.gen::<f64>() * (div_hi.ln() - div_lo.ln())).exp()
+                };
+                let model = MutationModel {
+                    sub_rate: div,
+                    indel_rate: div * 0.1,
+                };
+                out.extend(model.apply(&ref_codes[start..start + seg_len], rng));
+            } else {
+                for _ in 0..seg_len {
+                    out.push(random_base(self.model.gc_content, rng));
+                }
+            }
+        }
+        out.truncate(self.query_len);
+        out
+    }
+}
+
+/// A materialised reference/query pair.
+#[derive(Clone, Debug)]
+pub struct DatasetPair {
+    /// The spec this pair was generated from.
+    pub spec: PairSpec,
+    /// Reference sequence `R`.
+    pub reference: PackedSeq,
+    /// Query sequence `Q`.
+    pub query: PackedSeq,
+}
+
+impl DatasetPair {
+    /// The first `n` bases of the query (Figure 4 sweeps query prefixes).
+    pub fn query_prefix(&self, n: usize) -> PackedSeq {
+        self.query
+            .subseq(0, n.min(self.query.len()))
+            .expect("prefix length clamped to query length")
+    }
+}
+
+/// The four Table II reference/query pairs at `scale` times the paper's
+/// sizes (paper sizes are Mbp: chr1m 195.75, chr2h 242.97, chrXc 133.55,
+/// chrXh 154.12, dmelanogaster 23.30, EcoliK12 4.71, chrXII 1.09,
+/// chrI 233.10).
+///
+/// `scale = 1.0` reproduces the full paper sizes (hundreds of Mbp —
+/// hours of CPU-baseline time); the bench harnesses default to
+/// `1/256` which keeps every tool's run in seconds while preserving the
+/// relative sizes.
+pub fn table2_pairs(scale: f64) -> Vec<PairSpec> {
+    let sz = |mbp: f64| ((mbp * 1.0e6 * scale) as usize).max(1_000);
+    vec![
+        PairSpec {
+            name: "chr1m/chr2h".into(),
+            reference_name: "chr1m".into(),
+            query_name: "chr2h".into(),
+            ref_len: sz(195.75),
+            query_len: sz(242.97),
+            relatedness: 0.35,
+            divergence: (0.002, 0.15),
+            l_values: vec![100, 50, 30],
+            seed_len: 13,
+            model: GenomeModel::mammalian(),
+        },
+        PairSpec {
+            name: "chrXc/chrXh".into(),
+            reference_name: "chrXc".into(),
+            query_name: "chrXh".into(),
+            ref_len: sz(133.55),
+            query_len: sz(154.12),
+            relatedness: 0.90,
+            divergence: (0.001, 0.03),
+            l_values: vec![50, 30],
+            seed_len: 13,
+            model: GenomeModel::mammalian(),
+        },
+        PairSpec {
+            name: "dmelanogaster/EcoliK12".into(),
+            reference_name: "dmelanogaster".into(),
+            query_name: "EcoliK12".into(),
+            ref_len: sz(23.30),
+            query_len: sz(4.71),
+            relatedness: 0.05,
+            divergence: (0.05, 0.30),
+            l_values: vec![20, 15],
+            seed_len: 13,
+            model: GenomeModel::bacterial(),
+        },
+        PairSpec {
+            name: "chrXII/chrI".into(),
+            reference_name: "chrXII".into(),
+            query_name: "chrI".into(),
+            ref_len: sz(1.09),
+            query_len: sz(233.10),
+            relatedness: 0.40,
+            divergence: (0.01, 0.10),
+            l_values: vec![20, 10],
+            seed_len: 13, // the L = 10 row drops to ℓs = 10 (Table III note)
+            model: GenomeModel::bacterial(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genome_generation_is_deterministic() {
+        let model = GenomeModel::mammalian();
+        let a = model.generate(5_000, 42);
+        let b = model.generate(5_000, 42);
+        assert_eq!(a, b);
+        let c = model.generate(5_000, 43);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn gc_content_is_respected() {
+        let model = GenomeModel {
+            gc_content: 0.7,
+            ..GenomeModel::uniform()
+        };
+        let seq = model.generate(100_000, 1);
+        let gc = seq.iter().filter(|b| matches!(b.code(), 1 | 2)).count();
+        let frac = gc as f64 / 100_000.0;
+        assert!((frac - 0.7).abs() < 0.02, "gc fraction {frac}");
+    }
+
+    #[test]
+    fn repeats_create_duplicate_kmers() {
+        let with = GenomeModel::mammalian().generate(50_000, 7);
+        let without = GenomeModel::uniform().generate(50_000, 7);
+        let dup = |s: &PackedSeq| {
+            let mut kmers: Vec<u32> = (0..s.len() - 13).map(|i| s.kmer(i, 13).unwrap()).collect();
+            kmers.sort_unstable();
+            let unique = {
+                let mut k = kmers.clone();
+                k.dedup();
+                k.len()
+            };
+            kmers.len() - unique
+        };
+        assert!(
+            dup(&with) > dup(&without) * 5,
+            "repeat model should create far more duplicate 13-mers ({} vs {})",
+            dup(&with),
+            dup(&without)
+        );
+    }
+
+    #[test]
+    fn mutation_zero_rates_is_identity() {
+        let codes: Vec<u8> = (0..1000).map(|i| (i % 4) as u8).collect();
+        let model = MutationModel {
+            sub_rate: 0.0,
+            indel_rate: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(model.apply(&codes, &mut rng), codes);
+    }
+
+    #[test]
+    fn mutation_rate_is_approximately_respected() {
+        let codes = vec![0u8; 100_000];
+        let model = MutationModel {
+            sub_rate: 0.05,
+            indel_rate: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = model.apply(&codes, &mut rng);
+        let changed = out.iter().filter(|&&c| c != 0).count();
+        let rate = changed as f64 / codes.len() as f64;
+        assert!((rate - 0.05).abs() < 0.01, "observed rate {rate}");
+    }
+
+    #[test]
+    fn pair_realization_is_deterministic_and_sized() {
+        let specs = table2_pairs(1.0 / 2048.0);
+        let pair = specs[0].realize(11);
+        let again = specs[0].realize(11);
+        assert_eq!(pair.reference, again.reference);
+        assert_eq!(pair.query, again.query);
+        assert_eq!(pair.reference.len(), specs[0].ref_len);
+        assert_eq!(pair.query.len(), specs[0].query_len);
+    }
+
+    #[test]
+    fn related_pair_shares_long_exact_segments() {
+        let spec = &table2_pairs(1.0 / 2048.0)[1]; // chrXc/chrXh, high relatedness
+        let pair = spec.realize(5);
+        // There must exist at least one exact shared run of >= 50 bases.
+        // Scan query 13-mers against a reference k-mer set, then extend.
+        let k = 13;
+        let mut ref_kmers = std::collections::HashMap::new();
+        for i in 0..pair.reference.len() - k {
+            ref_kmers.entry(pair.reference.kmer(i, k).unwrap()).or_insert(i);
+        }
+        let mut best = 0usize;
+        let mut q = 0;
+        while q + k < pair.query.len() {
+            if let Some(&r) = ref_kmers.get(&pair.query.kmer(q, k).unwrap()) {
+                let ext = pair.reference.lce_fwd(r, &pair.query, q, 10_000);
+                best = best.max(ext);
+            }
+            q += 7;
+        }
+        assert!(best >= 50, "longest shared run {best} < 50");
+    }
+
+    #[test]
+    fn table2_registry_matches_paper_structure() {
+        let specs = table2_pairs(1.0);
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs[0].ref_len, 195_750_000);
+        assert_eq!(specs[0].query_len, 242_970_000);
+        let total_l_rows: usize = specs.iter().map(|s| s.l_values.len()).sum();
+        assert_eq!(total_l_rows, 9, "Tables III/IV have nine configurations");
+    }
+
+    #[test]
+    fn query_prefix_clamps() {
+        let spec = &table2_pairs(1.0 / 4096.0)[3];
+        let pair = spec.realize(1);
+        assert_eq!(pair.query_prefix(100).len(), 100);
+        assert_eq!(pair.query_prefix(usize::MAX).len(), pair.query.len());
+    }
+}

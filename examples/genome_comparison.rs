@@ -1,0 +1,100 @@
+//! Whole-genome comparison: use MEMs as alignment anchors between two
+//! related "chromosomes", the workload MUMmer-class tools are built for
+//! (and the paper's headline use case).
+//!
+//! Generates a chimp/human-like pair, extracts MEMs with GPUMEM and
+//! with the essaMEM baseline, verifies both agree, then chains the
+//! anchors into syntenic segments with a simple co-linear chain.
+//!
+//! ```text
+//! cargo run --release --example genome_comparison
+//! ```
+
+use gpumem::baselines::{EssaMem, MemFinder};
+use gpumem::core::{Gpumem, GpumemConfig};
+use gpumem::seq::{table2_pairs, Mem};
+
+fn main() {
+    // The scaled chrXc/chrXh pair (90% related, ≤3% divergence).
+    let spec = &table2_pairs(1.0 / 1024.0)[1];
+    let pair = spec.realize(2024);
+    let min_len = 50;
+    println!(
+        "comparing {} ({} bp) against {} ({} bp), L = {min_len}",
+        spec.reference_name,
+        pair.reference.len(),
+        spec.query_name,
+        pair.query.len()
+    );
+
+    // GPUMEM.
+    let config = GpumemConfig::builder(min_len)
+        .seed_len(10)
+        .threads_per_block(128)
+        .blocks_per_tile(16)
+        .build()
+        .expect("valid config");
+    let result = Gpumem::new(config).run(&pair.reference, &pair.query);
+    println!(
+        "GPUMEM: {} anchors, modeled device time {:.2} ms",
+        result.mems.len(),
+        (result.stats.index.modeled_secs() + result.stats.matching.modeled_secs()) * 1e3
+    );
+
+    // Cross-check against the strongest CPU baseline.
+    let essa = EssaMem::build(&pair.reference, 4);
+    let cpu = essa.find_mems(&pair.query, min_len);
+    assert_eq!(result.mems, cpu, "tools must agree exactly");
+    println!("essaMEM agrees on all {} anchors ✓", cpu.len());
+
+    // Chain anchors co-linearly: longest increasing subsequence on the
+    // reference coordinate over anchors sorted by query position
+    // (patience algorithm, O(n log n)), then drop residual overlaps.
+    let mut anchors: Vec<Mem> = result.mems;
+    anchors.sort_unstable_by_key(|m| (m.q, m.r));
+    let mut tails: Vec<u32> = Vec::new(); // smallest tail r per LIS length
+    let mut tail_idx: Vec<usize> = Vec::new();
+    let mut parent: Vec<usize> = vec![usize::MAX; anchors.len()];
+    let mut lis_end = usize::MAX;
+    for (i, mem) in anchors.iter().enumerate() {
+        let pos = tails.partition_point(|&r| r < mem.r);
+        if pos > 0 {
+            parent[i] = tail_idx[pos - 1];
+        }
+        if pos == tails.len() {
+            tails.push(mem.r);
+            tail_idx.push(i);
+            lis_end = i;
+        } else if mem.r < tails[pos] {
+            tails[pos] = mem.r;
+            tail_idx[pos] = i;
+        }
+    }
+    let mut lis: Vec<Mem> = Vec::new();
+    let mut cursor = lis_end;
+    while cursor != usize::MAX {
+        lis.push(anchors[cursor]);
+        cursor = parent[cursor];
+    }
+    lis.reverse();
+    let mut chain: Vec<Mem> = Vec::new();
+    for mem in lis {
+        match chain.last() {
+            Some(last) if mem.q < last.q_end() || mem.r < last.r_end() => {}
+            _ => chain.push(mem),
+        }
+    }
+    let covered: u64 = chain.iter().map(|m| u64::from(m.len)).sum();
+    println!(
+        "co-linear chain: {} anchors covering {} bp ({:.1}% of the query)",
+        chain.len(),
+        covered,
+        100.0 * covered as f64 / pair.query.len() as f64
+    );
+    for mem in chain.iter().take(8) {
+        println!("  Q[{:>7}..{:>7}) ↔ R[{:>7}..{:>7})", mem.q, mem.q_end(), mem.r, mem.r_end());
+    }
+    if chain.len() > 8 {
+        println!("  … and {} more", chain.len() - 8);
+    }
+}

@@ -1,0 +1,63 @@
+//! Unique and rare maximal matches — the MEM variants the paper's §V
+//! names as future work (MUMmer's original MUM anchors, and Ohlebusch &
+//! Kurtz's rare matches).
+//!
+//! Extracts all MEMs with GPUMEM, then post-filters them by occurrence
+//! count with suffix arrays of both sequences, on both strands.
+//!
+//! ```text
+//! cargo run --release --example mum_extraction
+//! ```
+
+use gpumem::baselines::VariantFilter;
+use gpumem::core::{Gpumem, GpumemConfig};
+use gpumem::seq::{table2_pairs, Mem};
+
+fn main() {
+    // A chimp/human-like pair: highly related, so plenty of anchors.
+    let spec = &table2_pairs(1.0 / 2048.0)[1];
+    let pair = spec.realize(31337);
+    let min_len = 30;
+    println!(
+        "reference {} bp, query {} bp, L = {min_len}",
+        pair.reference.len(),
+        pair.query.len()
+    );
+
+    let config = GpumemConfig::builder(min_len)
+        .seed_len(10)
+        .threads_per_block(64)
+        .blocks_per_tile(8)
+        .build()
+        .expect("valid config");
+    let mems = Gpumem::new(config).run(&pair.reference, &pair.query).mems;
+    println!("{} MEMs", mems.len());
+
+    let filter = VariantFilter::new(&pair.reference, &pair.query);
+    let mums = filter.unique_matches(&mems);
+    let rare4 = filter.rare_matches(&mems, 4);
+    println!("{} rare matches (≤ 4 occurrences each side)", rare4.len());
+    println!("{} MUMs (unique on both sides)", mums.len());
+    assert!(mums.len() <= rare4.len() && rare4.len() <= mems.len());
+
+    // MUMs are the classic whole-genome-alignment anchors: show the
+    // co-linear backbone they form.
+    let mut backbone: Vec<Mem> = mums.clone();
+    backbone.sort_unstable_by_key(|m| m.q);
+    println!("first MUM anchors along the query:");
+    for mem in backbone.iter().take(10) {
+        println!(
+            "  Q[{:>7}..{:>7}) ↔ R[{:>7}..{:>7})  ({} bp)",
+            mem.q,
+            mem.q_end(),
+            mem.r,
+            mem.r_end(),
+            mem.len
+        );
+    }
+    let mum_cov: u64 = mums.iter().map(|m| u64::from(m.len)).sum();
+    println!(
+        "MUM coverage: {:.1}% of the query",
+        100.0 * mum_cov as f64 / pair.query.len() as f64
+    );
+}

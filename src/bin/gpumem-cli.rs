@@ -1,0 +1,238 @@
+//! Command-line MEM extraction, MUMmer-style.
+//!
+//! ```text
+//! gpumem-cli [OPTIONS] <reference.fa> <query.fa>
+//!
+//! OPTIONS:
+//!   --tool <gpumem|mummer|essamem|sparsemem|slamem>   finder (default gpumem)
+//!   --min-len <L>        minimum MEM length (default 20)
+//!   --seed-len <ls>      GPUMEM seed length (default min(13, L))
+//!   --sparseness <K>     sparse-SA sparseness for essamem/sparsemem (default 4)
+//!   --threads <t>        CPU finder threads (default 1)
+//!   --both-strands       also match the reverse complement of the query
+//!   --mum                report only maximal unique matches
+//!   --rare <t>           report matches occurring ≤ t times in each sequence
+//!   --stats              print run statistics to stderr
+//! ```
+//!
+//! Output: one `ref_pos  query_pos  length  strand` line per match,
+//! 1-based coordinates as in `mummer -maxmatch`.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use gpumem::baselines::{
+    find_mems_both_strands, EssaMem, MemFinder, Mummer, SlaMem, SparseMem, VariantFilter,
+};
+use gpumem::core::{Gpumem, GpumemConfig};
+use gpumem::seq::{read_fasta, AmbigPolicy, Mem, PackedSeq, Strand, StrandMem};
+
+struct Options {
+    tool: String,
+    min_len: u32,
+    seed_len: Option<usize>,
+    sparseness: usize,
+    threads: usize,
+    both_strands: bool,
+    mum: bool,
+    rare: Option<usize>,
+    stats: bool,
+    reference: String,
+    query: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        tool: "gpumem".into(),
+        min_len: 20,
+        seed_len: None,
+        sparseness: 4,
+        threads: 1,
+        both_strands: false,
+        mum: false,
+        rare: None,
+        stats: false,
+        reference: String::new(),
+        query: String::new(),
+    };
+    let mut positional = Vec::new();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--tool" => opts.tool = value("--tool")?,
+            "--min-len" => {
+                opts.min_len = value("--min-len")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-len: {e}"))?
+            }
+            "--seed-len" => {
+                opts.seed_len = Some(
+                    value("--seed-len")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed-len: {e}"))?,
+                )
+            }
+            "--sparseness" => {
+                opts.sparseness = value("--sparseness")?
+                    .parse()
+                    .map_err(|e| format!("bad --sparseness: {e}"))?
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--both-strands" => opts.both_strands = true,
+            "--mum" => opts.mum = true,
+            "--rare" => {
+                opts.rare = Some(
+                    value("--rare")?
+                        .parse()
+                        .map_err(|e| format!("bad --rare: {e}"))?,
+                )
+            }
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => return Err("help".into()),
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    match positional.len() {
+        2 => {
+            opts.reference = positional.remove(0);
+            opts.query = positional.remove(0);
+            Ok(opts)
+        }
+        n => Err(format!("expected <reference.fa> <query.fa>, got {n} positionals")),
+    }
+}
+
+fn load_first_record(path: &str) -> Result<PackedSeq, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let records = read_fasta(BufReader::new(file), AmbigPolicy::Randomize(0))
+        .map_err(|e| format!("{path}: {e}"))?;
+    records
+        .into_iter()
+        .next()
+        .map(|r| r.seq)
+        .ok_or_else(|| format!("{path}: no FASTA records"))
+}
+
+fn run_finder(opts: &Options, reference: &PackedSeq, query: &PackedSeq) -> Result<Vec<StrandMem>, String> {
+    let finder: Box<dyn MemFinder> = match opts.tool.as_str() {
+        "mummer" => Box::new(Mummer::build(reference)),
+        "essamem" => Box::new(EssaMem::build(reference, opts.sparseness)),
+        "sparsemem" => Box::new(SparseMem::build(reference, opts.sparseness)),
+        "slamem" => Box::new(SlaMem::build(reference)),
+        "gpumem" => {
+            // GPUMEM path handled separately (simulated device).
+            let mut builder = GpumemConfig::builder(opts.min_len)
+                .threads_per_block(128)
+                .blocks_per_tile(16);
+            if let Some(seed_len) = opts.seed_len {
+                builder = builder.seed_len(seed_len);
+            }
+            let config = builder.build().map_err(|e| e.to_string())?;
+            let gpumem = Gpumem::new(config);
+            let run_one = |q: &PackedSeq| gpumem.run(reference, q);
+            let forward = run_one(query);
+            if opts.stats {
+                eprintln!(
+                    "gpumem: {} tiles, modeled index {:.3} ms + match {:.3} ms, warp efficiency {:.2}",
+                    forward.stats.rows * forward.stats.cols,
+                    forward.stats.index.modeled_secs() * 1e3,
+                    forward.stats.matching.modeled_secs() * 1e3,
+                    forward.stats.matching.warp_efficiency(32)
+                );
+            }
+            let mut hits: Vec<StrandMem> = forward
+                .mems
+                .into_iter()
+                .map(|mem| StrandMem { mem, strand: Strand::Forward })
+                .collect();
+            if opts.both_strands {
+                let rc = query.reverse_complement();
+                hits.extend(run_one(&rc).mems.into_iter().map(|mem| StrandMem {
+                    mem: gpumem::seq::map_reverse_mem(mem, query.len()),
+                    strand: Strand::Reverse,
+                }));
+            }
+            hits.sort_unstable();
+            return Ok(hits);
+        }
+        other => return Err(format!("unknown tool {other}")),
+    };
+    if opts.both_strands {
+        Ok(find_mems_both_strands(finder.as_ref(), query, opts.min_len, opts.threads))
+    } else {
+        Ok(
+            gpumem::baselines::find_mems_parallel(finder.as_ref(), query, opts.min_len, opts.threads)
+                .into_iter()
+                .map(|mem| StrandMem { mem, strand: Strand::Forward })
+                .collect(),
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("usage: gpumem-cli [--tool T] [--min-len L] [--seed-len ls] [--sparseness K] [--threads t] [--both-strands] [--mum] [--rare t] [--stats] <reference.fa> <query.fa>");
+            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::from(2) };
+        }
+    };
+
+    let run = || -> Result<(), String> {
+        let reference = load_first_record(&opts.reference)?;
+        let query = load_first_record(&opts.query)?;
+        let mut hits = run_finder(&opts, &reference, &query)?;
+
+        // Variant filtering (forward-strand coordinates only; reverse
+        // hits are filtered against the reverse complement implicitly
+        // via their reference interval).
+        if opts.mum || opts.rare.is_some() {
+            let max_occ = if opts.mum { 1 } else { opts.rare.unwrap() };
+            let filter = VariantFilter::new(&reference, &query);
+            let mems: Vec<Mem> = hits.iter().map(|h| h.mem).collect();
+            let keep: std::collections::HashSet<Mem> =
+                filter.rare_matches(&mems, max_occ).into_iter().collect();
+            hits.retain(|h| keep.contains(&h.mem));
+        }
+
+        if opts.stats {
+            eprintln!("{} matches (L >= {})", hits.len(), opts.min_len);
+        }
+        let mut out = String::new();
+        for hit in &hits {
+            let strand = match hit.strand {
+                Strand::Forward => '+',
+                Strand::Reverse => '-',
+            };
+            out.push_str(&format!(
+                "{:>10} {:>10} {:>8} {}\n",
+                hit.mem.r + 1,
+                hit.mem.q + 1,
+                hit.mem.len,
+                strand
+            ));
+        }
+        print!("{out}");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # GPUMEM
+//!
+//! A reproduction of *"Extracting Maximal Exact Matches on GPU"*
+//! (Abu-Doleh, Kaya, Abouelhoda, Çatalyürek — IEEE IPDPSW 2014) as a Rust
+//! workspace. This facade crate re-exports the public APIs of every
+//! workspace crate so downstream users can depend on a single crate:
+//!
+//! * [`seq`] — 2-bit packed DNA sequences, FASTA IO, synthetic genome
+//!   generation ([`gpumem_seq`]).
+//! * [`sim`] — the SIMT execution-model simulator standing in for the
+//!   paper's Tesla K20c ([`gpu_sim`]).
+//! * [`index`] — the lightweight `ptrs`/`locs` seed index
+//!   ([`gpumem_index`]).
+//! * [`core`] — the GPUMEM pipeline itself ([`gpumem_core`]).
+//! * [`baselines`] — sparseMEM / essaMEM / MUMmer / slaMEM CPU finders
+//!   ([`gpumem_baselines`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gpumem::core::{Gpumem, GpumemConfig};
+//! use gpumem::seq::PackedSeq;
+//!
+//! let reference = PackedSeq::from_ascii(b"ACGTACGTACGTGGGGACGTACGTACGT").unwrap();
+//! let query     = PackedSeq::from_ascii(b"TTTTACGTACGTACGTCCCC").unwrap();
+//! let config = GpumemConfig::builder(8).seed_len(4).build().unwrap();
+//! let mems = Gpumem::new(config).run(&reference, &query).mems;
+//! assert!(mems.iter().all(|m| m.len >= 8));
+//! ```
+
+pub use gpu_sim as sim;
+pub use gpumem_baselines as baselines;
+pub use gpumem_core as core;
+pub use gpumem_index as index;
+pub use gpumem_seq as seq;

@@ -1,0 +1,137 @@
+//! End-to-end tests of the `gpumem-cli` binary: FASTA in, MUMmer-style
+//! match lines out, identical across tools.
+
+use std::io::Write;
+use std::process::Command;
+
+use gpumem::seq::{write_fasta, FastaRecord, GenomeModel, MutationModel, PackedSeq};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gpumem-cli"))
+}
+
+fn write_pair(dir: &std::path::Path) -> (String, String) {
+    let reference = GenomeModel::mammalian().generate(8_000, 1234);
+    let query = {
+        let model = MutationModel {
+            sub_rate: 0.03,
+            indel_rate: 0.003,
+        };
+        let mut rng = StdRng::seed_from_u64(1235);
+        PackedSeq::from_codes(&model.apply(&reference.to_codes(), &mut rng))
+    };
+    let write = |name: &str, seq: &PackedSeq| -> String {
+        let path = dir.join(name);
+        let mut file = std::fs::File::create(&path).unwrap();
+        write_fasta(
+            &mut file,
+            &[FastaRecord {
+                header: name.into(),
+                seq: seq.clone(),
+            }],
+        )
+        .unwrap();
+        file.flush().unwrap();
+        path.to_str().unwrap().to_string()
+    };
+    (write("ref.fa", &reference), write("query.fa", &query))
+}
+
+#[test]
+fn all_tools_print_identical_matches() {
+    let dir = std::env::temp_dir().join("gpumem-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ref_fa, query_fa) = write_pair(&dir);
+
+    let run = |tool: &str| -> String {
+        let out = cli()
+            .args(["--tool", tool, "--min-len", "25", ref_fa.as_str(), query_fa.as_str()])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{tool} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    let gpumem = run("gpumem");
+    assert!(!gpumem.trim().is_empty(), "expected matches");
+    for tool in ["mummer", "essamem", "sparsemem", "slamem"] {
+        assert_eq!(run(tool), gpumem, "{tool} output differs");
+    }
+}
+
+#[test]
+fn mum_filter_is_a_subset() {
+    let dir = std::env::temp_dir().join("gpumem-cli-test-mum");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ref_fa, query_fa) = write_pair(&dir);
+
+    let lines = |extra: &[&str]| -> Vec<String> {
+        let mut args = vec!["--tool", "mummer", "--min-len", "25"];
+        args.extend_from_slice(extra);
+        args.push(ref_fa.as_str());
+        args.push(query_fa.as_str());
+        let out = cli().args(&args).output().expect("binary runs");
+        assert!(out.status.success());
+        String::from_utf8(out.stdout)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    };
+
+    let all = lines(&[]);
+    let mums = lines(&["--mum"]);
+    assert!(!mums.is_empty());
+    assert!(mums.len() <= all.len());
+    for line in &mums {
+        assert!(all.contains(line), "MUM line not in MEM output: {line}");
+    }
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = cli().arg("only-one-file.fa").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+
+    let out = cli()
+        .args(["--tool", "nonsense", "/nonexistent/a.fa", "/nonexistent/b.fa"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn both_strands_superset_and_strand_column() {
+    let dir = std::env::temp_dir().join("gpumem-cli-test-strands");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ref_fa, query_fa) = write_pair(&dir);
+
+    let run = |extra: &[&str]| -> Vec<String> {
+        let mut args = vec!["--tool", "mummer", "--min-len", "25"];
+        args.extend_from_slice(extra);
+        args.push(ref_fa.as_str());
+        args.push(query_fa.as_str());
+        let out = cli().args(&args).output().unwrap();
+        assert!(out.status.success());
+        String::from_utf8(out.stdout)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    };
+    let forward = run(&[]);
+    let both = run(&["--both-strands"]);
+    assert!(both.len() >= forward.len());
+    assert!(forward.iter().all(|l| l.ends_with('+')));
+    for line in &forward {
+        assert!(both.contains(line));
+    }
+}

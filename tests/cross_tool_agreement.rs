@@ -1,0 +1,127 @@
+//! The central cross-crate invariant: GPUMEM and all four CPU
+//! baselines emit the *identical canonical MEM set*, which equals the
+//! ground-truth naive finder.
+
+use gpumem::baselines::{
+    find_mems_parallel, EssaMem, MemFinder, Mummer, SlaMem, SparseMem,
+};
+use gpumem::core::{Gpumem, GpumemConfig};
+use gpumem::seq::{naive_mems, table2_pairs, Mem, PackedSeq};
+use gpumem::sim::{Device, DeviceSpec};
+
+fn gpumem_run(reference: &PackedSeq, query: &PackedSeq, min_len: u32, seed_len: usize) -> Vec<Mem> {
+    let config = GpumemConfig::builder(min_len)
+        .seed_len(seed_len)
+        .threads_per_block(16)
+        .blocks_per_tile(2)
+        .build()
+        .expect("valid config");
+    Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()))
+        .run(reference, query)
+        .mems
+}
+
+#[test]
+fn all_five_tools_agree_on_every_scaled_pair() {
+    for (pair_idx, spec) in table2_pairs(1.0 / 65536.0).iter().enumerate() {
+        let pair = spec.realize(777);
+        for &min_len in &spec.l_values {
+            // Keep L small enough for the miniature sequences but
+            // exercise the paper's per-pair values when feasible.
+            let min_len = min_len.clamp(10, 24);
+            let expect = naive_mems(&pair.reference, &pair.query, min_len);
+
+            let got = gpumem_run(&pair.reference, &pair.query, min_len, 7);
+            assert_eq!(got, expect, "GPUMEM, pair {pair_idx}, L={min_len}");
+
+            let sparse = SparseMem::build(&pair.reference, 4);
+            assert_eq!(
+                sparse.find_mems(&pair.query, min_len),
+                expect,
+                "sparseMEM, pair {pair_idx}, L={min_len}"
+            );
+            let essa = EssaMem::build(&pair.reference, 4);
+            assert_eq!(
+                essa.find_mems(&pair.query, min_len),
+                expect,
+                "essaMEM, pair {pair_idx}, L={min_len}"
+            );
+            let mummer = Mummer::build(&pair.reference);
+            assert_eq!(
+                mummer.find_mems(&pair.query, min_len),
+                expect,
+                "MUMmer, pair {pair_idx}, L={min_len}"
+            );
+            let sla = SlaMem::build(&pair.reference);
+            assert_eq!(
+                sla.find_mems(&pair.query, min_len),
+                expect,
+                "slaMEM, pair {pair_idx}, L={min_len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_baselines_agree_with_gpumem_across_thread_counts() {
+    let spec = &table2_pairs(1.0 / 32768.0)[1];
+    let pair = spec.realize(778);
+    let min_len = 18;
+    let expect = gpumem_run(&pair.reference, &pair.query, min_len, 8);
+
+    let essa = EssaMem::build(&pair.reference, 4);
+    for threads in [1usize, 2, 4, 8] {
+        assert_eq!(
+            find_mems_parallel(&essa, &pair.query, min_len, threads),
+            expect,
+            "τ = {threads}"
+        );
+    }
+    // sparseMEM with its τ-coupled sparseness still produces the same
+    // set (only its cost changes).
+    for k in [1usize, 4, 8] {
+        let sparse = SparseMem::build(&pair.reference, k);
+        assert_eq!(
+            find_mems_parallel(&sparse, &pair.query, min_len, k),
+            expect,
+            "K = τ = {k}"
+        );
+    }
+}
+
+#[test]
+fn agreement_holds_on_microsatellite_heavy_input() {
+    // Tandem repeats are the classic MEM-explosion stressor; every tool
+    // must produce the same (large) set.
+    let mut codes = Vec::new();
+    for i in 0..600usize {
+        codes.push([0u8, 1][i % 2]); // (AC)n
+    }
+    for i in 0..600usize {
+        codes.push([2u8, 3, 1][i % 3]); // (GTC)n
+    }
+    let reference = PackedSeq::from_codes(&codes);
+    codes.rotate_left(37);
+    let query = PackedSeq::from_codes(&codes[..900]);
+    let min_len = 15;
+
+    let expect = naive_mems(&reference, &query, min_len);
+    assert!(expect.len() > 100, "stressor must explode: {}", expect.len());
+    assert_eq!(gpumem_run(&reference, &query, min_len, 6), expect);
+    assert_eq!(
+        Mummer::build(&reference).find_mems(&query, min_len),
+        expect
+    );
+    assert_eq!(
+        SlaMem::build(&reference).find_mems(&query, min_len),
+        expect
+    );
+    assert_eq!(
+        SparseMem::build(&reference, 3).find_mems(&query, min_len),
+        expect
+    );
+    assert_eq!(
+        EssaMem::build(&reference, 3).find_mems(&query, min_len),
+        expect
+    );
+}

@@ -1,0 +1,80 @@
+//! Smoke test of every experiment harness at a miniature scale,
+//! asserting the *shape* properties DESIGN.md §4 promises. One test fn
+//! (the harnesses share the GPUMEM_OUT env var).
+
+use gpumem_bench::experiments::{fig4, fig5, fig6, fig7, k40, memtable, stages, table3, table4};
+
+const SCALE: f64 = 1.0 / 8192.0;
+const SEED: u64 = 4242;
+
+#[test]
+fn experiment_shapes_hold_at_miniature_scale() {
+    let dir = std::env::temp_dir().join("gpumem-experiments-smoke");
+    std::env::set_var("GPUMEM_OUT", &dir);
+
+    // Table III: nine rows; GPUMEM index build grows as L shrinks
+    // within each pair group (Δs shrinks → more sampled locations).
+    // At miniature scale the per-seed copy/sort kernels (which are
+    // step-independent) dominate, so the L ordering is only weak here;
+    // the default-scale `table3` binary shows the strict growth.
+    let t3 = table3::run(SCALE, SEED);
+    assert_eq!(t3.len(), 9);
+    assert!(t3[0] <= t3[2], "chr1m: L=100 build must not exceed L=30");
+    assert!(t3[3] <= t3[4], "chrXc: L=50 build must not exceed L=30");
+
+    // Table IV: nine rows; all tools agreed (asserted inside run());
+    // GPUMEM extraction grows as L shrinks.
+    // (The L-vs-time ordering needs real workload sizes — at miniature
+    // scale the w-round fixed overhead grows with Δs and can invert it;
+    // the default-scale `table4` binary shows the paper's ordering.)
+    let t4 = table4::run(SCALE, SEED);
+    assert_eq!(t4.len(), 9);
+    assert!(t4[0].1 <= t4[2].1, "MEM count grows as L shrinks");
+    assert!(t4.iter().all(|&(secs, _)| secs > 0.0));
+
+    // Figure 4: time and #MEMs grow with |Q|.
+    let f4 = fig4::run(SCALE, SEED);
+    assert_eq!(f4.len(), 5);
+    assert!(f4[0].1 < f4[4].1, "time grows with the query");
+    assert!(f4[0].2 <= f4[4].2, "MEM count grows with the query");
+
+    // Figure 5: the MEM count decreases with L (the time series needs
+    // default-scale workloads to dominate the per-round overhead).
+    let f5 = fig5::run(SCALE, SEED);
+    assert_eq!(f5.len(), 5);
+    assert!(f5[0].2 > f5[4].2, "MEM count falls as L grows");
+    assert!(f5.windows(2).all(|w| w[0].2 >= w[1].2), "monotone counts");
+
+    // Figure 6: heavy-tailed occurrence histogram.
+    let f6 = fig6::run(SCALE, SEED);
+    assert!(f6.len() > 3);
+    assert_eq!(f6[0].0, 1);
+    assert!(f6[0].1 > 1000, "most seeds occur once");
+    let tail: u64 = f6.iter().filter(|(occ, _)| *occ >= 6).map(|(_, n)| n).sum();
+    assert!(tail > 0, "a heavy tail must exist");
+
+    // Figure 7 at miniature scale only checks consistency (the > 1
+    // speedups need the default scale; the fig7 binary shows them).
+    let f7 = fig7::run(SCALE, SEED);
+    assert_eq!(f7.len(), 9);
+    for (with_lb, without_lb) in f7 {
+        assert!(with_lb > 0.0 && without_lb > 0.0);
+    }
+
+    // Extension experiments.
+    let s1 = stages::run(SCALE, SEED);
+    assert_eq!(s1.len(), 9);
+    for (out_block, out_tile) in s1 {
+        assert!(
+            out_tile <= out_block,
+            "§III-C2: out-tile ({out_tile}) must not exceed out-block ({out_block})"
+        );
+    }
+    let k = k40::run(SCALE, SEED);
+    for (t20, t40) in k {
+        assert!(t40 <= t20, "the K40 cannot model slower than the K20c");
+    }
+    let m1 = memtable::run(SCALE, SEED);
+    assert_eq!(m1.len(), 9);
+    assert!(m1.iter().all(|&(g, full)| g > 0 && full > 0));
+}

@@ -1,0 +1,54 @@
+//! The facade crate's public API: everything a downstream user needs is
+//! reachable through `gpumem::*`.
+
+use gpumem::baselines::MemFinder;
+use gpumem::core::{Gpumem, GpumemConfig};
+use gpumem::index::{build_sequential, max_step, Region};
+use gpumem::seq::{is_maximal_exact, PackedSeq};
+use gpumem::sim::{Device, DeviceSpec, LaunchConfig};
+
+#[test]
+fn end_to_end_through_the_facade() {
+    let reference: PackedSeq = "ACGTACGTACGTGGGGACGTACGTACGT".parse().unwrap();
+    let query: PackedSeq = "TTTTACGTACGTACGTCCCC".parse().unwrap();
+    let config = GpumemConfig::builder(8).seed_len(4).build().unwrap();
+    let result = Gpumem::new(config).run(&reference, &query);
+    assert!(!result.mems.is_empty());
+    for &mem in &result.mems {
+        assert!(is_maximal_exact(&reference, &query, mem, 8));
+    }
+}
+
+#[test]
+fn baselines_are_usable_directly() {
+    let reference: PackedSeq = "ACGTACGTACGTGGGG".parse().unwrap();
+    let query: PackedSeq = "CCACGTACGTACC".parse().unwrap();
+    let finder = gpumem::baselines::Mummer::build(&reference);
+    let mems = finder.find_mems(&query, 8);
+    // The periodic prefix matches at two reference offsets: a 10-mer at
+    // r=0 and an 8-mer at r=4.
+    assert_eq!(mems.len(), 2);
+    assert!(mems.contains(&gpumem::seq::Mem { r: 0, q: 2, len: 10 }));
+    assert_eq!(finder.name(), "MUMmer");
+}
+
+#[test]
+fn index_and_eq1_are_exposed() {
+    assert_eq!(max_step(50, 13), 38);
+    let seq: PackedSeq = "ACACACACAC".parse().unwrap();
+    let index = build_sequential(&seq, Region::whole(&seq), 2, 1);
+    index.validate(&seq).unwrap();
+    assert_eq!(index.occurrences(0b01_00), 5, "AC occurs five times");
+}
+
+#[test]
+fn simulator_is_exposed() {
+    let device = Device::new(DeviceSpec::test_tiny());
+    let counter = gpumem::sim::GpuU32::new(1);
+    device.launch_fn(LaunchConfig::new(2, 32), |ctx| {
+        ctx.simt(|lane| {
+            lane.atomic_add32(&counter, 0, 1);
+        });
+    });
+    assert_eq!(counter.load(0), 64);
+}

@@ -1,0 +1,142 @@
+//! Tests that pin the paper's *analytical* claims, beyond output
+//! equality: the Eq. 1 sparsification guarantee at its boundary, exact
+//! length thresholds, and corner cases of the 2-D search space.
+
+use gpumem::core::{Gpumem, GpumemConfig};
+use gpumem::seq::{naive_mems, GenomeModel, Mem, PackedSeq};
+use gpumem::sim::{Device, DeviceSpec};
+
+fn gpumem(min_len: u32, seed_len: usize) -> Gpumem {
+    let config = GpumemConfig::builder(min_len)
+        .seed_len(seed_len)
+        .threads_per_block(8)
+        .blocks_per_tile(2)
+        .build()
+        .unwrap();
+    Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()))
+}
+
+/// Eq. 1 at the boundary: with the maximal step `Δs = L − ℓs + 1`, a
+/// MEM of length *exactly* `L` must be found wherever it starts
+/// relative to the sampling phase. Plant length-L matches at every
+/// offset modulo Δs and verify none is missed.
+#[test]
+fn eq1_guarantee_holds_at_every_sampling_phase() {
+    let (min_len, seed_len) = (24u32, 8usize);
+    let tool = gpumem(min_len, seed_len);
+    let step = tool.config().step;
+    assert_eq!(step, 24 - 8 + 1, "maximal step in effect");
+
+    // Background with no chance repeats (distinct blocks per position).
+    let n = 4_000;
+    let background: Vec<u8> = (0..n).map(|i| ((i / 3) % 4) as u8).collect();
+    for phase in 0..step {
+        let mut ref_codes = background.clone();
+        // A length-L segment with high-entropy content planted so its
+        // start lands on the wanted phase.
+        let start = 100 + phase;
+        let segment: Vec<u8> = (0..min_len as usize)
+            .map(|i| ((i * 5 + i / 2 + 1) % 4) as u8)
+            .collect();
+        ref_codes[start..start + min_len as usize].copy_from_slice(&segment);
+        let reference = PackedSeq::from_codes(&ref_codes);
+
+        let mut q_codes: Vec<u8> = (0..600).map(|i| (3 - (i / 5) % 4) as u8).collect();
+        q_codes[200..200 + min_len as usize].copy_from_slice(&segment);
+        let query = PackedSeq::from_codes(&q_codes);
+
+        let expect = naive_mems(&reference, &query, min_len);
+        assert!(
+            expect
+                .iter()
+                .any(|m| m.q <= 200 && m.q_end() >= 200 + min_len),
+            "phase {phase}: planted MEM missing from ground truth"
+        );
+        let got = tool.run(&reference, &query).mems;
+        assert_eq!(got, expect, "phase {phase}");
+    }
+}
+
+/// Matches one base short of `L` are rejected; exactly `L` is kept.
+#[test]
+fn length_threshold_is_exact() {
+    let min_len = 16u32;
+    let tool = gpumem(min_len, 8);
+    let plant = |len: usize| -> (PackedSeq, PackedSeq) {
+        let segment: Vec<u8> = (0..len).map(|i| ((i * 7 + 3) % 4) as u8).collect();
+        let mut r: Vec<u8> = (0..800).map(|i| ((i / 2) % 4) as u8).collect();
+        let mut q: Vec<u8> = (0..800).map(|i| (3 - (i / 7) % 4) as u8).collect();
+        r[300..300 + len].copy_from_slice(&segment);
+        q[100..100 + len].copy_from_slice(&segment);
+        // Force mismatching flanks so the planted match is exactly
+        // `len` long (periodic backgrounds can collide by accident).
+        r[299] = 0;
+        q[99] = 3;
+        r[300 + len] = 1;
+        q[100 + len] = 2;
+        (PackedSeq::from_codes(&r), PackedSeq::from_codes(&q))
+    };
+    for len in [15usize, 16, 17] {
+        let (reference, query) = plant(len);
+        let expect = naive_mems(&reference, &query, min_len);
+        let got = tool.run(&reference, &query).mems;
+        assert_eq!(got, expect, "len {len}");
+        let planted_found = got
+            .iter()
+            .any(|m| m.r <= 300 && m.q <= 100 && m.len >= len.min(16) as u32);
+        assert_eq!(planted_found, len >= 16, "len {len}");
+    }
+}
+
+/// MEMs pinned to all four corners of the `|R| × |Q|` search space
+/// survive the tiling (corner triplets touch two boundaries at once).
+#[test]
+fn corner_matches_survive() {
+    let segment: Vec<u8> = (0..40).map(|i| ((i * 3 + 1) % 4) as u8).collect();
+    let tool = gpumem(20, 8);
+    let n = tool.config().tile_len() + 500; // force multiple tiles
+    let mut r: Vec<u8> = (0..n).map(|i| ((i / 2) % 4) as u8).collect();
+    let mut q: Vec<u8> = (0..n).map(|i| (3 - (i / 3) % 4) as u8).collect();
+    // (0,0), (0,end), (end,0), (end,end).
+    r[..40].copy_from_slice(&segment);
+    q[..40].copy_from_slice(&segment);
+    r[n - 40..].copy_from_slice(&segment);
+    q[n - 40..].copy_from_slice(&segment);
+    let reference = PackedSeq::from_codes(&r);
+    let query = PackedSeq::from_codes(&q);
+
+    let expect = naive_mems(&reference, &query, 20);
+    for corner in [
+        Mem { r: 0, q: 0, len: 40 },
+        Mem { r: 0, q: (n - 40) as u32, len: 40 },
+        Mem { r: (n - 40) as u32, q: 0, len: 40 },
+        Mem { r: (n - 40) as u32, q: (n - 40) as u32, len: 40 },
+    ] {
+        assert!(
+            expect.iter().any(|m| m.r <= corner.r
+                && m.q <= corner.q
+                && m.r_end() >= corner.r_end()
+                && m.q_end() >= corner.q_end()),
+            "corner {corner:?} missing from ground truth"
+        );
+    }
+    assert_eq!(tool.run(&reference, &query).mems, expect);
+}
+
+/// The paper's §III-B3 note "in practice GPUMEM just sets λ′ to zero":
+/// deleted triplets must never leak into the output as zero-length or
+/// stale MEMs.
+#[test]
+fn no_zero_length_or_duplicate_output() {
+    let text = GenomeModel::mammalian().generate(5_000, 3003);
+    let tool = gpumem(18, 8);
+    let mems = tool.run(&text, &text).mems;
+    assert!(mems.iter().all(|m| m.len >= 18));
+    let mut dedup = mems.clone();
+    dedup.dedup();
+    assert_eq!(dedup.len(), mems.len(), "output must be duplicate-free");
+    // Canonical ordering (sorted) as documented.
+    let mut sorted = mems.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, mems);
+}

@@ -1,0 +1,109 @@
+//! Integration of the §V future-work features across crates: GPUMEM's
+//! pipeline feeding the MUM/rare filters, both-strand matching, and
+//! the compact index layout.
+
+use gpumem::baselines::{find_mems_both_strands, is_strand_mem_exact, Mummer, VariantFilter};
+use gpumem::core::{Gpumem, GpumemConfig, IndexKind};
+use gpumem::seq::{table2_pairs, Strand};
+use gpumem::sim::{Device, DeviceSpec};
+
+fn tiny(config: GpumemConfig) -> Gpumem {
+    Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()))
+}
+
+#[test]
+fn gpumem_mems_feed_the_variant_filter() {
+    let pair = table2_pairs(1.0 / 32768.0)[1].realize(2001);
+    let config = GpumemConfig::builder(18)
+        .seed_len(8)
+        .threads_per_block(16)
+        .blocks_per_tile(2)
+        .build()
+        .unwrap();
+    let mems = tiny(config).run(&pair.reference, &pair.query).mems;
+    assert!(!mems.is_empty());
+
+    let filter = VariantFilter::new(&pair.reference, &pair.query);
+    let mums = filter.unique_matches(&mems);
+    // Every MUM occurs exactly once on each side by definition.
+    for mem in &mums {
+        assert_eq!(filter.count_in_reference(mem.r as usize, mem.len as usize), 1);
+        assert_eq!(filter.count_in_query(mem.r as usize, mem.len as usize), 1);
+    }
+    // And every non-MUM MEM is over-represented somewhere.
+    for mem in mems.iter().filter(|m| !mums.contains(m)) {
+        let (r, len) = (mem.r as usize, mem.len as usize);
+        assert!(
+            filter.count_in_reference(r, len) > 1 || filter.count_in_query(r, len) > 1,
+            "{mem:?} was filtered but is unique"
+        );
+    }
+}
+
+#[test]
+fn gpumem_both_strand_runs_match_baseline_both_strand_runs() {
+    let pair = table2_pairs(1.0 / 65536.0)[3].realize(2002);
+    let min_len = 14;
+
+    // Baseline both-strand result.
+    let mummer = Mummer::build(&pair.reference);
+    let expect = find_mems_both_strands(&mummer, &pair.query, min_len, 1);
+    for &hit in &expect {
+        assert!(is_strand_mem_exact(&pair.reference, &pair.query, hit, min_len));
+    }
+
+    // GPUMEM forward + reverse-complement runs produce the same set.
+    let config = GpumemConfig::builder(min_len)
+        .seed_len(7)
+        .threads_per_block(16)
+        .blocks_per_tile(2)
+        .build()
+        .unwrap();
+    let gpumem = tiny(config);
+    let forward = gpumem.run(&pair.reference, &pair.query).mems;
+    let rc = pair.query.reverse_complement();
+    let reverse: Vec<_> = gpumem
+        .run(&pair.reference, &rc)
+        .mems
+        .into_iter()
+        .map(|m| gpumem::seq::map_reverse_mem(m, pair.query.len()))
+        .collect();
+
+    let expect_forward: Vec<_> = expect
+        .iter()
+        .filter(|h| h.strand == Strand::Forward)
+        .map(|h| h.mem)
+        .collect();
+    let mut expect_reverse: Vec<_> = expect
+        .iter()
+        .filter(|h| h.strand == Strand::Reverse)
+        .map(|h| h.mem)
+        .collect();
+    expect_reverse.sort_unstable();
+    let mut reverse_sorted = reverse;
+    reverse_sorted.sort_unstable();
+    assert_eq!(forward, expect_forward);
+    assert_eq!(reverse_sorted, expect_reverse);
+}
+
+#[test]
+fn compact_index_agrees_end_to_end() {
+    let pair = table2_pairs(1.0 / 65536.0)[0].realize(2003);
+    let run = |kind: IndexKind| {
+        let config = GpumemConfig::builder(15)
+            .seed_len(7)
+            .threads_per_block(16)
+            .blocks_per_tile(2)
+            .index_kind(kind)
+            .build()
+            .unwrap();
+        tiny(config).run(&pair.reference, &pair.query)
+    };
+    let dense = run(IndexKind::DenseTable);
+    let compact = run(IndexKind::CompactDirectory);
+    assert_eq!(dense.mems, compact.mems);
+    assert_eq!(
+        dense.mems,
+        gpumem::seq::naive_mems(&pair.reference, &pair.query, 15)
+    );
+}

@@ -155,7 +155,11 @@ mod tests {
         for (k, min_len) in [(1usize, 12u32), (4, 12), (4, 20), (8, 16)] {
             let expect = naive_mems(&pair.reference, &pair.query, min_len);
             let essa = EssaMem::build(&pair.reference, k);
-            assert_eq!(essa.find_mems(&pair.query, min_len), expect, "essa K={k} L={min_len}");
+            assert_eq!(
+                essa.find_mems(&pair.query, min_len),
+                expect,
+                "essa K={k} L={min_len}"
+            );
             let sparse = SparseMem::build(&pair.reference, k);
             assert_eq!(
                 essa.find_mems(&pair.query, min_len),
@@ -193,10 +197,7 @@ mod tests {
         let reference = GenomeModel::uniform().generate(800, 52);
         let query = GenomeModel::uniform().generate(600, 53);
         let essa = EssaMem::build(&reference, 1);
-        assert_eq!(
-            essa.find_mems(&query, 4),
-            naive_mems(&reference, &query, 4)
-        );
+        assert_eq!(essa.find_mems(&query, 4), naive_mems(&reference, &query, 4));
     }
 
     #[test]
@@ -206,10 +207,7 @@ mod tests {
         let reference: PackedSeq = "ACGTACGTACGTACGT".parse().unwrap();
         let query: PackedSeq = "TACGTACGT".parse().unwrap();
         let essa = EssaMem::build(&reference, 1);
-        assert_eq!(
-            essa.find_mems(&query, 8),
-            naive_mems(&reference, &query, 8)
-        );
+        assert_eq!(essa.find_mems(&query, 8), naive_mems(&reference, &query, 8));
     }
 }
 

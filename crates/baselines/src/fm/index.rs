@@ -141,10 +141,7 @@ impl FmIndex {
                 return pos + steps;
             }
             let ch = self.bwt[row];
-            debug_assert_ne!(
-                ch, SENTINEL,
-                "the row at text position 0 is always sampled"
-            );
+            debug_assert_ne!(ch, SENTINEL, "the row at text position 0 is always sampled");
             row = self.c_table[ch as usize] + self.occ(ch, row);
             steps += 1;
         }

@@ -42,9 +42,18 @@ impl MemFinder for Mummer {
         let mut out = Vec::new();
         let end = range.end.min((query.len() + 1).saturating_sub(depth));
         for p in range.start..end {
-            let interval = interval_at_depth(&self.reference, &self.sa, query, p, depth, 0..self.sa.len());
+            let interval =
+                interval_at_depth(&self.reference, &self.sa, query, p, depth, 0..self.sa.len());
             if !interval.is_empty() {
-                extend_and_emit(&self.reference, query, &self.sa[interval], p, min_len, 1, &mut out);
+                extend_and_emit(
+                    &self.reference,
+                    query,
+                    &self.sa[interval],
+                    p,
+                    min_len,
+                    1,
+                    &mut out,
+                );
             }
         }
         out
@@ -80,10 +89,7 @@ mod tests {
         let query = GenomeModel::mammalian().generate(1_500, 62);
         let mummer = Mummer::build(&reference);
         let sparse = crate::SparseMem::build(&reference, 1);
-        assert_eq!(
-            mummer.find_mems(&query, 11),
-            sparse.find_mems(&query, 11)
-        );
+        assert_eq!(mummer.find_mems(&query, 11), sparse.find_mems(&query, 11));
     }
 
     #[test]

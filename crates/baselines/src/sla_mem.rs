@@ -91,10 +91,7 @@ mod tests {
         let query = GenomeModel::mammalian().generate(1_200, 82);
         let sla = SlaMem::build(&reference);
         let mummer = crate::Mummer::build(&reference);
-        assert_eq!(
-            sla.find_mems(&query, 11),
-            mummer.find_mems(&query, 11)
-        );
+        assert_eq!(sla.find_mems(&query, 11), mummer.find_mems(&query, 11));
     }
 
     #[test]

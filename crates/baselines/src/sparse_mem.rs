@@ -70,7 +70,8 @@ impl MemFinder for SparseMem {
         let mut out = Vec::new();
         let end = range.end.min((query.len() + 1).saturating_sub(depth));
         for p in range.start..end {
-            let interval = interval_at_depth(&self.reference, &self.sa, query, p, depth, 0..self.sa.len());
+            let interval =
+                interval_at_depth(&self.reference, &self.sa, query, p, depth, 0..self.sa.len());
             if !interval.is_empty() {
                 extend_and_emit(
                     &self.reference,

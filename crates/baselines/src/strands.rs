@@ -54,9 +54,7 @@ pub fn is_strand_mem_exact(
         return false;
     }
     match hit.strand {
-        Strand::Forward => {
-            gpumem_seq::is_maximal_exact(reference, query, hit.mem, min_len)
-        }
+        Strand::Forward => gpumem_seq::is_maximal_exact(reference, query, hit.mem, min_len),
         Strand::Reverse => {
             let Ok(interval) = query.subseq(q as usize, len as usize) else {
                 return false;

@@ -71,8 +71,7 @@ impl VariantFilter {
             .copied()
             .filter(|m| {
                 let (r, len) = (m.r as usize, m.len as usize);
-                self.count_in_reference(r, len) <= max_occ
-                    && self.count_in_query(r, len) <= max_occ
+                self.count_in_reference(r, len) <= max_occ && self.count_in_query(r, len) <= max_occ
             })
             .collect()
     }
@@ -127,11 +126,21 @@ mod tests {
         ref_codes.splice(50..66, unique_seg.to_codes());
         ref_codes.splice(150..166, repeat_seg.to_codes());
         ref_codes.splice(300..316, repeat_seg.to_codes());
+        // Pin the bases flanking the two repeat copies to differ from
+        // the query's flanks, so the matches cannot extend past the
+        // planted 16-mers: both copies then yield the *same* length-16
+        // string, which is what makes the segment non-unique.
+        ref_codes[149] = 1;
+        ref_codes[166] = 1;
+        ref_codes[299] = 2;
+        ref_codes[316] = 2;
         let reference = PackedSeq::from_codes(&ref_codes);
 
         let mut q_codes = GenomeModel::uniform().generate(200, 74).to_codes();
         q_codes.splice(20..36, unique_seg.to_codes());
         q_codes.splice(100..116, repeat_seg.to_codes());
+        q_codes[99] = 0;
+        q_codes[116] = 0;
         let query = PackedSeq::from_codes(&q_codes);
 
         let mems = Mummer::build(&reference).find_mems(&query, 14);

@@ -34,11 +34,9 @@ fn bench_vs_l(c: &mut Criterion) {
     for min_len in [20u32, 50, 100] {
         let seed_len = scaled_seed_len(13, pair.reference.len(), min_len);
         let gpumem = Gpumem::new(gpumem_config(min_len, seed_len, true));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(min_len),
-            &min_len,
-            |b, _| b.iter(|| gpumem.run(&pair.reference, &pair.query)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(min_len), &min_len, |b, _| {
+            b.iter(|| gpumem.run(&pair.reference, &pair.query))
+        });
     }
     group.finish();
 }

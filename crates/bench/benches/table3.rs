@@ -19,8 +19,12 @@ fn bench_index_builds(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table3_index_build");
     group.sample_size(10);
-    group.bench_function("sparseMEM_k1", |b| b.iter(|| SparseMem::build(reference, 1)));
-    group.bench_function("sparseMEM_k8", |b| b.iter(|| SparseMem::build(reference, 8)));
+    group.bench_function("sparseMEM_k1", |b| {
+        b.iter(|| SparseMem::build(reference, 1))
+    });
+    group.bench_function("sparseMEM_k8", |b| {
+        b.iter(|| SparseMem::build(reference, 8))
+    });
     group.bench_function("essaMEM_k4", |b| b.iter(|| EssaMem::build(reference, 4)));
     group.bench_function("MUMmer", |b| b.iter(|| Mummer::build(reference)));
     group.bench_function("slaMEM", |b| b.iter(|| SlaMem::build(reference)));

@@ -26,7 +26,9 @@ fn bench_extraction(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table4_extraction");
     group.sample_size(10);
-    group.bench_function("sparseMEM_k1_t1", |b| b.iter(|| sparse1.find_mems(query, L)));
+    group.bench_function("sparseMEM_k1_t1", |b| {
+        b.iter(|| sparse1.find_mems(query, L))
+    });
     group.bench_function("sparseMEM_k8_t8", |b| {
         b.iter(|| find_mems_parallel(&sparse8, query, L, 8))
     });

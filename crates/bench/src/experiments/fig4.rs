@@ -25,7 +25,13 @@ pub fn run(scale: f64, seed: u64) -> Vec<(usize, f64, usize)> {
 
     let mut writer = TsvWriter::new(
         "fig4",
-        &["query.mbp", "query.bases", "time.model.s", "time.wall.s", "mems"],
+        &[
+            "query.mbp",
+            "query.bases",
+            "time.model.s",
+            "time.wall.s",
+            "mems",
+        ],
     );
     let mut points = Vec::new();
     for mbp in PREFIX_MBP {

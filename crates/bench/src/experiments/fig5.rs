@@ -18,10 +18,7 @@ pub const L_VALUES: [u32; 5] = [20, 40, 50, 100, 150];
 pub fn run(scale: f64, seed: u64) -> Vec<(u32, f64, usize)> {
     println!("== Figure 5: time & #MEMs vs L (scale {scale:.6}, seed {seed}) ==");
     let pair = table2_pairs(scale)[0].realize(seed); // chr1m/chr2h
-    let mut writer = TsvWriter::new(
-        "fig5",
-        &["L", "time.model.s", "time.wall.s", "mems"],
-    );
+    let mut writer = TsvWriter::new("fig5", &["L", "time.model.s", "time.wall.s", "mems"]);
     let mut points = Vec::new();
     for min_len in L_VALUES {
         let seed_len = scaled_seed_len(13, pair.reference.len(), min_len);

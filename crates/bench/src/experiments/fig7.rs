@@ -43,7 +43,8 @@ pub fn run(scale: f64, seed: u64) -> Vec<(f64, f64)> {
         let without = Gpumem::new(gpumem_config(row.min_len, row.seed_len, false))
             .run(&pair.reference, &pair.query);
         assert_eq!(
-            with.mems, without.mems,
+            with.mems,
+            without.mems,
             "{}: load balancing must not change the output",
             row.label()
         );

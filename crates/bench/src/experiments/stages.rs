@@ -15,7 +15,9 @@ use crate::{experiment_rows, gpumem_config};
 
 /// Run the experiment; returns `(out_block, out_tile)` per row.
 pub fn run(scale: f64, seed: u64) -> Vec<(usize, usize)> {
-    println!("== Stage sizes: in/out-block and in/out-tile counts (scale {scale:.6}, seed {seed}) ==");
+    println!(
+        "== Stage sizes: in/out-block and in/out-tile counts (scale {scale:.6}, seed {seed}) =="
+    );
     let rows = experiment_rows(scale);
     let mut writer = TsvWriter::new(
         "stages",

@@ -8,7 +8,9 @@
 
 use std::collections::HashMap;
 
-use gpumem_baselines::{build_in_pool, find_mems_parallel, EssaMem, MemFinder, Mummer, SlaMem, SparseMem};
+use gpumem_baselines::{
+    build_in_pool, find_mems_parallel, EssaMem, MemFinder, Mummer, SlaMem, SparseMem,
+};
 use gpumem_core::Gpumem;
 use gpumem_seq::DatasetPair;
 

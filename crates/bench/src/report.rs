@@ -60,7 +60,10 @@ impl TsvWriter {
             println!("{}", line.join("  "));
         };
         print_row(&self.header);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             print_row(row);
         }

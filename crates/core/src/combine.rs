@@ -29,9 +29,7 @@ use crate::balance::{Assignment, IDLE};
 #[inline]
 pub fn combine_pair(left: Mem, right: Mem) -> Option<Mem> {
     let delta = i64::from(right.r) - i64::from(left.r);
-    if delta > 0
-        && delta == i64::from(right.q) - i64::from(left.q)
-        && delta <= i64::from(left.len)
+    if delta > 0 && delta == i64::from(right.q) - i64::from(left.q) && delta <= i64::from(left.len)
     {
         Some(Mem {
             r: left.r,
@@ -51,7 +49,10 @@ pub fn combine_pair(left: Mem, right: Mem) -> Option<Mem> {
 /// is both modified (a source) and deleted (a target) in the same
 /// iteration — see [`tree_combine`]'s conflict-freedom test.
 pub fn combine_schedule(tau: usize) -> Vec<Vec<(usize, usize)>> {
-    assert!(tau.is_power_of_two() && tau >= 2, "τ must be a power of two >= 2");
+    assert!(
+        tau.is_power_of_two() && tau >= 2,
+        "τ must be a power of two >= 2"
+    );
     let k = tau.trailing_zeros() as usize;
     let mut schedule = Vec::with_capacity(2 * k - 1);
     let mut d = 1usize;
@@ -82,11 +83,7 @@ pub fn combine_schedule(tau: usize) -> Vec<Vec<(usize, usize)>> {
 
 /// Algorithm 3 over one round's per-slot triplet lists. Deleted
 /// triplets are marked `len = 0` (callers filter).
-pub fn tree_combine(
-    ctx: &mut BlockCtx<'_>,
-    assignment: &Assignment,
-    triplets: &mut [Vec<Mem>],
-) {
+pub fn tree_combine(ctx: &mut BlockCtx<'_>, assignment: &Assignment, triplets: &mut [Vec<Mem>]) {
     let tau = ctx.block_dim;
     debug_assert!(tau.is_power_of_two());
     for pairs in combine_schedule(tau) {
@@ -241,23 +238,63 @@ mod tests {
 
     #[test]
     fn combine_pair_follows_the_paper_equation() {
-        let left = Mem { r: 10, q: 20, len: 8 };
+        let left = Mem {
+            r: 10,
+            q: 20,
+            len: 8,
+        };
         // Overlap: r'-r = q'-q = 5 ≤ 8.
-        let right = Mem { r: 15, q: 25, len: 8 };
+        let right = Mem {
+            r: 15,
+            q: 25,
+            len: 8,
+        };
         assert_eq!(
             combine_pair(left, right),
-            Some(Mem { r: 10, q: 20, len: 13 })
+            Some(Mem {
+                r: 10,
+                q: 20,
+                len: 13
+            })
         );
         // Exactly adjacent (δ = λ) combines.
-        let touching = Mem { r: 18, q: 28, len: 4 };
+        let touching = Mem {
+            r: 18,
+            q: 28,
+            len: 4,
+        };
         assert_eq!(
             combine_pair(left, touching),
-            Some(Mem { r: 10, q: 20, len: 12 })
+            Some(Mem {
+                r: 10,
+                q: 20,
+                len: 12
+            })
         );
         // Too far (δ > λ) does not.
-        assert_eq!(combine_pair(left, Mem { r: 19, q: 29, len: 4 }), None);
+        assert_eq!(
+            combine_pair(
+                left,
+                Mem {
+                    r: 19,
+                    q: 29,
+                    len: 4
+                }
+            ),
+            None
+        );
         // Different diagonal does not.
-        assert_eq!(combine_pair(left, Mem { r: 15, q: 26, len: 4 }), None);
+        assert_eq!(
+            combine_pair(
+                left,
+                Mem {
+                    r: 15,
+                    q: 26,
+                    len: 4
+                }
+            ),
+            None
+        );
         // δ must be positive.
         assert_eq!(combine_pair(left, left), None);
     }
@@ -287,7 +324,11 @@ mod tests {
         let mut t = vec![Vec::new(); 16];
         for s in slots {
             let q = s as u32 * w;
-            t[s].push(Mem { r: q + diag, q, len: w });
+            t[s].push(Mem {
+                r: q + diag,
+                q,
+                len: w,
+            });
         }
         t
     }
@@ -295,7 +336,14 @@ mod tests {
     #[test]
     fn aligned_chain_reduces_to_one() {
         let out = run_tree(16, chain(0..8, 5, 100));
-        assert_eq!(out, vec![Mem { r: 100, q: 0, len: 40 }]);
+        assert_eq!(
+            out,
+            vec![Mem {
+                r: 100,
+                q: 0,
+                len: 40
+            }]
+        );
     }
 
     #[test]
@@ -324,7 +372,11 @@ mod tests {
     fn distinct_diagonals_do_not_merge() {
         let mut t = vec![Vec::new(); 8];
         t[0].push(Mem { r: 0, q: 0, len: 5 });
-        t[1].push(Mem { r: 100, q: 5, len: 5 });
+        t[1].push(Mem {
+            r: 100,
+            q: 5,
+            len: 5,
+        });
         let mut out = run_tree(8, t);
         out.sort_unstable();
         assert_eq!(out.len(), 2);
@@ -341,8 +393,16 @@ mod tests {
         assert_eq!(
             out,
             vec![
-                Mem { r: 10, q: 0, len: 20 },
-                Mem { r: 220, q: 20, len: 20 }
+                Mem {
+                    r: 10,
+                    q: 0,
+                    len: 20
+                },
+                Mem {
+                    r: 220,
+                    q: 20,
+                    len: 20
+                }
             ]
         );
     }
@@ -354,8 +414,14 @@ mod tests {
         let device = Device::new(DeviceSpec::test_tiny());
         let assignment = Assignment {
             groups: vec![
-                GroupAssign { seed_slot: 0, threads: 0..3 },
-                GroupAssign { seed_slot: 1, threads: 3..4 },
+                GroupAssign {
+                    seed_slot: 0,
+                    threads: 0..3,
+                },
+                GroupAssign {
+                    seed_slot: 1,
+                    threads: 3..4,
+                },
             ],
             group_of_thread: vec![0, 0, 0, 1],
         };
@@ -365,11 +431,27 @@ mod tests {
             // Slot 0 has triplets on three diagonals; slot 1 continues
             // one of them.
             t[0].push(Mem { r: 0, q: 0, len: 4 });
-            t[0].push(Mem { r: 50, q: 0, len: 4 });
-            t[0].push(Mem { r: 90, q: 0, len: 4 });
-            t[1].push(Mem { r: 54, q: 4, len: 4 });
+            t[0].push(Mem {
+                r: 50,
+                q: 0,
+                len: 4,
+            });
+            t[0].push(Mem {
+                r: 90,
+                q: 0,
+                len: 4,
+            });
+            t[1].push(Mem {
+                r: 54,
+                q: 4,
+                len: 4,
+            });
             tree_combine(ctx, &assignment, &mut t);
-            *out.lock() = t.into_iter().flatten().filter(|m| m.len > 0).collect::<Vec<_>>();
+            *out.lock() = t
+                .into_iter()
+                .flatten()
+                .filter(|m| m.len > 0)
+                .collect::<Vec<_>>();
         });
         let mut got = out.into_inner();
         got.sort_unstable();
@@ -377,8 +459,16 @@ mod tests {
             got,
             vec![
                 Mem { r: 0, q: 0, len: 4 },
-                Mem { r: 50, q: 0, len: 8 },
-                Mem { r: 90, q: 0, len: 4 }
+                Mem {
+                    r: 50,
+                    q: 0,
+                    len: 8
+                },
+                Mem {
+                    r: 90,
+                    q: 0,
+                    len: 4
+                }
             ]
         );
     }
@@ -389,7 +479,10 @@ mod tests {
         let schedule = combine_schedule(16);
         assert_eq!(schedule.len(), 7);
         let pairs = |d: usize, srcs: &[usize]| -> Vec<(usize, usize)> {
-            srcs.iter().map(|&s| (s, s + d)).filter(|&(_, t)| t < 16).collect()
+            srcs.iter()
+                .map(|&s| (s, s + d))
+                .filter(|&(_, t)| t < 16)
+                .collect()
         };
         assert_eq!(schedule[0], pairs(1, &[0, 2, 4, 6, 8, 10, 12, 14]));
         assert_eq!(schedule[1], pairs(2, &[0, 4, 8, 12]));
@@ -413,8 +506,16 @@ mod tests {
                     pairs.iter().map(|&(s, _)| s).collect();
                 let targets: std::collections::HashSet<usize> =
                     pairs.iter().map(|&(_, t)| t).collect();
-                assert_eq!(sources.len(), pairs.len(), "τ={tau} iter={iter}: dup source");
-                assert_eq!(targets.len(), pairs.len(), "τ={tau} iter={iter}: dup target");
+                assert_eq!(
+                    sources.len(),
+                    pairs.len(),
+                    "τ={tau} iter={iter}: dup source"
+                );
+                assert_eq!(
+                    targets.len(),
+                    pairs.len(),
+                    "τ={tau} iter={iter}: dup target"
+                );
                 assert!(
                     sources.is_disjoint(&targets),
                     "τ={tau} iter={iter}: a slot is both source and target"
@@ -438,9 +539,21 @@ mod tests {
 
     #[test]
     fn diag_key_orders_by_diagonal_then_q() {
-        let a = Mem { r: 5, q: 10, len: 1 }; // diag -5
-        let b = Mem { r: 10, q: 10, len: 1 }; // diag 0
-        let c = Mem { r: 12, q: 12, len: 1 }; // diag 0, larger q
+        let a = Mem {
+            r: 5,
+            q: 10,
+            len: 1,
+        }; // diag -5
+        let b = Mem {
+            r: 10,
+            q: 10,
+            len: 1,
+        }; // diag 0
+        let c = Mem {
+            r: 12,
+            q: 12,
+            len: 1,
+        }; // diag 0, larger q
         assert!(diag_key(&a) < diag_key(&b));
         assert!(diag_key(&b) < diag_key(&c));
     }
@@ -470,42 +583,92 @@ mod tests {
     #[test]
     fn scan_combine_merges_runs() {
         let mut mems = vec![
-            Mem { r: 10, q: 0, len: 6 },  // diag 10
-            Mem { r: 14, q: 4, len: 6 },  // diag 10, overlapping
-            Mem { r: 22, q: 12, len: 6 }, // diag 10, too far (gap)
-            Mem { r: 5, q: 0, len: 9 },   // diag 5 — but sorted order matters:
+            Mem {
+                r: 10,
+                q: 0,
+                len: 6,
+            }, // diag 10
+            Mem {
+                r: 14,
+                q: 4,
+                len: 6,
+            }, // diag 10, overlapping
+            Mem {
+                r: 22,
+                q: 12,
+                len: 6,
+            }, // diag 10, too far (gap)
+            Mem { r: 5, q: 0, len: 9 }, // diag 5 — but sorted order matters:
         ];
         mems.sort_unstable_by_key(diag_key);
         let merges = scan_combine_sorted(&mut mems);
         assert_eq!(merges, 1);
         let alive: Vec<Mem> = mems.into_iter().filter(|m| m.len > 0).collect();
-        assert!(alive.contains(&Mem { r: 10, q: 0, len: 10 }));
-        assert!(alive.contains(&Mem { r: 22, q: 12, len: 6 }));
+        assert!(alive.contains(&Mem {
+            r: 10,
+            q: 0,
+            len: 10
+        }));
+        assert!(alive.contains(&Mem {
+            r: 22,
+            q: 12,
+            len: 6
+        }));
         assert!(alive.contains(&Mem { r: 5, q: 0, len: 9 }));
     }
 
     #[test]
     fn scan_combine_handles_duplicates_and_nesting() {
         let mut mems = vec![
-            Mem { r: 10, q: 0, len: 20 },
-            Mem { r: 10, q: 0, len: 5 },  // duplicate start, shorter
-            Mem { r: 15, q: 5, len: 3 },  // nested inside the first
+            Mem {
+                r: 10,
+                q: 0,
+                len: 20,
+            },
+            Mem {
+                r: 10,
+                q: 0,
+                len: 5,
+            }, // duplicate start, shorter
+            Mem {
+                r: 15,
+                q: 5,
+                len: 3,
+            }, // nested inside the first
         ];
         mems.sort_unstable_by_key(diag_key);
         scan_combine_sorted(&mut mems);
         let alive: Vec<Mem> = mems.into_iter().filter(|m| m.len > 0).collect();
-        assert_eq!(alive, vec![Mem { r: 10, q: 0, len: 20 }]);
+        assert_eq!(
+            alive,
+            vec![Mem {
+                r: 10,
+                q: 0,
+                len: 20
+            }]
+        );
     }
 
     #[test]
     fn scan_combine_chains_transitively() {
         let mut mems: Vec<Mem> = (0..5)
-            .map(|i| Mem { r: i * 4, q: i * 4, len: 4 })
+            .map(|i| Mem {
+                r: i * 4,
+                q: i * 4,
+                len: 4,
+            })
             .collect();
         mems.sort_unstable_by_key(diag_key);
         scan_combine_sorted(&mut mems);
         let alive: Vec<Mem> = mems.into_iter().filter(|m| m.len > 0).collect();
-        assert_eq!(alive, vec![Mem { r: 0, q: 0, len: 20 }]);
+        assert_eq!(
+            alive,
+            vec![Mem {
+                r: 0,
+                q: 0,
+                len: 20
+            }]
+        );
     }
 }
 

@@ -63,7 +63,10 @@ impl std::fmt::Display for ConfigError {
         match self {
             ConfigError::Index(e) => write!(f, "{e}"),
             ConfigError::TauNotPowerOfTwo(tau) => {
-                write!(f, "threads_per_block must be a power of two >= 2, got {tau}")
+                write!(
+                    f,
+                    "threads_per_block must be a power of two >= 2, got {tau}"
+                )
             }
             ConfigError::NoBlocks => write!(f, "blocks_per_tile must be positive"),
             ConfigError::ZeroMinLen => write!(f, "minimum MEM length L must be positive"),
@@ -185,7 +188,9 @@ impl GpumemConfigBuilder {
             }
             .into());
         }
-        let step = self.step.unwrap_or_else(|| max_step(self.min_len, seed_len));
+        let step = self
+            .step
+            .unwrap_or_else(|| max_step(self.min_len, seed_len));
         check_step(step, self.min_len, seed_len)?;
         if self.threads_per_block < 2 || !self.threads_per_block.is_power_of_two() {
             return Err(ConfigError::TauNotPowerOfTwo(self.threads_per_block));
@@ -293,7 +298,10 @@ mod tests {
 
     #[test]
     fn errors_display_cleanly() {
-        let err = GpumemConfig::builder(50).threads_per_block(3).build().unwrap_err();
+        let err = GpumemConfig::builder(50)
+            .threads_per_block(3)
+            .build()
+            .unwrap_err();
         assert!(err.to_string().contains("power of two"));
     }
 }

@@ -55,24 +55,62 @@ mod tests {
         let text = GenomeModel::uniform().generate(400, 301);
         // Fragments of the self-match diagonal from four tiles.
         let fragments = vec![
-            Mem { r: 0, q: 0, len: 100 },
-            Mem { r: 100, q: 100, len: 100 },
-            Mem { r: 200, q: 200, len: 100 },
-            Mem { r: 300, q: 300, len: 100 },
+            Mem {
+                r: 0,
+                q: 0,
+                len: 100,
+            },
+            Mem {
+                r: 100,
+                q: 100,
+                len: 100,
+            },
+            Mem {
+                r: 200,
+                q: 200,
+                len: 100,
+            },
+            Mem {
+                r: 300,
+                q: 300,
+                len: 100,
+            },
         ];
         let out = global_merge(&text, &text, fragments, 50);
-        assert_eq!(out, vec![Mem { r: 0, q: 0, len: 400 }]);
+        assert_eq!(
+            out,
+            vec![Mem {
+                r: 0,
+                q: 0,
+                len: 400
+            }]
+        );
     }
 
     #[test]
     fn duplicates_from_gap_expansion_are_deduped() {
         let text = GenomeModel::uniform().generate(300, 302);
         let fragments = vec![
-            Mem { r: 0, q: 0, len: 30 },
-            Mem { r: 250, q: 250, len: 30 },
+            Mem {
+                r: 0,
+                q: 0,
+                len: 30,
+            },
+            Mem {
+                r: 250,
+                q: 250,
+                len: 30,
+            },
         ];
         let out = global_merge(&text, &text, fragments, 10);
-        assert_eq!(out, vec![Mem { r: 0, q: 0, len: 300 }]);
+        assert_eq!(
+            out,
+            vec![Mem {
+                r: 0,
+                q: 0,
+                len: 300
+            }]
+        );
     }
 
     #[test]
@@ -94,7 +132,11 @@ mod tests {
         let mut fragments = Vec::new();
         for t in (0..480).step_by(11) {
             if reference.code(t) == query.code(t) {
-                fragments.push(Mem { r: t as u32, q: t as u32, len: 1 });
+                fragments.push(Mem {
+                    r: t as u32,
+                    q: t as u32,
+                    len: 1,
+                });
             }
         }
         for mem in global_merge(&reference, &query, fragments, 2) {

@@ -144,8 +144,8 @@ impl Gpumem {
         };
         let locs = n_locs * 4;
         let tile_bases = (self.config.tile_len() as u64).div_ceil(4); // 2-bit packed
-        // Triplet working set: generously assume every sampled location
-        // anchors one 12-byte triplet, twice (block + tile stage).
+                                                                      // Triplet working set: generously assume every sampled location
+                                                                      // anchors one 12-byte triplet, twice (block + tile stage).
         let triplets = n_locs * 12 * 2;
         directory + locs + 2 * tile_bases + triplets
     }
@@ -157,7 +157,11 @@ impl Gpumem {
     }
 
     /// Build the configured index layout for one reference region.
-    fn build_row_index(&self, reference: &PackedSeq, region: Region) -> (Box<dyn SeedLookup>, LaunchStats) {
+    fn build_row_index(
+        &self,
+        reference: &PackedSeq,
+        region: Region,
+    ) -> (Box<dyn SeedLookup>, LaunchStats) {
         match self.config.index_kind {
             crate::config::IndexKind::DenseTable => {
                 let (index, stats) = build_gpu(
@@ -245,8 +249,9 @@ impl Gpumem {
 
                     // One GPU block per ℓ_tile × ℓ_block slice.
                     let collector = Mutex::new(Vec::new());
-                    let launch = self.device.launch_fn(
+                    let launch = self.device.launch_fn_named(
                         LaunchConfig::new(config.blocks_per_tile, config.threads_per_block),
+                        "match.blocks",
                         |ctx| {
                             let block_q =
                                 tiling.block_range(col, ctx.block_id, config.block_width());
@@ -279,8 +284,9 @@ impl Gpumem {
                             q: tiling.col_range(col),
                         };
                         let tile_collector = Mutex::new(crate::tile_run::TileOutput::default());
-                        let launch = self.device.launch_fn(
+                        let launch = self.device.launch_fn_named(
                             LaunchConfig::new(1, config.threads_per_block),
+                            "match.tile_merge",
                             |ctx| {
                                 *tile_collector.lock() = merge_tile(
                                     ctx,
@@ -447,7 +453,10 @@ mod tests {
         let dense = build(crate::config::IndexKind::DenseTable).run(&pair.reference, &pair.query);
         let compact =
             build(crate::config::IndexKind::CompactDirectory).run(&pair.reference, &pair.query);
-        assert_eq!(dense.mems, compact.mems, "index layout must not change results");
+        assert_eq!(
+            dense.mems, compact.mems,
+            "index layout must not change results"
+        );
         assert_eq!(dense.mems, naive_mems(&pair.reference, &pair.query, 16));
         // The compact directory trades lookup overhead for memory.
         assert!(

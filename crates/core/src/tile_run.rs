@@ -128,15 +128,27 @@ mod tests {
         };
         // Fragments as two blocks would emit them (split at q = 20).
         let fragments = vec![
-            Mem { r: 10, q: 5, len: 15 },
-            Mem { r: 25, q: 20, len: 15 },
+            Mem {
+                r: 10,
+                q: 5,
+                len: 15,
+            },
+            Mem {
+                r: 25,
+                q: 20,
+                len: 15,
+            },
         ];
         let bounds = Bounds::whole(&reference, &query);
         let output = run_merge(&reference, &query, fragments, bounds, 12);
         assert!(output.out_tile.is_empty());
         assert_eq!(
             canonicalize(output.in_tile),
-            vec![Mem { r: 10, q: 5, len: 30 }]
+            vec![Mem {
+                r: 10,
+                q: 5,
+                len: 30
+            }]
         );
     }
 
@@ -147,14 +159,26 @@ mod tests {
         // full run even though scan-combine cannot bridge the gap.
         let text = GenomeModel::uniform().generate(300, 201);
         let fragments = vec![
-            Mem { r: 0, q: 0, len: 40 },
-            Mem { r: 200, q: 200, len: 40 },
+            Mem {
+                r: 0,
+                q: 0,
+                len: 40,
+            },
+            Mem {
+                r: 200,
+                q: 200,
+                len: 40,
+            },
         ];
         let bounds = Bounds::whole(&text, &text);
         let output = run_merge(&text, &text, fragments, bounds, 20);
         assert_eq!(
             canonicalize(output.in_tile),
-            vec![Mem { r: 0, q: 0, len: 300 }],
+            vec![Mem {
+                r: 0,
+                q: 0,
+                len: 300
+            }],
             "both fragments expand to the full diagonal and dedup later"
         );
     }
@@ -163,11 +187,22 @@ mod tests {
     fn tile_boundary_produces_out_tile() {
         let text = GenomeModel::uniform().generate(100, 202);
         let bounds = Bounds { r: 0..50, q: 0..50 };
-        let fragments = vec![Mem { r: 10, q: 10, len: 30 }];
+        let fragments = vec![Mem {
+            r: 10,
+            q: 10,
+            len: 30,
+        }];
         let output = run_merge(&text, &text, fragments, bounds, 10);
         assert!(output.in_tile.is_empty());
         assert_eq!(output.out_tile.len(), 1);
-        assert_eq!(output.out_tile[0], Mem { r: 0, q: 0, len: 50 });
+        assert_eq!(
+            output.out_tile[0],
+            Mem {
+                r: 0,
+                q: 0,
+                len: 50
+            }
+        );
     }
 
     #[test]
@@ -214,13 +249,7 @@ mod tests {
     #[test]
     fn empty_input_is_a_noop() {
         let text = GenomeModel::uniform().generate(50, 205);
-        let output = run_merge(
-            &text,
-            &text,
-            Vec::new(),
-            Bounds::whole(&text, &text),
-            10,
-        );
+        let output = run_merge(&text, &text, Vec::new(), Bounds::whole(&text, &text), 10);
         assert_eq!(output, TileOutput::default());
     }
 }

@@ -33,9 +33,22 @@ pub struct LaunchConfig {
 
 impl LaunchConfig {
     /// Create a config; `block_dim` must be positive.
+    ///
+    /// `grid_dim` **may be zero**: launching a zero-block grid is a
+    /// well-defined no-op — the kernel body never runs and the launch
+    /// returns empty statistics (only the fixed launch overhead is
+    /// modeled). The pipeline relies on this when a tile or histogram
+    /// region is empty, so it is a documented guarantee, not an
+    /// accident. (Real CUDA rejects 0-dim grids with
+    /// `cudaErrorInvalidConfiguration`; callers here would otherwise
+    /// all need `if n > 0` guards around an operation that has an
+    /// obvious identity behavior.)
     pub fn new(grid_dim: usize, block_dim: usize) -> LaunchConfig {
         assert!(block_dim > 0, "block_dim must be positive");
-        LaunchConfig { grid_dim, block_dim }
+        LaunchConfig {
+            grid_dim,
+            block_dim,
+        }
     }
 }
 
@@ -87,13 +100,31 @@ impl Device {
 
     /// Launch `kernel` over `cfg.grid_dim` blocks of `cfg.block_dim`
     /// logical threads and return aggregate statistics.
+    ///
+    /// A `grid_dim` of zero is a no-op (see [`LaunchConfig::new`]).
+    /// Under the sanitizer the launch is reported as `"kernel"`; use
+    /// [`Device::launch_named`] to give it a real name.
     pub fn launch<K: BlockKernel>(&self, cfg: LaunchConfig, kernel: &K) -> LaunchStats {
+        self.launch_named(cfg, "kernel", kernel)
+    }
+
+    /// [`Device::launch`] with a kernel name for sanitizer reports.
+    pub fn launch_named<K: BlockKernel>(
+        &self,
+        cfg: LaunchConfig,
+        name: &str,
+        kernel: &K,
+    ) -> LaunchStats {
         assert!(
             cfg.block_dim <= self.spec.max_threads_per_block,
             "block_dim {} exceeds device limit {}",
             cfg.block_dim,
             self.spec.max_threads_per_block
         );
+        #[cfg(feature = "sanitize")]
+        crate::sanitizer::begin_launch(name, self.spec.warp_size as u32);
+        #[cfg(not(feature = "sanitize"))]
+        let _ = name;
         let start = Instant::now();
         let outs: Vec<BlockOut> = (0..cfg.grid_dim)
             .into_par_iter()
@@ -104,6 +135,8 @@ impl Device {
             })
             .collect();
         let wall = start.elapsed();
+        #[cfg(feature = "sanitize")]
+        crate::sanitizer::end_launch();
         self.aggregate(outs, wall)
     }
 
@@ -113,6 +146,14 @@ impl Device {
         F: Fn(&mut BlockCtx<'_>) + Sync,
     {
         self.launch(cfg, &f)
+    }
+
+    /// Convenience: launch a closure kernel with a sanitizer name.
+    pub fn launch_fn_named<F>(&self, cfg: LaunchConfig, name: &str, f: F) -> LaunchStats
+    where
+        F: Fn(&mut BlockCtx<'_>) + Sync,
+    {
+        self.launch_named(cfg, name, &f)
     }
 
     /// Fold per-block results into launch statistics, scheduling block
@@ -126,10 +167,7 @@ impl Device {
         block_cycles.sort_unstable_by(|a, b| b.cmp(a));
         let mut sm_load = vec![0u64; self.spec.sm_count];
         for cycles in block_cycles {
-            let min = sm_load
-                .iter_mut()
-                .min()
-                .expect("sm_count is positive");
+            let min = sm_load.iter_mut().min().expect("sm_count is positive");
             *min += cycles;
         }
         let device_cycles = sm_load.into_iter().max().unwrap_or(0);
@@ -178,17 +216,28 @@ pub struct BlockCtx<'c> {
     pub block_dim: usize,
     cost: &'c CostModel,
     warp_size: usize,
+    /// SIMT region ordinal: incremented at every `simt_range` call, so
+    /// accesses separated by a barrier land in different regions.
+    #[cfg(feature = "sanitize")]
+    region: u32,
     out: BlockOut,
 }
 
 impl<'c> BlockCtx<'c> {
-    fn new(block_id: usize, cfg: LaunchConfig, cost: &'c CostModel, warp_size: usize) -> BlockCtx<'c> {
+    fn new(
+        block_id: usize,
+        cfg: LaunchConfig,
+        cost: &'c CostModel,
+        warp_size: usize,
+    ) -> BlockCtx<'c> {
         BlockCtx {
             block_id,
             grid_dim: cfg.grid_dim,
             block_dim: cfg.block_dim,
             cost,
             warp_size,
+            #[cfg(feature = "sanitize")]
+            region: 0,
             out: BlockOut {
                 warps: 0,
                 warp_cycles: 0,
@@ -217,6 +266,12 @@ impl<'c> BlockCtx<'c> {
     /// outside the range are masked off, as with an early `if (tid >= n)
     /// return;` guard in CUDA).
     pub fn simt_range<F: FnMut(&mut Lane<'_>)>(&mut self, threads: Range<usize>, mut f: F) {
+        #[cfg(feature = "sanitize")]
+        let region = {
+            let r = self.region;
+            self.region += 1;
+            r
+        };
         let end = threads.end.min(self.block_dim);
         let mut warp_start = threads.start;
         while warp_start < end {
@@ -227,6 +282,8 @@ impl<'c> BlockCtx<'c> {
                 let mut lane = Lane {
                     tid,
                     block_id: self.block_id,
+                    #[cfg(feature = "sanitize")]
+                    region,
                     cost: self.cost,
                     cycles: 0,
                     branch_signature: 0xcbf2_9ce4_8422_2325,
@@ -249,9 +306,8 @@ impl<'c> BlockCtx<'c> {
                 self.out.divergence_events += 1;
             }
             self.out.warps += 1;
-            self.out.warp_cycles += warp_max
-                + self.cost.sync
-                + (distinct_paths - 1) * self.cost.divergence_penalty;
+            self.out.warp_cycles +=
+                warp_max + self.cost.sync + (distinct_paths - 1) * self.cost.divergence_penalty;
             warp_start = warp_end;
         }
     }
@@ -273,6 +329,9 @@ pub struct Lane<'c> {
     pub tid: usize,
     /// Block index within the grid (`blockIdx.x`).
     pub block_id: usize,
+    /// SIMT region this lane is executing in (sanitizer coordinates).
+    #[cfg(feature = "sanitize")]
+    region: u32,
     cost: &'c CostModel,
     cycles: u64,
     branch_signature: u64,
@@ -299,8 +358,8 @@ impl Lane<'_> {
     #[inline(always)]
     pub fn branch(&mut self, taken: bool) -> bool {
         self.charge(Op::Branch, 1);
-        self.branch_signature = (self.branch_signature ^ u64::from(taken) ^ 0x9E37)
-            .wrapping_mul(0x0000_0100_0000_01B3);
+        self.branch_signature =
+            (self.branch_signature ^ u64::from(taken) ^ 0x9E37).wrapping_mul(0x0000_0100_0000_01B3);
         taken
     }
 
@@ -316,10 +375,39 @@ impl Lane<'_> {
         self.charge(Op::Shared, count);
     }
 
+    /// This lane's coordinates for the sanitizer.
+    #[cfg(feature = "sanitize")]
+    #[inline]
+    fn site(&self) -> crate::sanitizer::SiteCtx {
+        crate::sanitizer::SiteCtx {
+            block: self.block_id as u32,
+            region: self.region,
+            tid: self.tid as u32,
+        }
+    }
+
+    /// Sanitizer check for one device access; `false` means suppress.
+    #[cfg(feature = "sanitize")]
+    #[inline]
+    fn check32(&self, buf: &GpuU32, i: usize, kind: crate::sanitizer::AccessKind) -> bool {
+        crate::sanitizer::device_access(buf.meta(), buf.len(), i, kind, self.site())
+    }
+
+    /// Sanitizer check for one device access; `false` means suppress.
+    #[cfg(feature = "sanitize")]
+    #[inline]
+    fn check64(&self, buf: &GpuU64, i: usize, kind: crate::sanitizer::AccessKind) -> bool {
+        crate::sanitizer::device_access(buf.meta(), buf.len(), i, kind, self.site())
+    }
+
     /// Global load through the cost model.
     #[inline(always)]
     pub fn ld32(&mut self, buf: &GpuU32, i: usize) -> u32 {
         self.charge(Op::GlobalLoad, 1);
+        #[cfg(feature = "sanitize")]
+        if !self.check32(buf, i, crate::sanitizer::AccessKind::Read) {
+            return 0;
+        }
         buf.load(i)
     }
 
@@ -327,20 +415,84 @@ impl Lane<'_> {
     #[inline(always)]
     pub fn st32(&mut self, buf: &GpuU32, i: usize, v: u32) {
         self.charge(Op::GlobalStore, 1);
-        buf.store(i, v);
+        #[cfg(feature = "sanitize")]
+        if !self.check32(buf, i, crate::sanitizer::AccessKind::Write) {
+            return;
+        }
+        buf.store_raw(i, v);
     }
 
     /// `atomicAdd` on a `u32` buffer, returning the old value.
     #[inline(always)]
     pub fn atomic_add32(&mut self, buf: &GpuU32, i: usize, v: u32) -> u32 {
         self.charge(Op::Atomic, 1);
+        #[cfg(feature = "sanitize")]
+        if !self.check32(buf, i, crate::sanitizer::AccessKind::Atomic) {
+            return 0;
+        }
         buf.atomic_add(i, v)
+    }
+
+    /// `atomicMax` on a `u32` buffer, returning the old value.
+    #[inline(always)]
+    pub fn atomic_max32(&mut self, buf: &GpuU32, i: usize, v: u32) -> u32 {
+        self.charge(Op::Atomic, 1);
+        #[cfg(feature = "sanitize")]
+        if !self.check32(buf, i, crate::sanitizer::AccessKind::Atomic) {
+            return 0;
+        }
+        buf.atomic_max(i, v)
+    }
+
+    /// Atomically reserve `count` consecutive slots of `target` by
+    /// adding `count` to the cursor `cursor[i]`, returning the base of
+    /// the reserved range — the paper's Algorithm 1 fill idiom
+    /// (`idx = atomicAdd(&ptr[code], 1)` then `locs[idx] = pos`).
+    ///
+    /// Costs exactly one atomic op, like [`Lane::atomic_add32`]. Under
+    /// the sanitizer the reserved range of `target` is additionally
+    /// recorded, so two cursors handing out overlapping slots of the
+    /// same target are reported as an overlapping-reservation hazard,
+    /// and the reserved slots count as initialized.
+    #[inline(always)]
+    pub fn atomic_reserve32(
+        &mut self,
+        cursor: &GpuU32,
+        i: usize,
+        count: u32,
+        target: &GpuU32,
+    ) -> u32 {
+        self.charge(Op::Atomic, 1);
+        #[cfg(feature = "sanitize")]
+        {
+            if !self.check32(cursor, i, crate::sanitizer::AccessKind::Atomic) {
+                return 0;
+            }
+            let base = cursor.atomic_add(i, count);
+            crate::sanitizer::record_reservation(
+                target.meta(),
+                target.len(),
+                u64::from(base),
+                u64::from(count),
+                self.site(),
+            );
+            base
+        }
+        #[cfg(not(feature = "sanitize"))]
+        {
+            let _ = target;
+            cursor.atomic_add(i, count)
+        }
     }
 
     /// Global load of a `u64` element.
     #[inline(always)]
     pub fn ld64(&mut self, buf: &GpuU64, i: usize) -> u64 {
         self.charge(Op::GlobalLoad, 1);
+        #[cfg(feature = "sanitize")]
+        if !self.check64(buf, i, crate::sanitizer::AccessKind::Read) {
+            return 0;
+        }
         buf.load(i)
     }
 
@@ -348,13 +500,21 @@ impl Lane<'_> {
     #[inline(always)]
     pub fn st64(&mut self, buf: &GpuU64, i: usize, v: u64) {
         self.charge(Op::GlobalStore, 1);
-        buf.store(i, v);
+        #[cfg(feature = "sanitize")]
+        if !self.check64(buf, i, crate::sanitizer::AccessKind::Write) {
+            return;
+        }
+        buf.store_raw(i, v);
     }
 
     /// `atomicAdd` on a `u64` buffer, returning the old value.
     #[inline(always)]
     pub fn atomic_add64(&mut self, buf: &GpuU64, i: usize, v: u64) -> u64 {
         self.charge(Op::Atomic, 1);
+        #[cfg(feature = "sanitize")]
+        if !self.check64(buf, i, crate::sanitizer::AccessKind::Atomic) {
+            return 0;
+        }
         buf.atomic_add(i, v)
     }
 
@@ -557,6 +717,25 @@ mod tests {
     }
 
     #[test]
+    fn zero_block_grid_semantics_are_a_counted_overhead_only_launch() {
+        // The documented contract of LaunchConfig::new(0, τ): legal,
+        // kernel body never runs, the launch is still counted and
+        // charged the fixed launch overhead, and all work counters stay
+        // zero.
+        let device = tiny();
+        let stats = device.launch_fn(LaunchConfig::new(0, 64), |_| {
+            panic!("kernel body must not run for a zero-block grid")
+        });
+        assert_eq!(stats.launches, 1);
+        assert_eq!(stats.blocks, 0);
+        assert_eq!(stats.warps, 0);
+        assert_eq!(stats.device_cycles, 0);
+        assert_eq!(stats.atomic_ops, 0);
+        assert_eq!(stats.global_mem_ops, 0);
+        assert!(stats.modeled_secs() > 0.0, "overhead is still modeled");
+    }
+
+    #[test]
     #[should_panic(expected = "exceeds device limit")]
     fn oversized_block_rejected() {
         let device = tiny();
@@ -576,7 +755,9 @@ mod tests {
             }
         }
         let device = tiny();
-        let kernel = AddK { out: GpuU32::new(1) };
+        let kernel = AddK {
+            out: GpuU32::new(1),
+        };
         device.launch(LaunchConfig::new(2, 16), &kernel);
         let expect: u32 = 2 * (0..16).sum::<u32>();
         assert_eq!(kernel.out.load(0), expect);

@@ -37,6 +37,8 @@ pub mod cost;
 pub mod exec;
 pub mod memory;
 pub mod primitives;
+#[cfg(feature = "sanitize")]
+pub mod sanitizer;
 pub mod spec;
 pub mod stats;
 

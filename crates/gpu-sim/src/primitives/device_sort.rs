@@ -30,80 +30,85 @@ pub fn device_sort_u64(device: &Device, buf: &GpuU64) -> LaunchStats {
     let n_chunks = n.div_ceil(CHUNK);
 
     // Phase 1: per-block chunk sorts.
-    let mut stats = device.launch_fn(LaunchConfig::new(n_chunks, BLOCK_DIM), |ctx| {
-        let lo = ctx.block_id * CHUNK;
-        let hi = (lo + CHUNK).min(n);
-        // Load to "shared memory".
-        let mut shared: Vec<u64> = Vec::with_capacity(hi - lo);
-        ctx.simt(|lane| {
-            let mut i = lo + lane.tid;
-            while i < hi {
-                lane.charge(crate::cost::Op::GlobalLoad, 1);
-                i += BLOCK_DIM;
+    let mut stats = device.launch_fn_named(
+        LaunchConfig::new(n_chunks, BLOCK_DIM),
+        "sort.chunks",
+        |ctx| {
+            let lo = ctx.block_id * CHUNK;
+            let hi = (lo + CHUNK).min(n);
+            // Load to "shared memory".
+            let mut shared: Vec<u64> = Vec::with_capacity(hi - lo);
+            ctx.simt(|lane| {
+                let mut i = lo + lane.tid;
+                while i < hi {
+                    lane.charge(crate::cost::Op::GlobalLoad, 1);
+                    i += BLOCK_DIM;
+                }
+            });
+            for i in lo..hi {
+                shared.push(buf.load(i));
             }
-        });
-        for i in lo..hi {
-            shared.push(buf.load(i));
-        }
-        super::sort::block_bitonic_sort_u64(ctx, &mut shared);
-        ctx.simt(|lane| {
-            let mut i = lo + lane.tid;
-            while i < hi {
-                lane.charge(crate::cost::Op::GlobalStore, 1);
-                i += BLOCK_DIM;
+            super::sort::block_bitonic_sort_u64(ctx, &mut shared);
+            ctx.simt(|lane| {
+                let mut i = lo + lane.tid;
+                while i < hi {
+                    lane.charge(crate::cost::Op::GlobalStore, 1);
+                    i += BLOCK_DIM;
+                }
+            });
+            for (offset, value) in shared.into_iter().enumerate() {
+                buf.store(lo + offset, value);
             }
-        });
-        for (offset, value) in shared.into_iter().enumerate() {
-            buf.store(lo + offset, value);
-        }
-    });
+        },
+    );
 
     // Phase 2: iterative merge passes over run pairs.
     let mut run = CHUNK;
     while run < n {
         let n_pairs = n.div_ceil(2 * run);
-        stats += device.launch_fn(LaunchConfig::new(n_pairs, BLOCK_DIM), |ctx| {
-            let pair = ctx.block_id;
-            let lo = pair * 2 * run;
-            let mid = (lo + run).min(n);
-            let hi = (lo + 2 * run).min(n);
-            if mid >= hi {
-                return; // lone tail run, already sorted
-            }
-            // One logical merger; the block's lanes share the element-
-            // movement cost (a real kernel would use merge-path
-            // partitioning).
-            let total = (hi - lo) as u64;
-            let per_lane = total.div_ceil(BLOCK_DIM as u64);
-            ctx.simt(|lane| {
-                lane.charge(crate::cost::Op::GlobalLoad, per_lane);
-                lane.charge(crate::cost::Op::Compare, per_lane);
-                lane.charge(crate::cost::Op::GlobalStore, per_lane);
-            });
-            let mut merged = Vec::with_capacity(hi - lo);
-            let (mut a, mut b) = (lo, mid);
-            while a < mid && b < hi {
-                let (va, vb) = (buf.load(a), buf.load(b));
-                if va <= vb {
-                    merged.push(va);
+        stats +=
+            device.launch_fn_named(LaunchConfig::new(n_pairs, BLOCK_DIM), "sort.merge", |ctx| {
+                let pair = ctx.block_id;
+                let lo = pair * 2 * run;
+                let mid = (lo + run).min(n);
+                let hi = (lo + 2 * run).min(n);
+                if mid >= hi {
+                    return; // lone tail run, already sorted
+                }
+                // One logical merger; the block's lanes share the element-
+                // movement cost (a real kernel would use merge-path
+                // partitioning).
+                let total = (hi - lo) as u64;
+                let per_lane = total.div_ceil(BLOCK_DIM as u64);
+                ctx.simt(|lane| {
+                    lane.charge(crate::cost::Op::GlobalLoad, per_lane);
+                    lane.charge(crate::cost::Op::Compare, per_lane);
+                    lane.charge(crate::cost::Op::GlobalStore, per_lane);
+                });
+                let mut merged = Vec::with_capacity(hi - lo);
+                let (mut a, mut b) = (lo, mid);
+                while a < mid && b < hi {
+                    let (va, vb) = (buf.load(a), buf.load(b));
+                    if va <= vb {
+                        merged.push(va);
+                        a += 1;
+                    } else {
+                        merged.push(vb);
+                        b += 1;
+                    }
+                }
+                while a < mid {
+                    merged.push(buf.load(a));
                     a += 1;
-                } else {
-                    merged.push(vb);
+                }
+                while b < hi {
+                    merged.push(buf.load(b));
                     b += 1;
                 }
-            }
-            while a < mid {
-                merged.push(buf.load(a));
-                a += 1;
-            }
-            while b < hi {
-                merged.push(buf.load(b));
-                b += 1;
-            }
-            for (offset, value) in merged.into_iter().enumerate() {
-                buf.store(lo + offset, value);
-            }
-        });
+                for (offset, value) in merged.into_iter().enumerate() {
+                    buf.store(lo + offset, value);
+                }
+            });
         run *= 2;
     }
     stats
@@ -123,7 +128,16 @@ mod tests {
     #[test]
     fn sorts_across_many_chunk_boundaries() {
         let mut rng = StdRng::seed_from_u64(17);
-        for n in [0usize, 1, 2, CHUNK - 1, CHUNK, CHUNK + 1, 3 * CHUNK + 77, 20_000] {
+        for n in [
+            0usize,
+            1,
+            2,
+            CHUNK - 1,
+            CHUNK,
+            CHUNK + 1,
+            3 * CHUNK + 77,
+            20_000,
+        ] {
             let input: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
             let buf = GpuU64::from_slice(&input);
             device_sort_u64(&device(), &buf);

@@ -77,64 +77,72 @@ pub fn device_exclusive_scan(device: &Device, buf: &GpuU32) -> LaunchStats {
         return LaunchStats::default();
     }
     let n_chunks = n.div_ceil(SCAN_CHUNK);
-    let sums = GpuU32::new(n_chunks);
+    let sums = GpuU32::named(n_chunks, "scan.sums");
     let per_thread = SCAN_CHUNK.div_ceil(SCAN_BLOCK_DIM);
 
     // Pass 1: each block exclusively scans its chunk and records the
     // chunk total.
-    let mut stats = device.launch_fn(LaunchConfig::new(n_chunks, SCAN_BLOCK_DIM), |ctx| {
-        let chunk_start = ctx.block_id * SCAN_CHUNK;
-        let chunk_end = (chunk_start + SCAN_CHUNK).min(n);
-        let m = chunk_end - chunk_start;
-        let mut local = vec![0u32; SCAN_BLOCK_DIM];
-        ctx.simt(|lane| {
-            let lo = chunk_start + lane.tid * per_thread;
-            let hi = (lo + per_thread).min(chunk_end);
-            let mut sum = 0u32;
-            for i in lo..hi {
-                sum = sum.wrapping_add(lane.ld32(buf, i));
-            }
-            lane.shared(1);
-            local[lane.tid] = sum;
-        });
-        block_exclusive_scan(ctx, &mut local);
-        let last_lane = (m.saturating_sub(1)) / per_thread;
-        let block_id = ctx.block_id;
-        ctx.simt(|lane| {
-            let lo = chunk_start + lane.tid * per_thread;
-            let hi = (lo + per_thread).min(chunk_end);
-            lane.shared(1);
-            let mut acc = local[lane.tid];
-            for i in lo..hi {
-                let v = lane.ld32(buf, i);
-                lane.st32(buf, i, acc);
-                acc = acc.wrapping_add(v);
-            }
-            if lane.branch(lane.tid == last_lane) {
-                lane.st32(&sums, block_id, acc);
-            }
-        });
-    });
+    let mut stats = device.launch_fn_named(
+        LaunchConfig::new(n_chunks, SCAN_BLOCK_DIM),
+        "scan.local",
+        |ctx| {
+            let chunk_start = ctx.block_id * SCAN_CHUNK;
+            let chunk_end = (chunk_start + SCAN_CHUNK).min(n);
+            let m = chunk_end - chunk_start;
+            let mut local = vec![0u32; SCAN_BLOCK_DIM];
+            ctx.simt(|lane| {
+                let lo = chunk_start + lane.tid * per_thread;
+                let hi = (lo + per_thread).min(chunk_end);
+                let mut sum = 0u32;
+                for i in lo..hi {
+                    sum = sum.wrapping_add(lane.ld32(buf, i));
+                }
+                lane.shared(1);
+                local[lane.tid] = sum;
+            });
+            block_exclusive_scan(ctx, &mut local);
+            let last_lane = (m.saturating_sub(1)) / per_thread;
+            let block_id = ctx.block_id;
+            ctx.simt(|lane| {
+                let lo = chunk_start + lane.tid * per_thread;
+                let hi = (lo + per_thread).min(chunk_end);
+                lane.shared(1);
+                let mut acc = local[lane.tid];
+                for i in lo..hi {
+                    let v = lane.ld32(buf, i);
+                    lane.st32(buf, i, acc);
+                    acc = acc.wrapping_add(v);
+                }
+                if lane.branch(lane.tid == last_lane) {
+                    lane.st32(&sums, block_id, acc);
+                }
+            });
+        },
+    );
 
     // Pass 2: scan the chunk totals (recursive; depth is logarithmic).
     if n_chunks > 1 {
         stats += device_exclusive_scan(device, &sums);
 
         // Pass 3: add each chunk's offset to its elements.
-        stats += device.launch_fn(LaunchConfig::new(n_chunks, SCAN_BLOCK_DIM), |ctx| {
-            let chunk_start = ctx.block_id * SCAN_CHUNK;
-            let chunk_end = (chunk_start + SCAN_CHUNK).min(n);
-            let block_id = ctx.block_id;
-            ctx.simt(|lane| {
-                let offset = lane.ld32(&sums, block_id);
-                let lo = chunk_start + lane.tid * per_thread;
-                let hi = (lo + per_thread).min(chunk_end);
-                for i in lo..hi {
-                    let v = lane.ld32(buf, i);
-                    lane.st32(buf, i, v.wrapping_add(offset));
-                }
-            });
-        });
+        stats += device.launch_fn_named(
+            LaunchConfig::new(n_chunks, SCAN_BLOCK_DIM),
+            "scan.add_offsets",
+            |ctx| {
+                let chunk_start = ctx.block_id * SCAN_CHUNK;
+                let chunk_end = (chunk_start + SCAN_CHUNK).min(n);
+                let block_id = ctx.block_id;
+                ctx.simt(|lane| {
+                    let offset = lane.ld32(&sums, block_id);
+                    let lo = chunk_start + lane.tid * per_thread;
+                    let hi = (lo + per_thread).min(chunk_end);
+                    for i in lo..hi {
+                        let v = lane.ld32(buf, i);
+                        lane.st32(buf, i, v.wrapping_add(offset));
+                    }
+                });
+            },
+        );
     }
     stats
 }
@@ -222,7 +230,13 @@ mod tests {
     fn device_scan_multi_chunk_random() {
         let device = device();
         let mut rng = StdRng::seed_from_u64(99);
-        for n in [SCAN_CHUNK - 1, SCAN_CHUNK, SCAN_CHUNK + 1, 3 * SCAN_CHUNK + 17, 100_000] {
+        for n in [
+            SCAN_CHUNK - 1,
+            SCAN_CHUNK,
+            SCAN_CHUNK + 1,
+            3 * SCAN_CHUNK + 17,
+            100_000,
+        ] {
             let input: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
             let buf = GpuU32::from_slice(&input);
             let stats = device_exclusive_scan(&device, &buf);

@@ -1,0 +1,112 @@
+//! End-of-launch hazard detection.
+//!
+//! Out-of-bounds and uninitialized reads are caught at access time (in
+//! [`crate::sanitizer::device_access`]); this module runs the detectors
+//! that need a whole launch's access log: inter-block races,
+//! missing-barrier cross-lane conflicts, and overlapping slot
+//! reservations.
+
+use std::collections::HashMap;
+
+use crate::sanitizer::report::{AccessSite, Hazard, HazardClass};
+use crate::sanitizer::shadow::{Access, BufState, Capture, SiteCtx};
+use crate::sanitizer::LaunchMeta;
+
+/// Convert a shadow access into a reportable site.
+pub(crate) fn site_of(access: Access, launch: u32, meta: &LaunchMeta) -> AccessSite {
+    site_at(access.site, access.kind, launch, meta)
+}
+
+/// Convert a raw site + kind into a reportable site.
+pub(crate) fn site_at(
+    site: SiteCtx,
+    kind: crate::sanitizer::AccessKind,
+    launch: u32,
+    meta: &LaunchMeta,
+) -> AccessSite {
+    AccessSite {
+        kernel: meta.kernel.clone(),
+        launch,
+        block: site.block,
+        region: site.region,
+        warp: site.tid / meta.warp_size,
+        lane: site.tid % meta.warp_size,
+        kind,
+    }
+}
+
+/// Run the launch-scoped detectors over a finished launch's capture and
+/// append the hazards found. Reports are emitted in (buffer, element)
+/// order so runs are deterministic despite hash-map storage.
+pub(crate) fn detect(
+    capture: Capture,
+    launch: u32,
+    meta: &LaunchMeta,
+    buffers: &HashMap<u64, BufState>,
+    mut emit: impl FnMut(Hazard),
+) {
+    let name_of = |id: u64| -> String {
+        buffers
+            .get(&id)
+            .map(|b| b.name.clone())
+            .unwrap_or_else(|| format!("buffer#{id}"))
+    };
+
+    let mut keys: Vec<(u64, usize)> = capture.accesses.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let log = &capture.accesses[&key];
+        let (buf, elem) = key;
+        if let Some((write, other)) = log.inter_block_conflict() {
+            emit(Hazard {
+                class: HazardClass::InterBlockRace,
+                buffer: name_of(buf),
+                elems: elem..elem + 1,
+                first: site_of(write, launch, meta),
+                second: Some(site_of(other, launch, meta)),
+            });
+        }
+        for group in &log.groups {
+            if let Some((write, other)) = group.conflict() {
+                emit(Hazard {
+                    class: HazardClass::MissingBarrier,
+                    buffer: name_of(buf),
+                    elems: elem..elem + 1,
+                    first: site_of(write, launch, meta),
+                    second: Some(site_of(other, launch, meta)),
+                });
+            }
+        }
+    }
+
+    let mut targets: Vec<u64> = capture.reservations.keys().copied().collect();
+    targets.sort_unstable();
+    for target in targets {
+        let mut resvs = capture.reservations[&target].clone();
+        resvs.sort_by_key(|r| (r.base, r.count));
+        for pair in resvs.windows(2) {
+            let (prev, next) = (&pair[0], &pair[1]);
+            let prev_end = prev.base + prev.count;
+            if prev_end > next.base && prev.count > 0 && next.count > 0 {
+                let overlap_end = prev_end.min(next.base + next.count);
+                emit(Hazard {
+                    class: HazardClass::OverlappingReservation,
+                    buffer: name_of(target),
+                    elems: next.base as usize..overlap_end as usize,
+                    first: site_at(
+                        prev.site,
+                        crate::sanitizer::AccessKind::Atomic,
+                        launch,
+                        meta,
+                    ),
+                    second: Some(site_at(
+                        next.site,
+                        crate::sanitizer::AccessKind::Atomic,
+                        launch,
+                        meta,
+                    )),
+                });
+            }
+        }
+    }
+}

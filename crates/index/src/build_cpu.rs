@@ -17,14 +17,21 @@ use crate::seed::SeedCodec;
 
 /// Sequential reference builder: count, scan, fill (in position order,
 /// so buckets come out sorted without a separate pass).
-pub fn build_sequential(seq: &PackedSeq, region: Region, seed_len: usize, step: usize) -> SeedIndex {
+pub fn build_sequential(
+    seq: &PackedSeq,
+    region: Region,
+    seed_len: usize,
+    step: usize,
+) -> SeedIndex {
     assert!(step >= 1, "step must be at least 1");
     let codec = SeedCodec::new(seed_len);
     let positions = SeedIndex::expected_positions(region, step, seed_len, seq.len());
 
     let mut counts = vec![0u32; codec.num_seeds() + 1];
     for &pos in &positions {
-        let code = codec.encode(seq, pos as usize).expect("position bounds-checked");
+        let code = codec
+            .encode(seq, pos as usize)
+            .expect("position bounds-checked");
         counts[code as usize] += 1;
     }
 
@@ -40,7 +47,9 @@ pub fn build_sequential(seq: &PackedSeq, region: Region, seed_len: usize, step: 
     let mut cursor = ptrs.clone();
     let mut locs = vec![0u32; positions.len()];
     for &pos in &positions {
-        let code = codec.encode(seq, pos as usize).expect("position bounds-checked");
+        let code = codec
+            .encode(seq, pos as usize)
+            .expect("position bounds-checked");
         let idx = cursor[code as usize];
         cursor[code as usize] += 1;
         locs[idx as usize] = pos;
@@ -70,7 +79,9 @@ pub fn build_parallel(seq: &PackedSeq, region: Region, seed_len: usize, step: us
         v
     };
     positions.par_iter().for_each(|&pos| {
-        let code = codec.encode(seq, pos as usize).expect("position bounds-checked");
+        let code = codec
+            .encode(seq, pos as usize)
+            .expect("position bounds-checked");
         counts[code as usize].fetch_add(1, Ordering::Relaxed);
     });
 
@@ -91,7 +102,9 @@ pub fn build_parallel(seq: &PackedSeq, region: Region, seed_len: usize, step: us
         v
     };
     positions.par_iter().for_each(|&pos| {
-        let code = codec.encode(seq, pos as usize).expect("position bounds-checked");
+        let code = codec
+            .encode(seq, pos as usize)
+            .expect("position bounds-checked");
         let idx = cursor[code as usize].fetch_add(1, Ordering::Relaxed);
         locs[idx as usize].store(pos, Ordering::Relaxed);
     });
@@ -117,7 +130,9 @@ pub fn build_parallel(seq: &PackedSeq, region: Region, seed_len: usize, step: us
             rest = tail;
             consumed = hi;
         }
-        slices.into_par_iter().for_each(|bucket| bucket.sort_unstable());
+        slices
+            .into_par_iter()
+            .for_each(|bucket| bucket.sort_unstable());
     }
 
     SeedIndex {
@@ -139,7 +154,9 @@ mod tests {
         let seq = GenomeModel::mammalian().generate(5_000, 1);
         for (seed_len, step) in [(4, 1), (6, 3), (8, 38), (8, 5_000)] {
             let index = build_sequential(&seq, Region::whole(&seq), seed_len, step);
-            index.validate(&seq).unwrap_or_else(|e| panic!("({seed_len},{step}): {e}"));
+            index
+                .validate(&seq)
+                .unwrap_or_else(|e| panic!("({seed_len},{step}): {e}"));
         }
     }
 
@@ -148,12 +165,20 @@ mod tests {
         let seq = GenomeModel::mammalian().generate(2_000, 2);
         for region in [
             Region { start: 0, len: 500 },
-            Region { start: 500, len: 500 },
-            Region { start: 1_900, len: 100 },
+            Region {
+                start: 500,
+                len: 500,
+            },
+            Region {
+                start: 1_900,
+                len: 100,
+            },
             Region { start: 0, len: 0 },
         ] {
             let index = build_sequential(&seq, region, 5, 3);
-            index.validate(&seq).unwrap_or_else(|e| panic!("{region:?}: {e}"));
+            index
+                .validate(&seq)
+                .unwrap_or_else(|e| panic!("{region:?}: {e}"));
         }
     }
 
@@ -170,7 +195,10 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_on_regions() {
         let seq = GenomeModel::mammalian().generate(10_000, 4);
-        let region = Region { start: 3_000, len: 4_000 };
+        let region = Region {
+            start: 3_000,
+            len: 4_000,
+        };
         assert_eq!(
             build_sequential(&seq, region, 6, 7),
             build_parallel(&seq, region, 6, 7)

@@ -52,12 +52,12 @@ pub fn build_gpu(
     };
     let position_of = |gid: usize| region.start + gid * step;
 
-    let ptrs = GpuU32::new(num_seeds + 1);
+    let ptrs = GpuU32::named(num_seeds + 1, "index.ptrs");
     let mut stats = LaunchStats::default();
 
     // Step 1: count seed occurrences.
     let grid = n_positions.div_ceil(BLOCK_DIM);
-    stats += device.launch_fn(LaunchConfig::new(grid, BLOCK_DIM), |ctx| {
+    stats += device.launch_fn_named(LaunchConfig::new(grid, BLOCK_DIM), "index.count", |ctx| {
         let base = ctx.block_id * BLOCK_DIM;
         ctx.simt(|lane| {
             let gid = base + lane.tid;
@@ -75,22 +75,28 @@ pub fn build_gpu(
     stats += device_exclusive_scan(device, &ptrs);
 
     // Step 3: fill locs through an atomic cursor copy.
-    let temp = GpuU32::new(num_seeds);
+    let temp = GpuU32::named(num_seeds, "index.temp");
     let copy_grid = num_seeds.div_ceil(BLOCK_DIM * SEEDS_PER_THREAD);
-    stats += device.launch_fn(LaunchConfig::new(copy_grid, BLOCK_DIM), |ctx| {
-        let base = ctx.block_id * BLOCK_DIM * SEEDS_PER_THREAD;
-        ctx.simt(|lane| {
-            let lo = base + lane.tid * SEEDS_PER_THREAD;
-            let hi = (lo + SEEDS_PER_THREAD).min(num_seeds);
-            for s in lo..hi {
-                let v = lane.ld32(&ptrs, s);
-                lane.st32(&temp, s, v);
-            }
-        });
-    });
+    stats += device.launch_fn_named(
+        LaunchConfig::new(copy_grid, BLOCK_DIM),
+        "index.copy_cursor",
+        |ctx| {
+            let base = ctx.block_id * BLOCK_DIM * SEEDS_PER_THREAD;
+            ctx.simt(|lane| {
+                let lo = base + lane.tid * SEEDS_PER_THREAD;
+                let hi = (lo + SEEDS_PER_THREAD).min(num_seeds);
+                for s in lo..hi {
+                    let v = lane.ld32(&ptrs, s);
+                    lane.st32(&temp, s, v);
+                }
+            });
+        },
+    );
 
-    let locs = GpuU32::new(n_positions);
-    stats += device.launch_fn(LaunchConfig::new(grid, BLOCK_DIM), |ctx| {
+    // `locs` models a raw `cudaMalloc` allocation: the fill below is
+    // what initializes it, and the sanitizer checks exactly that.
+    let locs = GpuU32::alloc_uninit(n_positions, "index.locs");
+    stats += device.launch_fn_named(LaunchConfig::new(grid, BLOCK_DIM), "index.fill", |ctx| {
         let base = ctx.block_id * BLOCK_DIM;
         ctx.simt(|lane| {
             let gid = base + lane.tid;
@@ -99,7 +105,7 @@ pub fn build_gpu(
                 lane.charge(Op::GlobalLoad, 1);
                 lane.charge(Op::Alu, 2);
                 let code = codec.encode(seq, pos).expect("sample position fits a seed");
-                let idx = lane.atomic_add32(&temp, code as usize, 1);
+                let idx = lane.atomic_reserve32(&temp, code as usize, 1, &locs);
                 lane.st32(&locs, idx as usize, pos as u32);
             }
         });
@@ -107,20 +113,24 @@ pub fn build_gpu(
 
     // Step 4: one thread per seed sorts its bucket.
     let sort_grid = num_seeds.div_ceil(BLOCK_DIM * SEEDS_PER_THREAD);
-    stats += device.launch_fn(LaunchConfig::new(sort_grid, BLOCK_DIM), |ctx| {
-        let base = ctx.block_id * BLOCK_DIM * SEEDS_PER_THREAD;
-        ctx.simt(|lane| {
-            let lo_seed = base + lane.tid * SEEDS_PER_THREAD;
-            let hi_seed = (lo_seed + SEEDS_PER_THREAD).min(num_seeds);
-            for s in lo_seed..hi_seed {
-                let lo = lane.ld32(&ptrs, s) as usize;
-                let hi = lane.ld32(&ptrs, s + 1) as usize;
-                if lane.branch(hi - lo > 1) {
-                    lane_sort_bucket(lane, &locs, lo, hi);
+    stats += device.launch_fn_named(
+        LaunchConfig::new(sort_grid, BLOCK_DIM),
+        "index.sort_buckets",
+        |ctx| {
+            let base = ctx.block_id * BLOCK_DIM * SEEDS_PER_THREAD;
+            ctx.simt(|lane| {
+                let lo_seed = base + lane.tid * SEEDS_PER_THREAD;
+                let hi_seed = (lo_seed + SEEDS_PER_THREAD).min(num_seeds);
+                for s in lo_seed..hi_seed {
+                    let lo = lane.ld32(&ptrs, s) as usize;
+                    let hi = lane.ld32(&ptrs, s + 1) as usize;
+                    if lane.branch(hi - lo > 1) {
+                        lane_sort_bucket(lane, &locs, lo, hi);
+                    }
                 }
-            }
-        });
-    });
+            });
+        },
+    );
 
     let index = SeedIndex {
         codec,
@@ -162,9 +172,18 @@ mod tests {
         let seq = GenomeModel::mammalian().generate(6_000, 9);
         let device = device();
         for region in [
-            Region { start: 0, len: 1_500 },
-            Region { start: 1_500, len: 1_500 },
-            Region { start: 5_900, len: 100 },
+            Region {
+                start: 0,
+                len: 1_500,
+            },
+            Region {
+                start: 1_500,
+                len: 1_500,
+            },
+            Region {
+                start: 5_900,
+                len: 100,
+            },
         ] {
             let (gpu, _) = build_gpu(&device, &seq, region, 6, 5);
             assert_eq!(gpu, build_sequential(&seq, region, 6, 5), "{region:?}");

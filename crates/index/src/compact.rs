@@ -141,7 +141,9 @@ pub fn build_compact_sequential(
     let mut pairs: Vec<u64> = SeedIndex::expected_positions(region, step, seed_len, seq.len())
         .into_iter()
         .map(|pos| {
-            let code = codec.encode(seq, pos as usize).expect("position bounds-checked");
+            let code = codec
+                .encode(seq, pos as usize)
+                .expect("position bounds-checked");
             (u64::from(code) << 32) | u64::from(pos)
         })
         .collect();
@@ -164,22 +166,28 @@ pub fn build_compact_gpu(
     let codec = SeedCodec::new(seed_len);
     let positions = SeedIndex::expected_positions(region, step, seed_len, seq.len());
     let n = positions.len();
-    let pairs = GpuU64::new(n);
+    let pairs = GpuU64::named(n, "compact.pairs");
 
     const BLOCK_DIM: usize = 256;
-    let mut stats = device.launch_fn(LaunchConfig::new(n.div_ceil(BLOCK_DIM), BLOCK_DIM), |ctx| {
-        let base = ctx.block_id * BLOCK_DIM;
-        ctx.simt(|lane| {
-            let gid = base + lane.tid;
-            if lane.branch(gid < n) {
-                let pos = positions[gid];
-                lane.charge(Op::GlobalLoad, 1); // packed seed read
-                lane.charge(Op::Alu, 2);
-                let code = codec.encode(seq, pos as usize).expect("position bounds-checked");
-                lane.st64(&pairs, gid, (u64::from(code) << 32) | u64::from(pos));
-            }
-        });
-    });
+    let mut stats = device.launch_fn_named(
+        LaunchConfig::new(n.div_ceil(BLOCK_DIM), BLOCK_DIM),
+        "compact.pack",
+        |ctx| {
+            let base = ctx.block_id * BLOCK_DIM;
+            ctx.simt(|lane| {
+                let gid = base + lane.tid;
+                if lane.branch(gid < n) {
+                    let pos = positions[gid];
+                    lane.charge(Op::GlobalLoad, 1); // packed seed read
+                    lane.charge(Op::Alu, 2);
+                    let code = codec
+                        .encode(seq, pos as usize)
+                        .expect("position bounds-checked");
+                    lane.st64(&pairs, gid, (u64::from(code) << 32) | u64::from(pos));
+                }
+            });
+        },
+    );
     stats += device_sort_u64(device, &pairs);
 
     let sorted = pairs.to_vec();
@@ -219,7 +227,8 @@ mod tests {
         let seq = GenomeModel::mammalian().generate(9_000, 82);
         let device = Device::new(DeviceSpec::test_tiny());
         for (seed_len, step) in [(5usize, 2usize), (8, 20)] {
-            let (gpu, stats) = build_compact_gpu(&device, &seq, Region::whole(&seq), seed_len, step);
+            let (gpu, stats) =
+                build_compact_gpu(&device, &seq, Region::whole(&seq), seed_len, step);
             let host = build_compact_sequential(&seq, Region::whole(&seq), seed_len, step);
             assert_eq!(gpu, host, "(ls={seed_len}, step={step})");
             assert!(stats.launches >= 2);

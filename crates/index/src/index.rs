@@ -86,7 +86,8 @@ impl SeedIndex {
     /// plain `u32`s; this is the densely-packed lower bound the paper
     /// argues from.)
     pub fn paper_bits(&self) -> u64 {
-        let ceil_log2 = |x: usize| (usize::BITS - x.max(1).next_power_of_two().leading_zeros() - 1) as u64;
+        let ceil_log2 =
+            |x: usize| (usize::BITS - x.max(1).next_power_of_two().leading_zeros() - 1) as u64;
         let n_locs = self.locs.len();
         let locs_bits = n_locs as u64 * ceil_log2(self.region.len);
         let ptrs_bits = self.codec.num_seeds() as u64 * ceil_log2(n_locs);
@@ -96,7 +97,12 @@ impl SeedIndex {
     /// The sampled positions this index must cover, in order: every
     /// `step`-th position of the region whose seed fits inside the
     /// sequence.
-    pub fn expected_positions(region: Region, step: usize, seed_len: usize, seq_len: usize) -> Vec<u32> {
+    pub fn expected_positions(
+        region: Region,
+        step: usize,
+        seed_len: usize,
+        seq_len: usize,
+    ) -> Vec<u32> {
         let mut out = Vec::new();
         let mut pos = region.start;
         while pos < region.end() && pos + seed_len <= seq_len {
@@ -112,7 +118,11 @@ impl SeedIndex {
     pub fn validate(&self, seq: &PackedSeq) -> Result<(), String> {
         let n = self.codec.num_seeds();
         if self.ptrs.len() != n + 1 {
-            return Err(format!("ptrs has {} entries, want {}", self.ptrs.len(), n + 1));
+            return Err(format!(
+                "ptrs has {} entries, want {}",
+                self.ptrs.len(),
+                n + 1
+            ));
         }
         if self.ptrs[0] != 0 {
             return Err("ptrs[0] != 0".into());

@@ -20,7 +20,7 @@
 //! * [`build_parallel`] — a rayon CPU equivalent (used to cross-check
 //!   the GPU build and as a fast path in tests);
 //! * [`build_sequential`] — the obviously-correct reference.
-
+//!
 //! A fourth builder family lives in [`compact`]: the sorted-directory
 //! layout (a §V "novel indexing techniques" extension) that drops the
 //! `4^ℓs` table in favour of `O(n_locs)` memory; both layouts serve the

@@ -130,3 +130,63 @@ mod tests {
         assert!(msg.contains("38"), "mentions the allowed maximum: {msg}");
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// True iff a MEM occupying `[offset, offset + L)` on some diagonal
+    /// contains at least one *complete* sampled seed. Seed starts are
+    /// sampled at `0, Δs, 2Δs, …`; a complete seed needs its start in
+    /// `[offset, offset + L − ℓs]`.
+    fn window_has_sampled_seed(offset: usize, min_len: u32, seed_len: usize, step: usize) -> bool {
+        let lo = offset;
+        let hi = offset + min_len as usize - seed_len;
+        lo.div_ceil(step) * step <= hi
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Eq. 1's boundary case: at the maximal step
+        /// `Δs = L − ℓs + 1`, *every* alignment of a MEM of length
+        /// exactly `L` — the shortest the pipeline must report — still
+        /// contains a complete sampled seed, so sparsification loses
+        /// nothing.
+        #[test]
+        fn max_step_covers_every_length_l_alignment(
+            min_len in 1u32..250,
+            seed_frac in 0.0f64..1.0,
+            offset in 0usize..100_000,
+        ) {
+            let seed_len = 1 + (seed_frac * (min_len - 1) as f64) as usize;
+            let step = max_step(min_len, seed_len);
+            prop_assert_eq!(check_step(step, min_len, seed_len), Ok(()));
+            prop_assert!(
+                window_has_sampled_seed(offset, min_len, seed_len, step),
+                "L = {}, ls = {}, step = {}, offset = {}",
+                min_len, seed_len, step, offset
+            );
+        }
+
+        /// …and the boundary is tight: one past the maximum, the
+        /// alignment starting one position after a sample point has no
+        /// complete sampled seed — exactly the violation `check_step`
+        /// rejects.
+        #[test]
+        fn one_past_max_step_misses_an_alignment(
+            min_len in 1u32..250,
+            seed_frac in 0.0f64..1.0,
+        ) {
+            let seed_len = 1 + (seed_frac * (min_len - 1) as f64) as usize;
+            let step = max_step(min_len, seed_len);
+            prop_assert!(check_step(step + 1, min_len, seed_len).is_err());
+            prop_assert!(
+                !window_has_sampled_seed(1, min_len, seed_len, step + 1),
+                "L = {}, ls = {}: step {} should miss the offset-1 window",
+                min_len, seed_len, step + 1
+            );
+        }
+    }
+}

@@ -98,7 +98,10 @@ impl fmt::Display for SeqError {
             }
             SeqError::MalformedFasta(msg) => write!(f, "malformed FASTA: {msg}"),
             SeqError::OutOfBounds { pos, len } => {
-                write!(f, "position {pos} out of bounds for sequence of length {len}")
+                write!(
+                    f,
+                    "position {pos} out of bounds for sequence of length {len}"
+                )
             }
         }
     }

@@ -37,7 +37,10 @@ pub struct FastaRecord {
 }
 
 /// Read all records from a FASTA stream.
-pub fn read_fasta<R: BufRead>(reader: R, policy: AmbigPolicy) -> Result<Vec<FastaRecord>, SeqError> {
+pub fn read_fasta<R: BufRead>(
+    reader: R,
+    policy: AmbigPolicy,
+) -> Result<Vec<FastaRecord>, SeqError> {
     let mut records: Vec<FastaRecord> = Vec::new();
     let mut header: Option<String> = None;
     let mut codes: Vec<u8> = Vec::new();
@@ -47,17 +50,16 @@ pub fn read_fasta<R: BufRead>(reader: R, policy: AmbigPolicy) -> Result<Vec<Fast
     };
     let mut pos = 0usize;
 
-    let flush = |header: &mut Option<String>,
-                     codes: &mut Vec<u8>,
-                     records: &mut Vec<FastaRecord>| {
-        if let Some(h) = header.take() {
-            records.push(FastaRecord {
-                header: h,
-                seq: PackedSeq::from_codes(codes),
-            });
-            codes.clear();
-        }
-    };
+    let flush =
+        |header: &mut Option<String>, codes: &mut Vec<u8>, records: &mut Vec<FastaRecord>| {
+            if let Some(h) = header.take() {
+                records.push(FastaRecord {
+                    header: h,
+                    seq: PackedSeq::from_codes(codes),
+                });
+                codes.clear();
+            }
+        };
 
     for line in reader.lines() {
         let line = line.map_err(|e| SeqError::MalformedFasta(e.to_string()))?;

@@ -145,13 +145,12 @@ impl GenomeModel {
             while covered < target && unit_len <= len {
                 let dst = rng.gen_range(0..=len - unit_len);
                 for (t, &code) in unit.iter().enumerate() {
-                    codes[dst + t] = if self.family_divergence > 0.0
-                        && rng.gen_bool(self.family_divergence)
-                    {
-                        (code + rng.gen_range(1u8..4)) & 3
-                    } else {
-                        code
-                    };
+                    codes[dst + t] =
+                        if self.family_divergence > 0.0 && rng.gen_bool(self.family_divergence) {
+                            (code + rng.gen_range(1u8..4)) & 3
+                        } else {
+                            code
+                        };
                 }
                 covered += unit_len;
             }
@@ -271,12 +270,9 @@ impl PairSpec {
     pub fn realize(&self, seed: u64) -> DatasetPair {
         // Derive distinct streams for reference and query from the user
         // seed and the pair name so pairs never share randomness.
-        let name_hash = self
-            .name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
-            });
+        let name_hash = self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        });
         let mut ref_rng = StdRng::seed_from_u64(seed ^ name_hash);
         let ref_codes = self.model.generate_codes(self.ref_len, &mut ref_rng);
 
@@ -503,7 +499,9 @@ mod tests {
         let k = 13;
         let mut ref_kmers = std::collections::HashMap::new();
         for i in 0..pair.reference.len() - k {
-            ref_kmers.entry(pair.reference.kmer(i, k).unwrap()).or_insert(i);
+            ref_kmers
+                .entry(pair.reference.kmer(i, k).unwrap())
+                .or_insert(i);
         }
         let mut best = 0usize;
         let mut q = 0;

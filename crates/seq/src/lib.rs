@@ -28,6 +28,8 @@ pub mod stats;
 pub use alphabet::{Base, SeqError};
 pub use fasta::{read_fasta, write_fasta, AmbigPolicy, FastaRecord};
 pub use generate::{table2_pairs, DatasetPair, GenomeModel, MutationModel, PairSpec};
-pub use mem::{canonicalize, is_maximal_exact, map_reverse_mem, naive_mems, Mem, Strand, StrandMem};
+pub use mem::{
+    canonicalize, is_maximal_exact, map_reverse_mem, naive_mems, Mem, Strand, StrandMem,
+};
 pub use multiseq::{RecordPos, RecordSpan, SeqSet};
 pub use packed::PackedSeq;

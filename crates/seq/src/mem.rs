@@ -90,8 +90,7 @@ pub fn is_maximal_exact(reference: &PackedSeq, query: &PackedSeq, mem: Mem, min_
     if len < min_len as usize || !reference.eq_range(r, query, q, len) {
         return false;
     }
-    let left_maximal =
-        r == 0 || q == 0 || reference.code(r - 1) != query.code(q - 1);
+    let left_maximal = r == 0 || q == 0 || reference.code(r - 1) != query.code(q - 1);
     let right_maximal = r + len == reference.len()
         || q + len == query.len()
         || reference.code(r + len) != query.code(q + len);
@@ -140,7 +139,11 @@ mod tests {
 
     #[test]
     fn diagonal_and_ends() {
-        let mem = Mem { r: 10, q: 3, len: 5 };
+        let mem = Mem {
+            r: 10,
+            q: 3,
+            len: 5,
+        };
         assert_eq!(mem.diagonal(), 7);
         assert_eq!(mem.r_end(), 15);
         assert_eq!(mem.q_end(), 8);
@@ -178,7 +181,11 @@ mod tests {
     fn identical_sequences_give_full_diagonal() {
         let r = seq("ACGTACGTAA");
         let mems = naive_mems(&r, &r, 10);
-        assert!(mems.contains(&Mem { r: 0, q: 0, len: 10 }));
+        assert!(mems.contains(&Mem {
+            r: 0,
+            q: 0,
+            len: 10
+        }));
     }
 
     #[test]
@@ -188,7 +195,14 @@ mod tests {
         let r = seq("TTACGTTTTTACGTCC");
         let q = seq("GACGTG");
         let mems = naive_mems(&r, &q, 4);
-        let expected = [Mem { r: 2, q: 1, len: 4 }, Mem { r: 10, q: 1, len: 4 }];
+        let expected = [
+            Mem { r: 2, q: 1, len: 4 },
+            Mem {
+                r: 10,
+                q: 1,
+                len: 4,
+            },
+        ];
         for e in expected {
             assert!(mems.contains(&e), "missing {e:?} in {mems:?}");
         }
@@ -259,7 +273,10 @@ mod tests {
         for min_len in [4u32, 8, 12] {
             let mems = naive_mems(&r, &q, min_len);
             for &mem in &mems {
-                assert!(is_maximal_exact(&r, &q, mem, min_len), "{mem:?} (L={min_len})");
+                assert!(
+                    is_maximal_exact(&r, &q, mem, min_len),
+                    "{mem:?} (L={min_len})"
+                );
             }
         }
     }

@@ -82,9 +82,7 @@ impl SeqSet {
 
     /// The record containing concatenated position `pos`.
     pub fn resolve(&self, pos: usize) -> Option<RecordPos<'_>> {
-        let idx = self
-            .records
-            .partition_point(|span| span.end() <= pos);
+        let idx = self.records.partition_point(|span| span.end() <= pos);
         let span = self.records.get(idx)?;
         (pos >= span.start).then(|| RecordPos {
             record: &span.name,
@@ -161,19 +159,31 @@ mod tests {
         let set = set();
         assert_eq!(
             set.resolve(0),
-            Some(RecordPos { record: "chrA", offset: 0 })
+            Some(RecordPos {
+                record: "chrA",
+                offset: 0
+            })
         );
         assert_eq!(
             set.resolve(9),
-            Some(RecordPos { record: "chrA", offset: 9 })
+            Some(RecordPos {
+                record: "chrA",
+                offset: 9
+            })
         );
         assert_eq!(
             set.resolve(10),
-            Some(RecordPos { record: "chrB", offset: 0 })
+            Some(RecordPos {
+                record: "chrB",
+                offset: 0
+            })
         );
         assert_eq!(
             set.resolve(21),
-            Some(RecordPos { record: "chrC", offset: 7 })
+            Some(RecordPos {
+                record: "chrC",
+                offset: 7
+            })
         );
         assert_eq!(set.resolve(22), None);
     }
@@ -181,7 +191,11 @@ mod tests {
     #[test]
     fn interior_mem_passes_through() {
         let set = set();
-        let mem = Mem { r: 2, q: 50, len: 6 }; // fully inside chrA
+        let mem = Mem {
+            r: 2,
+            q: 50,
+            len: 6,
+        }; // fully inside chrA
         assert_eq!(set.split_mem(mem, 4), vec![(0, mem)]);
     }
 
@@ -189,13 +203,31 @@ mod tests {
     fn spanning_mem_is_split_and_filtered() {
         let set = set();
         // Covers chrA[6..10], chrB[0..4], chrC[0..2].
-        let mem = Mem { r: 6, q: 100, len: 10 };
+        let mem = Mem {
+            r: 6,
+            q: 100,
+            len: 10,
+        };
         let pieces = set.split_mem(mem, 4);
         assert_eq!(
             pieces,
             vec![
-                (0, Mem { r: 6, q: 100, len: 4 }),
-                (1, Mem { r: 10, q: 104, len: 4 }),
+                (
+                    0,
+                    Mem {
+                        r: 6,
+                        q: 100,
+                        len: 4
+                    }
+                ),
+                (
+                    1,
+                    Mem {
+                        r: 10,
+                        q: 104,
+                        len: 4
+                    }
+                ),
             ],
             "the 2-base chrC piece falls below min_len"
         );
@@ -218,8 +250,14 @@ mod tests {
         let shared_a: PackedSeq = "ACGGTTACGGATCCAG".parse().unwrap();
         let shared_c: PackedSeq = "TGCATGCAAGGTTCCA".parse().unwrap();
         let set = SeqSet::from_records(&[
-            FastaRecord { header: "recA".into(), seq: shared_a.clone() },
-            FastaRecord { header: "recC".into(), seq: shared_c.clone() },
+            FastaRecord {
+                header: "recA".into(),
+                seq: shared_a.clone(),
+            },
+            FastaRecord {
+                header: "recC".into(),
+                seq: shared_c.clone(),
+            },
         ]);
         let mut q_codes = vec![1u8; 50];
         q_codes.splice(5..5, shared_a.to_codes());

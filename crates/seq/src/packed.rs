@@ -81,7 +81,11 @@ impl PackedSeq {
     /// callers must bound-check — the pipeline always does).
     #[inline(always)]
     pub fn code(&self, pos: usize) -> u8 {
-        debug_assert!(pos < self.len, "position {pos} out of bounds ({})", self.len);
+        debug_assert!(
+            pos < self.len,
+            "position {pos} out of bounds ({})",
+            self.len
+        );
         ((self.words[pos >> 5] >> ((pos & 31) * 2)) & 3) as u8
     }
 
@@ -177,7 +181,7 @@ impl PackedSeq {
         for (w, word) in words.iter_mut().enumerate() {
             *word = self.word_at(start + w * 32);
         }
-        if len % 32 != 0 {
+        if !len.is_multiple_of(32) {
             *words.last_mut().expect("len > 0 implies a word") &= low_mask(len % 32);
         }
         Ok(PackedSeq { words, len })
@@ -203,10 +207,7 @@ impl PackedSeq {
     /// the paper's encoding the complement is bitwise NOT, so this is a
     /// reversed copy with inverted codes.
     pub fn reverse_complement(&self) -> PackedSeq {
-        let codes: Vec<u8> = (0..self.len)
-            .rev()
-            .map(|i| !self.code(i) & 3)
-            .collect();
+        let codes: Vec<u8> = (0..self.len).rev().map(|i| !self.code(i) & 3).collect();
         PackedSeq::from_codes(&codes)
     }
 }
@@ -214,7 +215,11 @@ impl PackedSeq {
 impl std::fmt::Debug for PackedSeq {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         const PREVIEW: usize = 48;
-        let shown: String = self.iter().take(PREVIEW).map(|b| b.to_ascii() as char).collect();
+        let shown: String = self
+            .iter()
+            .take(PREVIEW)
+            .map(|b| b.to_ascii() as char)
+            .collect();
         if self.len > PREVIEW {
             write!(f, "PackedSeq(len={}, \"{shown}…\")", self.len)
         } else {
@@ -281,7 +286,7 @@ mod tests {
     #[test]
     fn kmer_matches_manual_packing() {
         let ps = seq("ACGT"); // codes 0,1,2,3
-        // LSB-first: A in bits 0-1, C in 2-3, G in 4-5, T in 6-7.
+                              // LSB-first: A in bits 0-1, C in 2-3, G in 4-5, T in 6-7.
         assert_eq!(ps.kmer(0, 4), Some(0b11_10_01_00));
         assert_eq!(ps.kmer(1, 3), Some(0b11_10_01));
         assert_eq!(ps.kmer(1, 4), None, "runs off the end");
@@ -293,9 +298,7 @@ mod tests {
         let text: Vec<u8> = (0..40).map(|i| b"ACGT"[(i * 7 + 1) % 4]).collect();
         let ps = PackedSeq::from_ascii(&text).unwrap();
         for pos in 28..=32 {
-            let expect: u32 = (0..8)
-                .map(|t| u32::from(ps.code(pos + t)) << (2 * t))
-                .sum();
+            let expect: u32 = (0..8).map(|t| u32::from(ps.code(pos + t)) << (2 * t)).sum();
             assert_eq!(ps.kmer(pos, 8), Some(expect), "pos {pos}");
         }
     }
@@ -365,7 +368,10 @@ mod tests {
         let b = seq("TTACGTAA");
         assert!(a.eq_range(0, &b, 2, 4));
         assert!(!a.eq_range(0, &b, 2, 6));
-        assert!(!a.eq_range(6, &b, 0, 4), "out of bounds is false, not panic");
+        assert!(
+            !a.eq_range(6, &b, 0, 4),
+            "out of bounds is false, not panic"
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ impl Composition {
 /// Entries are sorted by `occ` ascending.
 pub fn seed_occurrence_histogram(seq: &PackedSeq, seed_len: usize, step: usize) -> Vec<(u64, u64)> {
     assert!(step >= 1, "step must be at least 1");
-    assert!(seed_len >= 1 && seed_len <= 16, "seed_len must be in 1..=16");
+    assert!((1..=16).contains(&seed_len), "seed_len must be in 1..=16");
     if seq.len() < seed_len {
         return Vec::new();
     }

@@ -92,7 +92,13 @@ fn main() {
         100.0 * covered as f64 / pair.query.len() as f64
     );
     for mem in chain.iter().take(8) {
-        println!("  Q[{:>7}..{:>7}) ↔ R[{:>7}..{:>7})", mem.q, mem.q_end(), mem.r, mem.r_end());
+        println!(
+            "  Q[{:>7}..{:>7}) ↔ R[{:>7}..{:>7})",
+            mem.q,
+            mem.q_end(),
+            mem.r,
+            mem.r_end()
+        );
     }
     if chain.len() > 8 {
         println!("  … and {} more", chain.len() - 8);

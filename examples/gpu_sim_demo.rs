@@ -24,7 +24,9 @@ fn main() {
 
     // 1. A histogram kernel with atomics (the core trick of the paper's
     //    Algorithm 1 index construction).
-    let data: Vec<u32> = (0..1_000_000u32).map(|i| i.wrapping_mul(2654435761) % 256).collect();
+    let data: Vec<u32> = (0..1_000_000u32)
+        .map(|i| i.wrapping_mul(2654435761) % 256)
+        .collect();
     let histogram = GpuU32::new(256);
     let n = data.len();
     let cfg = LaunchConfig::new(n.div_ceil(256 * 64), 256);

@@ -81,9 +81,10 @@ fn main() {
             correct += 1;
         }
     }
-    println!(
-        "placed {placed}/{N_READS} reads; {correct} within 128 bp of the true origin"
+    println!("placed {placed}/{N_READS} reads; {correct} within 128 bp of the true origin");
+    assert!(
+        correct * 10 >= N_READS * 9,
+        "expected ≥90% correct placements"
     );
-    assert!(correct * 10 >= N_READS * 9, "expected ≥90% correct placements");
     println!("≥90% of reads mapped correctly ✓");
 }

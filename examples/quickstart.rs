@@ -56,7 +56,10 @@ fn main() {
     let mut by_len = result.mems.clone();
     by_len.sort_unstable_by_key(|m| std::cmp::Reverse(m.len));
     for mem in by_len.iter().take(5) {
-        println!("  R[{:>7}..] = Q[{:>7}..] for {:>6} bp", mem.r, mem.q, mem.len);
+        println!(
+            "  R[{:>7}..] = Q[{:>7}..] for {:>6} bp",
+            mem.r, mem.q, mem.len
+        );
     }
 
     // Every reported triplet satisfies the MEM definition.

@@ -13,6 +13,8 @@
 //!   --mum                report only maximal unique matches
 //!   --rare <t>           report matches occurring ≤ t times in each sequence
 //!   --stats              print run statistics to stderr
+//!   --sanitize           run kernels under the shadow-memory hazard
+//!                        sanitizer; report to stderr, fail on hazards
 //! ```
 //!
 //! Output: one `ref_pos  query_pos  length  strand` line per match,
@@ -38,6 +40,7 @@ struct Options {
     mum: bool,
     rare: Option<usize>,
     stats: bool,
+    sanitize: bool,
     reference: String,
     query: String,
 }
@@ -54,6 +57,7 @@ fn parse_args() -> Result<Options, String> {
         mum: false,
         rare: None,
         stats: false,
+        sanitize: false,
         reference: String::new(),
         query: String::new(),
     };
@@ -97,6 +101,7 @@ fn parse_args() -> Result<Options, String> {
                 )
             }
             "--stats" => opts.stats = true,
+            "--sanitize" => opts.sanitize = true,
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
@@ -108,7 +113,9 @@ fn parse_args() -> Result<Options, String> {
             opts.query = positional.remove(0);
             Ok(opts)
         }
-        n => Err(format!("expected <reference.fa> <query.fa>, got {n} positionals")),
+        n => Err(format!(
+            "expected <reference.fa> <query.fa>, got {n} positionals"
+        )),
     }
 }
 
@@ -123,7 +130,11 @@ fn load_first_record(path: &str) -> Result<PackedSeq, String> {
         .ok_or_else(|| format!("{path}: no FASTA records"))
 }
 
-fn run_finder(opts: &Options, reference: &PackedSeq, query: &PackedSeq) -> Result<Vec<StrandMem>, String> {
+fn run_finder(
+    opts: &Options,
+    reference: &PackedSeq,
+    query: &PackedSeq,
+) -> Result<Vec<StrandMem>, String> {
     let finder: Box<dyn MemFinder> = match opts.tool.as_str() {
         "mummer" => Box::new(Mummer::build(reference)),
         "essamem" => Box::new(EssaMem::build(reference, opts.sparseness)),
@@ -153,7 +164,10 @@ fn run_finder(opts: &Options, reference: &PackedSeq, query: &PackedSeq) -> Resul
             let mut hits: Vec<StrandMem> = forward
                 .mems
                 .into_iter()
-                .map(|mem| StrandMem { mem, strand: Strand::Forward })
+                .map(|mem| StrandMem {
+                    mem,
+                    strand: Strand::Forward,
+                })
                 .collect();
             if opts.both_strands {
                 let rc = query.reverse_complement();
@@ -168,14 +182,25 @@ fn run_finder(opts: &Options, reference: &PackedSeq, query: &PackedSeq) -> Resul
         other => return Err(format!("unknown tool {other}")),
     };
     if opts.both_strands {
-        Ok(find_mems_both_strands(finder.as_ref(), query, opts.min_len, opts.threads))
+        Ok(find_mems_both_strands(
+            finder.as_ref(),
+            query,
+            opts.min_len,
+            opts.threads,
+        ))
     } else {
-        Ok(
-            gpumem::baselines::find_mems_parallel(finder.as_ref(), query, opts.min_len, opts.threads)
-                .into_iter()
-                .map(|mem| StrandMem { mem, strand: Strand::Forward })
-                .collect(),
+        Ok(gpumem::baselines::find_mems_parallel(
+            finder.as_ref(),
+            query,
+            opts.min_len,
+            opts.threads,
         )
+        .into_iter()
+        .map(|mem| StrandMem {
+            mem,
+            strand: Strand::Forward,
+        })
+        .collect())
     }
 }
 
@@ -186,15 +211,34 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: gpumem-cli [--tool T] [--min-len L] [--seed-len ls] [--sparseness K] [--threads t] [--both-strands] [--mum] [--rare t] [--stats] <reference.fa> <query.fa>");
-            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::from(2) };
+            eprintln!("usage: gpumem-cli [--tool T] [--min-len L] [--seed-len ls] [--sparseness K] [--threads t] [--both-strands] [--mum] [--rare t] [--stats] [--sanitize] <reference.fa> <query.fa>");
+            return if msg == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
         }
     };
 
     let run = || -> Result<(), String> {
         let reference = load_first_record(&opts.reference)?;
         let query = load_first_record(&opts.query)?;
+
+        // Under --sanitize every simulated kernel launch between here
+        // and finish() is hazard-checked (only the gpumem tool launches
+        // kernels; for CPU baselines the report is trivially clean).
+        let session = opts.sanitize.then(gpumem::sim::sanitizer::Session::start);
         let mut hits = run_finder(&opts, &reference, &query)?;
+        if let Some(session) = session {
+            let report = session.finish();
+            eprint!("{report}");
+            if !report.is_clean() {
+                return Err(format!(
+                    "sanitizer detected {} hazard(s)",
+                    report.hazards.len() as u64 + report.suppressed
+                ));
+            }
+        }
 
         // Variant filtering (forward-strand coordinates only; reverse
         // hits are filtered against the reverse complement implicitly

@@ -30,12 +30,16 @@ fn planted_mems_across_boundaries_are_found_exactly() {
     // other): reference spots 50, tile−100, 2·tile−30; query spots 50,
     // tile−100, and a free mid-range slot.
     let spots = [
-        (tile - 100, tile - 100),  // across the (1,1) tile corner
-        (tile - 100, 50),          // reference row boundary only
-        (50, tile - 100),          // query column boundary only
+        (tile - 100, tile - 100),    // across the (1,1) tile corner
+        (tile - 100, 50),            // reference row boundary only
+        (50, tile - 100),            // query column boundary only
         (2 * tile - 30, tile + 180), // second row boundary
     ];
-    for window in [(tile - 100)..(tile + 100), 50..250, (2 * tile - 30)..(2 * tile + 170)] {
+    for window in [
+        (tile - 100)..(tile + 100),
+        50..250,
+        (2 * tile - 30)..(2 * tile + 170),
+    ] {
         assert!(window.end <= n, "plants must fit: {window:?} vs {n}");
     }
     for &(r, q) in &spots {
@@ -64,7 +68,9 @@ fn output_is_invariant_to_launch_geometry() {
     let query = GenomeModel::mammalian().generate(3_000, 92);
     let reference_result = tiny_gpumem(14, 7, 8, 2).run(&reference, &query).mems;
     for (tau, n_block) in [(4usize, 1usize), (16, 4), (32, 8), (64, 1)] {
-        let got = tiny_gpumem(14, 7, tau, n_block).run(&reference, &query).mems;
+        let got = tiny_gpumem(14, 7, tau, n_block)
+            .run(&reference, &query)
+            .mems;
         assert_eq!(got, reference_result, "τ={tau}, n_block={n_block}");
     }
 }
@@ -133,8 +139,8 @@ fn device_spec_does_not_change_results() {
         .run(&reference, &query);
     let k20 = Gpumem::with_device(config.clone(), Device::new(DeviceSpec::tesla_k20c()))
         .run(&reference, &query);
-    let k40 = Gpumem::with_device(config, Device::new(DeviceSpec::tesla_k40()))
-        .run(&reference, &query);
+    let k40 =
+        Gpumem::with_device(config, Device::new(DeviceSpec::tesla_k40())).run(&reference, &query);
     assert_eq!(tiny.mems, k20.mems);
     assert_eq!(k20.mems, k40.mems);
     // The K40 (§V's "future work" card) models faster than the K20c.

@@ -47,7 +47,14 @@ fn all_tools_print_identical_matches() {
 
     let run = |tool: &str| -> String {
         let out = cli()
-            .args(["--tool", tool, "--min-len", "25", ref_fa.as_str(), query_fa.as_str()])
+            .args([
+                "--tool",
+                tool,
+                "--min-len",
+                "25",
+                ref_fa.as_str(),
+                query_fa.as_str(),
+            ])
             .output()
             .expect("binary runs");
         assert!(
@@ -95,6 +102,48 @@ fn mum_filter_is_a_subset() {
 }
 
 #[test]
+fn sanitize_flag_reports_clean_run() {
+    let dir = std::env::temp_dir().join("gpumem-cli-test-sanitize");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ref_fa, query_fa) = write_pair(&dir);
+
+    let out = cli()
+        .args([
+            "--tool",
+            "gpumem",
+            "--min-len",
+            "25",
+            "--seed-len",
+            "8",
+            "--sanitize",
+            ref_fa.as_str(),
+            query_fa.as_str(),
+        ])
+        .output()
+        .expect("binary runs");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "sanitized run failed: {err}");
+    assert!(err.contains("sanitizer:"), "missing report: {err}");
+    assert!(err.contains("0 hazard(s)"), "expected clean report: {err}");
+
+    // The report must not change the matches themselves.
+    let plain = cli()
+        .args([
+            "--tool",
+            "gpumem",
+            "--min-len",
+            "25",
+            "--seed-len",
+            "8",
+            ref_fa.as_str(),
+            query_fa.as_str(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.stdout, plain.stdout);
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = cli().arg("only-one-file.fa").output().expect("binary runs");
     assert!(!out.status.success());
@@ -102,7 +151,12 @@ fn bad_usage_fails_cleanly() {
     assert!(err.contains("usage:"), "{err}");
 
     let out = cli()
-        .args(["--tool", "nonsense", "/nonexistent/a.fa", "/nonexistent/b.fa"])
+        .args([
+            "--tool",
+            "nonsense",
+            "/nonexistent/a.fa",
+            "/nonexistent/b.fa",
+        ])
         .output()
         .expect("binary runs");
     assert!(!out.status.success());

@@ -2,9 +2,7 @@
 //! baselines emit the *identical canonical MEM set*, which equals the
 //! ground-truth naive finder.
 
-use gpumem::baselines::{
-    find_mems_parallel, EssaMem, MemFinder, Mummer, SlaMem, SparseMem,
-};
+use gpumem::baselines::{find_mems_parallel, EssaMem, MemFinder, Mummer, SlaMem, SparseMem};
 use gpumem::core::{Gpumem, GpumemConfig};
 use gpumem::seq::{naive_mems, table2_pairs, Mem, PackedSeq};
 use gpumem::sim::{Device, DeviceSpec};
@@ -106,16 +104,14 @@ fn agreement_holds_on_microsatellite_heavy_input() {
     let min_len = 15;
 
     let expect = naive_mems(&reference, &query, min_len);
-    assert!(expect.len() > 100, "stressor must explode: {}", expect.len());
+    assert!(
+        expect.len() > 100,
+        "stressor must explode: {}",
+        expect.len()
+    );
     assert_eq!(gpumem_run(&reference, &query, min_len, 6), expect);
-    assert_eq!(
-        Mummer::build(&reference).find_mems(&query, min_len),
-        expect
-    );
-    assert_eq!(
-        SlaMem::build(&reference).find_mems(&query, min_len),
-        expect
-    );
+    assert_eq!(Mummer::build(&reference).find_mems(&query, min_len), expect);
+    assert_eq!(SlaMem::build(&reference).find_mems(&query, min_len), expect);
     assert_eq!(
         SparseMem::build(&reference, 3).find_mems(&query, min_len),
         expect

@@ -28,7 +28,11 @@ fn baselines_are_usable_directly() {
     // The periodic prefix matches at two reference offsets: a 10-mer at
     // r=0 and an 8-mer at r=4.
     assert_eq!(mems.len(), 2);
-    assert!(mems.contains(&gpumem::seq::Mem { r: 0, q: 2, len: 10 }));
+    assert!(mems.contains(&gpumem::seq::Mem {
+        r: 0,
+        q: 2,
+        len: 10
+    }));
     assert_eq!(finder.name(), "MUMmer");
 }
 

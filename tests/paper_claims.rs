@@ -107,10 +107,26 @@ fn corner_matches_survive() {
 
     let expect = naive_mems(&reference, &query, 20);
     for corner in [
-        Mem { r: 0, q: 0, len: 40 },
-        Mem { r: 0, q: (n - 40) as u32, len: 40 },
-        Mem { r: (n - 40) as u32, q: 0, len: 40 },
-        Mem { r: (n - 40) as u32, q: (n - 40) as u32, len: 40 },
+        Mem {
+            r: 0,
+            q: 0,
+            len: 40,
+        },
+        Mem {
+            r: 0,
+            q: (n - 40) as u32,
+            len: 40,
+        },
+        Mem {
+            r: (n - 40) as u32,
+            q: 0,
+            len: 40,
+        },
+        Mem {
+            r: (n - 40) as u32,
+            q: (n - 40) as u32,
+            len: 40,
+        },
     ] {
         assert!(
             expect.iter().any(|m| m.r <= corner.r

@@ -1,0 +1,117 @@
+//! The acceptance gate for the kernel sanitizer: the full GPUMEM
+//! pipeline — all four index-build steps, the device-wide scan, the
+//! match kernels (generate/combine/expand/balance inside
+//! `match.blocks`), the tile merge, plus the compact builder's pack +
+//! tile-merge sort — runs under an active sanitizer session on a smoke
+//! dataset with **zero hazards**.
+
+use gpumem::core::{Gpumem, GpumemConfig};
+use gpumem::index::{build_compact_gpu, build_gpu, Region};
+use gpumem::seq::{GenomeModel, MutationModel, PackedSeq};
+use gpumem::sim::sanitizer::Session;
+use gpumem::sim::{Device, DeviceSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn smoke_pair() -> (PackedSeq, PackedSeq) {
+    let reference = GenomeModel::mammalian().generate(4_000, 2024);
+    let query = {
+        let model = MutationModel {
+            sub_rate: 0.03,
+            indel_rate: 0.003,
+        };
+        let mut rng = StdRng::seed_from_u64(2025);
+        PackedSeq::from_codes(&model.apply(&reference.to_codes(), &mut rng))
+    };
+    (reference, query)
+}
+
+#[test]
+fn full_pipeline_is_hazard_free_under_sanitizer() {
+    let (reference, query) = smoke_pair();
+    let config = GpumemConfig::builder(25)
+        .seed_len(6)
+        .threads_per_block(64)
+        .blocks_per_tile(4)
+        .build()
+        .expect("valid config");
+    let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
+
+    // Unsanitized reference run first: the sanitizer must not change
+    // results (suppressed accesses only happen on hazards).
+    let baseline = gpumem.run(&reference, &query);
+
+    let session = Session::start();
+    let sanitized = gpumem.run(&reference, &query);
+    let report = session.finish();
+
+    assert!(report.is_clean(), "pipeline hazards:\n{report}");
+    assert!(
+        report.launches > 4,
+        "expected every kernel family to launch"
+    );
+    assert!(
+        report.accesses_checked > 0,
+        "instrumentation saw no accesses"
+    );
+    assert_eq!(sanitized.mems, baseline.mems, "sanitizing changed results");
+}
+
+#[test]
+fn dense_and_compact_index_builds_are_hazard_free() {
+    let (reference, _) = smoke_pair();
+    let device = Device::new(DeviceSpec::test_tiny());
+
+    let session = Session::start();
+    let (dense, _) = build_gpu(&device, &reference, Region::whole(&reference), 6, 3);
+    let report = session.finish();
+    assert!(report.is_clean(), "dense build hazards:\n{report}");
+    assert!(dense.num_locations() > 0);
+
+    // Compact build covers the pack kernel and the tile-merge sort.
+    let session = Session::start();
+    let (compact, _) = build_compact_gpu(&device, &reference, Region::whole(&reference), 6, 3);
+    let report = session.finish();
+    assert!(report.is_clean(), "compact build hazards:\n{report}");
+    assert!(compact.num_entries() > 0);
+}
+
+#[test]
+fn sanitizer_still_catches_a_seeded_bug_in_context() {
+    // The zero-hazard runs above only mean something if the same
+    // session machinery still flags a real bug: re-run the index fill
+    // with a cursor that was never offset (every bucket starts at 0),
+    // which double-books locs slots across blocks.
+    let (reference, _) = smoke_pair();
+    let device = Device::new(DeviceSpec::test_tiny());
+    use gpumem::sim::{GpuU32, LaunchConfig};
+
+    let n = 1_024usize;
+    let locs = GpuU32::named(n, "bug.locs");
+    let bad_cursor = GpuU32::named(1, "bug.cursor_a");
+    let bad_cursor_b = GpuU32::named(1, "bug.cursor_b");
+    let _ = reference;
+
+    let session = Session::start();
+    device.launch_fn_named(LaunchConfig::new(2, 32), "bug.fill", |ctx| {
+        let block = ctx.block_id;
+        ctx.simt(|lane| {
+            // Each block reserves through its own zeroed cursor: both
+            // hand out slots starting at 0 on the same target.
+            let cursor = if block == 0 {
+                &bad_cursor
+            } else {
+                &bad_cursor_b
+            };
+            let base = lane.atomic_reserve32(cursor, 0, 1, &locs);
+            lane.st32(&locs, base as usize, lane.tid as u32);
+        });
+    });
+    let report = session.finish();
+    assert!(!report.is_clean(), "seeded bug not caught");
+    let text = report.to_string();
+    assert!(
+        text.contains("bug.locs"),
+        "report must name the double-booked buffer:\n{text}"
+    );
+}

@@ -1,0 +1,141 @@
+//! Eq. 1 end to end: at the default (maximal) sparsification step
+//! `Δs = L − ℓs + 1`, a MEM of length *exactly* `L` — the worst case
+//! the sparsified index is still obligated to cover — is found no
+//! matter where it lands relative to the sample grid.
+
+use gpumem::core::{Gpumem, GpumemConfig, IndexKind};
+use gpumem::seq::{GenomeModel, Mem, PackedSeq};
+use gpumem::sim::{Device, DeviceSpec};
+use proptest::prelude::*;
+
+/// Overwrite `background[at..at + segment.len()]` with `segment` and
+/// pin the flanking characters so a match over the segment cannot
+/// extend past either end.
+fn splice(background: &mut [u8], at: usize, segment: &[u8], flank_before: u8, flank_after: u8) {
+    background[at..at + segment.len()].copy_from_slice(segment);
+    if at > 0 {
+        background[at - 1] = flank_before;
+    }
+    let end = at + segment.len();
+    if end < background.len() {
+        background[end] = flank_after;
+    }
+}
+
+/// A reference/query pair sharing one segment of length exactly `l` at
+/// `(ref_at, query_at)`, with mismatching flanks on both sides in both
+/// sequences so the planted MEM is `(ref_at, query_at, l)` precisely.
+fn planted_pair(
+    l: usize,
+    ref_at: usize,
+    query_at: usize,
+    content_seed: u64,
+) -> (PackedSeq, PackedSeq) {
+    let shared = GenomeModel::uniform().generate(l, content_seed).to_codes();
+    let mut reference = GenomeModel::uniform()
+        .generate(ref_at + l + 200, content_seed.wrapping_add(1))
+        .to_codes();
+    let mut query = GenomeModel::uniform()
+        .generate(query_at + l + 200, content_seed.wrapping_add(2))
+        .to_codes();
+    // Codes 0..4 are the four bases; distinct flank codes on each side
+    // guarantee the match stops exactly at the segment boundary.
+    splice(&mut reference, ref_at, &shared, 0, 2);
+    splice(&mut query, query_at, &shared, 1, 3);
+    (
+        PackedSeq::from_codes(&reference),
+        PackedSeq::from_codes(&query),
+    )
+}
+
+fn run_at_max_step(
+    min_len: u32,
+    seed_len: usize,
+    index_kind: IndexKind,
+    reference: &PackedSeq,
+    query: &PackedSeq,
+) -> Vec<Mem> {
+    // `GpumemConfig` defaults the step to Eq. 1's maximum. The small
+    // tile geometry keeps the padded tail of the short test queries
+    // (the query is processed in tiles of `step · τ · β` locations)
+    // from dominating the runtime.
+    let config = GpumemConfig::builder(min_len)
+        .seed_len(seed_len)
+        .threads_per_block(32)
+        .blocks_per_tile(2)
+        .index_kind(index_kind)
+        .build()
+        .expect("valid config");
+    assert_eq!(
+        config.step,
+        min_len as usize - seed_len + 1,
+        "default step must be the Eq. 1 maximum"
+    );
+    let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
+    gpumem.run(reference, query).mems
+}
+
+/// Sweep the planted MEM across every alignment class relative to the
+/// sample grid for the paper's (L = 50, ℓs = 13) configuration: the
+/// residue of the MEM start modulo Δs decides which sampled seed must
+/// cover it. The compact directory keeps the index proportional to the
+/// sampled locations — the dense 4^13-entry table would swamp this
+/// test with simulated table scans.
+#[test]
+fn exact_length_l_mem_found_at_every_alignment_paper_config() {
+    let (min_len, seed_len) = (50u32, 13usize);
+    let step = min_len as usize - seed_len + 1; // 38
+    for residue in [0, 1, step / 2, step - 2, step - 1] {
+        let ref_at = 97 + residue;
+        let query_at = 61;
+        let (reference, query) =
+            planted_pair(min_len as usize, ref_at, query_at, 40 + residue as u64);
+        let mems = run_at_max_step(
+            min_len,
+            seed_len,
+            IndexKind::CompactDirectory,
+            &reference,
+            &query,
+        );
+        let planted = Mem {
+            r: ref_at as u32,
+            q: query_at as u32,
+            len: min_len,
+        };
+        assert!(
+            mems.contains(&planted),
+            "planted MEM {planted:?} (start residue {} mod Δs={step}) missing from {mems:?}",
+            ref_at % step
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random (L, ℓs, placement) under the default dense table: the
+    /// length-exactly-L MEM survives maximal sparsification wherever
+    /// it lands. `ℓs` stays below 10 so the dense 4^ℓs directory stays
+    /// small enough to simulate quickly.
+    #[test]
+    fn exact_length_l_mem_found_at_max_step(
+        min_len in 25u32..60,
+        seed_len in 4usize..10,
+        ref_at in 1usize..300,
+        query_at in 1usize..300,
+        content_seed in 0u64..1_000,
+    ) {
+        let (reference, query) = planted_pair(min_len as usize, ref_at, query_at, content_seed);
+        let mems = run_at_max_step(min_len, seed_len, IndexKind::DenseTable, &reference, &query);
+        let planted = Mem {
+            r: ref_at as u32,
+            q: query_at as u32,
+            len: min_len,
+        };
+        prop_assert!(
+            mems.contains(&planted),
+            "planted MEM {:?} missing (L = {}, ls = {}): {:?}",
+            planted, min_len, seed_len, mems
+        );
+    }
+}

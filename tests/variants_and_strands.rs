@@ -27,7 +27,10 @@ fn gpumem_mems_feed_the_variant_filter() {
     let mums = filter.unique_matches(&mems);
     // Every MUM occurs exactly once on each side by definition.
     for mem in &mums {
-        assert_eq!(filter.count_in_reference(mem.r as usize, mem.len as usize), 1);
+        assert_eq!(
+            filter.count_in_reference(mem.r as usize, mem.len as usize),
+            1
+        );
         assert_eq!(filter.count_in_query(mem.r as usize, mem.len as usize), 1);
     }
     // And every non-MUM MEM is over-represented somewhere.
@@ -49,7 +52,12 @@ fn gpumem_both_strand_runs_match_baseline_both_strand_runs() {
     let mummer = Mummer::build(&pair.reference);
     let expect = find_mems_both_strands(&mummer, &pair.query, min_len, 1);
     for &hit in &expect {
-        assert!(is_strand_mem_exact(&pair.reference, &pair.query, hit, min_len));
+        assert!(is_strand_mem_exact(
+            &pair.reference,
+            &pair.query,
+            hit,
+            min_len
+        ));
     }
 
     // GPUMEM forward + reverse-complement runs produce the same set.

@@ -1,0 +1,384 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! Provides the `proptest!` macro, integer-range and `any::<T>()`
+//! strategies, `collection::vec`, and the `prop_assert*`/`prop_assume!`
+//! macros, executing a configurable number of deterministic random
+//! cases per test. Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs (via the
+//!   assertion message and case number) but is not minimized;
+//! * **deterministic seeding** — cases derive from a fixed seed mixed
+//!   with the test's source location, so failures are reproducible
+//!   run-over-run;
+//! * only the strategy combinators this workspace uses are provided.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod test_runner {
+    //! Case execution plumbing used by the generated test bodies.
+
+    /// Error carried by a failed `prop_assert*` (mirrors proptest's
+    /// `TestCaseError::Fail`).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: String) -> TestCaseError {
+            TestCaseError(message)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// Per-test configuration (mirrors `proptest::prelude::ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; 64 keeps the single-core CI
+        // budget sane while still exercising plenty of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test generator. Seeded from the test's source
+/// location so distinct tests see distinct streams.
+pub fn deterministic_rng(file: &str, line: u32) -> StdRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in file.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ u64::from(line))
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Generate one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T: rand::SampleUniform + Clone> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform + Clone> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy of [`crate::any`]: the type's full domain.
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    macro_rules! impl_any_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_any_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+    /// Always produces a clone of one value (proptest's `Just`).
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Full-domain strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Element-count specification of [`vec`]: a fixed size or a
+    /// half-open range of sizes.
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy generating `Vec`s whose length is drawn from `size` and
+    /// whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.0.len() <= 1 {
+                self.size.0.start
+            } else {
+                rng.gen_range(self.size.0.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, as in real proptest.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{test_runner::TestCaseError, ProptestConfig};
+}
+
+/// Generate `#[test]` functions that run their body over random inputs
+/// drawn from the given strategies. Supports the
+/// `#![proptest_config(...)]` header and multiple functions per block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); ) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::deterministic_rng(file!(), line!());
+            for case in 0..config.cases {
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $crate::__proptest_bind!(rng; $($args)*);
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    ::core::panic!("proptest case {}/{} failed: {}", case + 1, config.cases, err);
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+}
+
+/// Argument-list muncher of [`__proptest_impl`]: turns each
+/// `name in strategy` or `name: Type` argument into a generated `let`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $arg:ident in $strat:expr $(,)?) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $arg:ident in $strat:expr, $($restargs:tt)+) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($restargs)+);
+    };
+    ($rng:ident; $arg:ident : $ty:ty $(,)?) => {
+        let $arg: $ty = $crate::strategy::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+    };
+    ($rng:ident; $arg:ident : $ty:ty, $($restargs:tt)+) => {
+        let $arg: $ty = $crate::strategy::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!($rng; $($restargs)+);
+    };
+}
+
+/// `assert!` that reports through the proptest case runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest case runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                    left, right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    left, right, ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest case runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: `left != right`\n  both: `{:?}`", left),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case when an assumption does not hold. Unlike
+/// real proptest the case simply counts as passed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Doc comments and config headers parse.
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_sizes_and_elements_respect_strategies(
+            v in crate::collection::vec(0u8..4, 2..9),
+            fixed in crate::collection::vec(any::<u64>(), 5),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 4));
+            prop_assert_eq!(fixed.len(), 5);
+        }
+
+        #[test]
+        fn assume_discards_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0, "only even x reach here: {}", x);
+        }
+
+        /// `name: Type` arguments desugar to `any::<Type>()`.
+        #[test]
+        fn typed_args_mix_with_strategies(x in 0u32..10, flag: bool, y: u8) {
+            prop_assert!(x < 10);
+            prop_assert!(flag || !flag);
+            prop_assert!(u16::from(y) < 256);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_block_parses(x in 0u8..255) {
+            prop_assert_ne!(u32::from(x), 300u32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_context() {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

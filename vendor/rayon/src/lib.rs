@@ -1,0 +1,246 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *API subset it actually uses* with a sequential
+//! implementation. Parallel iterators execute eagerly on the calling
+//! thread; `ThreadPool::install` records the requested width so
+//! [`current_num_threads`] reports it, matching how the baselines size
+//! their τ-thread runs. On the single-core container this loses no
+//! throughput, and it keeps the simulator fully deterministic.
+//!
+//! Implemented surface: `prelude::*` (`IntoParallelIterator`,
+//! `ParallelIterator` combinators `map`/`for_each`/`collect`,
+//! `ParallelSliceMut` sorts), `ThreadPoolBuilder`, `ThreadPool::install`,
+//! [`current_num_threads`] and [`join`].
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::fmt;
+
+thread_local! {
+    /// Width of the innermost `ThreadPool::install` on this thread.
+    static POOL_WIDTH: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Number of worker threads of the current pool scope (1 outside any
+/// [`ThreadPool::install`], the pool's configured width inside one).
+pub fn current_num_threads() -> usize {
+    POOL_WIDTH.with(Cell::get)
+}
+
+/// Run two closures "in parallel" (sequentially here) and return both
+/// results, mirroring `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; never produced by this
+/// stand-in but kept for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Request `num_threads` workers (0 = automatic, i.e. 1 here).
+    pub fn num_threads(mut self, num_threads: usize) -> ThreadPoolBuilder {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Build the pool. Infallible in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            width: self.num_threads.max(1),
+        })
+    }
+}
+
+/// A "pool" that only remembers its width; closures run on the caller.
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Execute `op` with [`current_num_threads`] reporting this pool's
+    /// width, restoring the previous width afterwards.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        POOL_WIDTH.with(|w| {
+            let prev = w.replace(self.width);
+            let out = op();
+            w.set(prev);
+            out
+        })
+    }
+}
+
+pub mod iter {
+    //! Sequential re-implementations of the parallel iterator traits.
+
+    /// A "parallel" iterator: a thin wrapper over a std iterator.
+    pub struct Par<I>(I);
+
+    impl<I: Iterator> Par<I> {
+        /// Map each item (sequentially).
+        pub fn map<F, R>(self, f: F) -> Par<std::iter::Map<I, F>>
+        where
+            F: FnMut(I::Item) -> R,
+        {
+            Par(self.0.map(f))
+        }
+
+        /// Filter items.
+        pub fn filter<F>(self, f: F) -> Par<std::iter::Filter<I, F>>
+        where
+            F: FnMut(&I::Item) -> bool,
+        {
+            Par(self.0.filter(f))
+        }
+
+        /// Consume with a side-effecting closure.
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+
+        /// Collect into any `FromIterator` container (order preserved).
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        /// Sum the items.
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        /// Number of items.
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+    }
+
+    /// Mirror of `rayon::iter::IntoParallelIterator`, implemented for
+    /// everything that is `IntoIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Convert into a (sequential) "parallel" iterator.
+        fn into_par_iter(self) -> Par<Self::IntoIter> {
+            Par(self.into_iter())
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// Mirror of `rayon::iter::IntoParallelRefIterator`: `par_iter` on
+    /// anything whose reference iterates.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed iterator type.
+        type Iter: Iterator;
+        /// Borrowing counterpart of `into_par_iter`.
+        fn par_iter(&'data self) -> Par<Self::Iter>;
+    }
+
+    impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+    where
+        &'data T: IntoIterator,
+    {
+        type Iter = <&'data T as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Par<Self::Iter> {
+            Par(self.into_iter())
+        }
+    }
+
+    /// Mirror of `rayon::slice::ParallelSliceMut` (sequential sorts —
+    /// same results, same determinism).
+    pub trait ParallelSliceMut<T> {
+        /// As [`slice::sort_unstable`].
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        /// As [`slice::sort_unstable_by`].
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> super::Ordering;
+        /// As [`slice::sort_unstable_by_key`].
+        fn par_sort_unstable_by_key<K: Ord, F>(&mut self, key: F)
+        where
+            F: FnMut(&T) -> K;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> super::Ordering,
+        {
+            self.sort_unstable_by(compare);
+        }
+
+        fn par_sort_unstable_by_key<K: Ord, F>(&mut self, key: F)
+        where
+            F: FnMut(&T) -> K,
+        {
+            self.sort_unstable_by_key(key);
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, as in real rayon.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn install_scopes_the_reported_width() {
+        assert_eq!(current_num_threads(), 1);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let width = pool.install(current_num_threads);
+        assert_eq!(width, 3);
+        assert_eq!(current_num_threads(), 1, "restored after install");
+    }
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let doubled: Vec<i32> = (0..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_sorts_sort() {
+        let mut v = vec![3u32, 1, 2];
+        v.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        assert_eq!(v, vec![3, 2, 1]);
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Quick end-to-end pipeline benchmark — the tracked perf baseline.
+//!
+//! Runs GPUMEM on a fixed smoke dataset (seeded generator, so the
+//! workload is identical on every machine and every run) and writes
+//! `BENCH_pipeline.json` at the repo root:
+//!
+//! * `before` — the first numbers ever recorded (preserved verbatim on
+//!   later runs; the pre-optimization baseline of the hot-path PR);
+//! * `current` — this run;
+//! * `speedup_wall` — `before.wall_s / current.wall_s`.
+//!
+//! Wall-clock is the min over `GPUMEM_QUICK_ITERS` (default 3)
+//! end-to-end runs on one `Gpumem` instance, so steady-state buffer
+//! reuse is what gets measured. Modeled device time is asserted
+//! identical across iterations — the simulator is deterministic, and
+//! host-side optimizations must never change it.
+//!
+//! With `GPUMEM_BENCH_CHECK=1`, compares the fresh wall-clock against
+//! the committed `current.wall_s` and exits non-zero when it regresses
+//! by more than `GPUMEM_BENCH_MAX_REGRESS` (default 0.20) — the CI
+//! bench-smoke gate.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gpumem_core::{Gpumem, GpumemConfig, GpumemStats};
+use gpumem_seq::{GenomeModel, MutationModel, PackedSeq};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fixed smoke dataset: a mammalian-model reference and a mutated copy,
+/// big enough for a multi-row, multi-column tiling.
+const REF_LEN: usize = 120_000;
+const MIN_LEN: u32 = 25;
+const SEED_LEN: usize = 8;
+const THREADS_PER_BLOCK: usize = 64;
+const BLOCKS_PER_TILE: usize = 4;
+const DATA_SEED: u64 = 2024;
+
+fn dataset() -> (PackedSeq, PackedSeq) {
+    let reference = GenomeModel::mammalian().generate(REF_LEN, DATA_SEED);
+    let query = {
+        let model = MutationModel {
+            sub_rate: 0.03,
+            indel_rate: 0.003,
+        };
+        let mut rng = StdRng::seed_from_u64(DATA_SEED + 1);
+        PackedSeq::from_codes(&model.apply(&reference.to_codes(), &mut rng))
+    };
+    (reference, query)
+}
+
+/// One measurement of the quick workload.
+struct Sample {
+    wall_s: f64,
+    stats: GpumemStats,
+    mems: usize,
+}
+
+fn measure(gpumem: &Gpumem, reference: &PackedSeq, query: &PackedSeq) -> Sample {
+    let start = Instant::now();
+    let result = gpumem.run(reference, query);
+    Sample {
+        wall_s: start.elapsed().as_secs_f64(),
+        stats: result.stats,
+        mems: result.mems.len(),
+    }
+}
+
+fn render(sample: &Sample) -> String {
+    let s = &sample.stats;
+    format!(
+        concat!(
+            "{{\n",
+            "    \"wall_s\": {:.4},\n",
+            "    \"index_wall_s\": {:.4},\n",
+            "    \"match_wall_s\": {:.4},\n",
+            "    \"modeled_index_s\": {:.6},\n",
+            "    \"modeled_match_s\": {:.6},\n",
+            "    \"pool_allocs\": {},\n",
+            "    \"launches\": {},\n",
+            "    \"mems\": {}\n",
+            "  }}"
+        ),
+        sample.wall_s,
+        s.index_wall.as_secs_f64(),
+        s.match_wall.as_secs_f64(),
+        s.index.modeled_secs(),
+        s.matching.modeled_secs(),
+        s.index.pool_allocs + s.matching.pool_allocs,
+        s.index.launches + s.matching.launches,
+        sample.mems,
+    )
+}
+
+/// Extract the balanced-brace object following `"<key>":` in `json`.
+fn extract_object(json: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\"");
+    let at = json.find(&tag)?;
+    let open = json[at..].find('{')? + at;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extract a numeric field from a JSON object snippet.
+fn extract_number(object: &str, field: &str) -> Option<f64> {
+    let tag = format!("\"{field}\":");
+    let at = object.find(&tag)? + tag.len();
+    let rest = object[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn out_path() -> PathBuf {
+    std::env::var("GPUMEM_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_pipeline.json")
+        })
+}
+
+fn main() {
+    let iters: usize = std::env::var("GPUMEM_QUICK_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let (reference, query) = dataset();
+    let config = GpumemConfig::builder(MIN_LEN)
+        .seed_len(SEED_LEN)
+        .threads_per_block(THREADS_PER_BLOCK)
+        .blocks_per_tile(BLOCKS_PER_TILE)
+        .build()
+        .expect("valid quick config");
+    let gpumem = Gpumem::new(config);
+
+    let mut best: Option<Sample> = None;
+    for i in 0..iters {
+        let sample = measure(&gpumem, &reference, &query);
+        eprintln!(
+            "iter {}: wall {:.3} s (index {:.3} + match {:.3}), modeled {:.3} ms, {} MEMs",
+            i,
+            sample.wall_s,
+            sample.stats.index_wall.as_secs_f64(),
+            sample.stats.match_wall.as_secs_f64(),
+            (sample.stats.index.modeled_secs() + sample.stats.matching.modeled_secs()) * 1e3,
+            sample.mems,
+        );
+        if let Some(prev) = &best {
+            // Host-side optimizations must never move modeled time.
+            assert_eq!(
+                prev.stats.index.device_cycles, sample.stats.index.device_cycles,
+                "modeled index cycles changed between identical runs"
+            );
+            assert_eq!(
+                prev.stats.matching.device_cycles, sample.stats.matching.device_cycles,
+                "modeled matching cycles changed between identical runs"
+            );
+            assert_eq!(prev.mems, sample.mems, "output changed between runs");
+        }
+        if best.as_ref().is_none_or(|b| sample.wall_s < b.wall_s) {
+            best = Some(sample);
+        }
+    }
+    let best = best.expect("at least one iteration");
+
+    let path = out_path();
+    let committed = std::fs::read_to_string(&path).ok();
+    let current = render(&best);
+    let before = committed
+        .as_deref()
+        .and_then(|json| extract_object(json, "before"))
+        .unwrap_or_else(|| current.clone());
+    let before_wall = extract_number(&before, "wall_s").unwrap_or(best.wall_s);
+
+    if std::env::var("GPUMEM_BENCH_CHECK").is_ok_and(|v| v == "1") {
+        let max_regress: f64 = std::env::var("GPUMEM_BENCH_MAX_REGRESS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.20);
+        let committed_wall = committed
+            .as_deref()
+            .and_then(|json| extract_object(json, "current"))
+            .and_then(|object| extract_number(&object, "wall_s"));
+        match committed_wall {
+            Some(committed_wall) if best.wall_s > committed_wall * (1.0 + max_regress) => {
+                eprintln!(
+                    "FAIL: wall-clock {:.3} s regressed more than {:.0}% over committed {:.3} s",
+                    best.wall_s,
+                    max_regress * 100.0,
+                    committed_wall
+                );
+                std::process::exit(1);
+            }
+            Some(committed_wall) => eprintln!(
+                "check ok: {:.3} s vs committed {:.3} s (max regression {:.0}%)",
+                best.wall_s,
+                committed_wall,
+                max_regress * 100.0
+            ),
+            None => eprintln!("check skipped: no committed BENCH_pipeline.json"),
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": 1,\n",
+            "  \"dataset\": {{\n",
+            "    \"ref_len\": {}, \"query_len\": {}, \"min_len\": {}, \"seed_len\": {},\n",
+            "    \"threads_per_block\": {}, \"blocks_per_tile\": {}, \"tiles\": \"{}x{}\",\n",
+            "    \"data_seed\": {}, \"iters\": {}\n",
+            "  }},\n",
+            "  \"before\": {},\n",
+            "  \"current\": {},\n",
+            "  \"speedup_wall\": {:.2}\n",
+            "}}\n"
+        ),
+        reference.len(),
+        query.len(),
+        MIN_LEN,
+        SEED_LEN,
+        THREADS_PER_BLOCK,
+        BLOCKS_PER_TILE,
+        best.stats.rows,
+        best.stats.cols,
+        DATA_SEED,
+        iters,
+        before,
+        current,
+        before_wall / best.wall_s,
+    );
+    std::fs::write(&path, &json).expect("write BENCH_pipeline.json");
+    println!("{json}");
+    println!("→ {}", path.display());
+}

@@ -45,34 +45,68 @@ pub struct Assignment {
 /// Marker for idle threads in [`Assignment::group_of_thread`].
 pub const IDLE: usize = usize::MAX;
 
+/// Reusable working storage for [`balance_into`] — the shared-memory
+/// arrays of Algorithm 2, hoisted so every round reuses them.
+#[derive(Debug, Default)]
+pub struct BalanceScratch {
+    load: Vec<u32>,
+    task: Vec<u32>,
+    assign: Vec<u32>,
+    seed_slot_of_group: Vec<usize>,
+}
+
 /// Run the assignment for one round. `loads[k]` is the index occurrence
 /// count of the seed at slot `k` (0 for slots without a valid seed).
+/// Allocates a fresh result; hot callers reuse storage via
+/// [`balance_into`].
 pub fn balance(ctx: &mut BlockCtx<'_>, loads: &[u32], enabled: bool) -> Assignment {
+    let mut out = Assignment::default();
+    balance_into(
+        ctx,
+        loads,
+        enabled,
+        &mut BalanceScratch::default(),
+        &mut out,
+    );
+    out
+}
+
+/// [`balance`] into caller-owned storage: `out` is overwritten and
+/// `scratch` provides the working arrays.
+pub fn balance_into(
+    ctx: &mut BlockCtx<'_>,
+    loads: &[u32],
+    enabled: bool,
+    scratch: &mut BalanceScratch,
+    out: &mut Assignment,
+) {
     let tau = ctx.block_dim;
     assert_eq!(loads.len(), tau, "one load entry per thread");
+    out.groups.clear();
+    out.group_of_thread.clear();
+    out.group_of_thread.resize(tau, IDLE);
 
     if !enabled {
         // Straight assignment: thread k serves seed slot k (if any).
-        let mut groups = Vec::new();
-        let mut group_of_thread = vec![IDLE; tau];
         for (k, &load) in loads.iter().enumerate() {
             if load > 0 {
-                group_of_thread[k] = groups.len();
-                groups.push(GroupAssign {
+                out.group_of_thread[k] = out.groups.len();
+                out.groups.push(GroupAssign {
                     seed_slot: k,
                     threads: k..k + 1,
                 });
             }
         }
-        return Assignment {
-            groups,
-            group_of_thread,
-        };
+        return;
     }
 
     // Algorithm 2, step 1: per-thread load/task flags.
-    let mut load = vec![0u32; tau];
-    let mut task = vec![0u32; tau];
+    let load = &mut scratch.load;
+    let task = &mut scratch.task;
+    load.clear();
+    load.resize(tau, 0);
+    task.clear();
+    task.resize(tau, 0);
     ctx.simt(|lane| {
         lane.charge(Op::GlobalLoad, 1); // ptrs[s+1] - ptrs[s]
         lane.shared(2);
@@ -81,24 +115,25 @@ pub fn balance(ctx: &mut BlockCtx<'_>, loads: &[u32], enabled: bool) -> Assignme
     });
 
     // Step 2: GPUPrefixSum over both arrays.
-    block_inclusive_scan(ctx, &mut load);
-    block_inclusive_scan(ctx, &mut task);
+    block_inclusive_scan(ctx, load);
+    block_inclusive_scan(ctx, task);
 
     let t_load = load[tau - 1] as usize;
     let n_groups = task[tau - 1] as usize;
     if n_groups == 0 {
-        return Assignment {
-            groups: Vec::new(),
-            group_of_thread: vec![IDLE; tau],
-        };
+        return;
     }
     let t_idle = tau - n_groups;
 
     // Step 3: fill `assign` (group boundaries) and the seed slot of
     // each group, in parallel (each non-empty slot writes its own
     // group's entry).
-    let mut assign = vec![0u32; n_groups + 1];
-    let mut seed_slot_of_group = vec![0usize; n_groups];
+    let assign = &mut scratch.assign;
+    let seed_slot_of_group = &mut scratch.seed_slot_of_group;
+    assign.clear();
+    assign.resize(n_groups + 1, 0);
+    seed_slot_of_group.clear();
+    seed_slot_of_group.resize(n_groups, 0);
     ctx.simt(|lane| {
         lane.charge(Op::Alu, 4);
         lane.shared(2);
@@ -112,22 +147,16 @@ pub fn balance(ctx: &mut BlockCtx<'_>, loads: &[u32], enabled: bool) -> Assignme
     debug_assert_eq!(assign[n_groups] as usize, tau, "all threads assigned");
 
     // Step 4: every thread binary-searches its group.
-    let mut group_of_thread = vec![IDLE; tau];
+    let group_of_thread = &mut out.group_of_thread;
     ctx.simt(|lane| {
-        let g = upper_bound_shared(lane, &assign, lane.tid as u32) - 1;
+        let g = upper_bound_shared(lane, assign, lane.tid as u32) - 1;
         group_of_thread[lane.tid] = g;
     });
 
-    let groups = (0..n_groups)
-        .map(|g| GroupAssign {
-            seed_slot: seed_slot_of_group[g],
-            threads: assign[g] as usize..assign[g + 1] as usize,
-        })
-        .collect();
-    Assignment {
-        groups,
-        group_of_thread,
-    }
+    out.groups.extend((0..n_groups).map(|g| GroupAssign {
+        seed_slot: seed_slot_of_group[g],
+        threads: assign[g] as usize..assign[g + 1] as usize,
+    }));
 }
 
 #[cfg(test)]

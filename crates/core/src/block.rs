@@ -15,11 +15,11 @@ use gpu_sim::{BlockCtx, Op};
 use gpumem_index::SeedLookup;
 use gpumem_seq::{Mem, PackedSeq};
 
-use crate::balance::balance;
-use crate::combine::tree_combine;
+use crate::balance::{balance_into, Assignment, BalanceScratch};
+use crate::combine::{combine_schedule, tree_combine_scheduled};
 use crate::config::GpumemConfig;
 use crate::expand::{expand_within, Bounds};
-use crate::generate::{charge_lce, generate_triplets};
+use crate::generate::{generate_triplets, lce_cost};
 
 /// The two result classes of a block (§III-B4).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -32,7 +32,41 @@ pub struct BlockOutput {
     pub out_block: Vec<Mem>,
 }
 
-/// Process one block inside a launched kernel.
+/// Reusable per-block working storage. The pipeline hoists one of
+/// these across every block of every tile, so repeated launches stop
+/// allocating (blocks execute sequentially — see the `gpu_sim::exec`
+/// docs — so a single scratch serves the whole grid).
+pub struct BlockScratch {
+    tau: usize,
+    q_of_slot: Vec<Option<usize>>,
+    codes: Vec<Option<u32>>,
+    loads: Vec<u32>,
+    triplets: Vec<Vec<Mem>>,
+    schedule: Vec<Vec<(usize, usize)>>,
+    assignment: Assignment,
+    balance: BalanceScratch,
+}
+
+impl BlockScratch {
+    /// Scratch for blocks of `tau` threads (a power of two ≥ 2, as the
+    /// combine schedule requires).
+    pub fn new(tau: usize) -> BlockScratch {
+        BlockScratch {
+            tau,
+            q_of_slot: vec![None; tau],
+            codes: vec![None; tau],
+            loads: vec![0; tau],
+            triplets: vec![Vec::new(); tau],
+            schedule: combine_schedule(tau),
+            assignment: Assignment::default(),
+            balance: BalanceScratch::default(),
+        }
+    }
+}
+
+/// Process one block inside a launched kernel, appending its results
+/// to `output`.
+#[allow(clippy::too_many_arguments)]
 pub fn process_block(
     ctx: &mut BlockCtx<'_>,
     reference: &PackedSeq,
@@ -41,26 +75,34 @@ pub fn process_block(
     config: &GpumemConfig,
     row_range: Range<usize>,
     block_q: Range<usize>,
-) -> BlockOutput {
+    scratch: &mut BlockScratch,
+    output: &mut BlockOutput,
+) {
     let codec = gpumem_index::SeedCodec::new(config.seed_len);
     debug_assert_eq!(index.seed_len(), config.seed_len);
     let tau = ctx.block_dim;
     debug_assert_eq!(tau, config.threads_per_block);
+    debug_assert_eq!(tau, scratch.tau, "scratch sized for a different τ");
     let w = config.w();
     let cap = config.generation_cap();
     let bounds = Bounds {
         r: row_range,
         q: block_q.clone(),
     };
-    let mut output = BlockOutput::default();
     if block_q.is_empty() {
-        return output;
+        return;
     }
 
-    let mut q_of_slot: Vec<Option<usize>> = vec![None; tau];
-    let mut codes: Vec<Option<u32>> = vec![None; tau];
-    let mut loads: Vec<u32> = vec![0; tau];
-    let mut triplets: Vec<Vec<Mem>> = vec![Vec::new(); tau];
+    let BlockScratch {
+        q_of_slot,
+        codes,
+        loads,
+        triplets,
+        schedule,
+        assignment,
+        balance: balance_scratch,
+        ..
+    } = scratch;
 
     for round in 0..w {
         // Slot k's query location for this round; the seed may read past
@@ -82,7 +124,13 @@ pub fn process_block(
         }
 
         // Step 1: proactive load balancing (Algorithm 2).
-        let assignment = balance(ctx, &loads, config.load_balancing);
+        balance_into(
+            ctx,
+            loads,
+            config.load_balancing,
+            balance_scratch,
+            assignment,
+        );
         if assignment.groups.is_empty() {
             continue;
         }
@@ -92,22 +140,15 @@ pub fn process_block(
             slot.clear();
         }
         generate_triplets(
-            ctx,
-            reference,
-            query,
-            index,
-            &assignment,
-            &q_of_slot,
-            &codes,
-            cap,
-            &mut triplets,
+            ctx, reference, query, index, assignment, q_of_slot, codes, cap, triplets,
         );
 
         // Step 3: tree combine (Algorithm 3).
-        tree_combine(ctx, &assignment, &mut triplets);
+        tree_combine_scheduled(ctx, assignment, schedule, triplets);
 
         // Step 4: expand survivors per base and classify. Threads of a
-        // group split its surviving triplets as in generation.
+        // group split its surviving triplets as in generation; charges
+        // accumulate into locals and post in one batch per lane.
         ctx.simt(|lane| {
             let g = assignment.group_of_thread[lane.tid];
             if lane.branch(g == crate::balance::IDLE) {
@@ -115,13 +156,16 @@ pub fn process_block(
             }
             let group = &assignment.groups[g];
             let list = &triplets[group.seed_slot];
+            let (mut lce_loads, mut lce_compares, mut stores) = (0u64, 0u64, 0u64);
             let mut i = lane.tid - group.threads.start;
             while i < list.len() {
                 let mem = list[i];
                 if mem.len > 0 {
                     let (expanded, compared) = expand_within(reference, query, mem, &bounds);
-                    charge_lce(lane, compared);
-                    lane.charge(Op::GlobalStore, 1);
+                    let (loads, compares) = lce_cost(compared);
+                    lce_loads += loads;
+                    lce_compares += compares;
+                    stores += 1;
                     if expanded.touches_boundary {
                         output.out_block.push(expanded.mem);
                     } else if expanded.mem.len >= config.min_len {
@@ -130,9 +174,11 @@ pub fn process_block(
                 }
                 i += group.threads.len();
             }
+            lane.charge(Op::GlobalLoad, lce_loads);
+            lane.compare(lce_compares);
+            lane.charge(Op::GlobalStore, stores);
         });
     }
-    output
 }
 
 #[cfg(test)]
@@ -159,7 +205,9 @@ mod tests {
         let device = Device::new(DeviceSpec::test_tiny());
         let out = Mutex::new(BlockOutput::default());
         device.launch_fn(LaunchConfig::new(1, config.threads_per_block), |ctx| {
-            *out.lock() = process_block(
+            let mut scratch = BlockScratch::new(config.threads_per_block);
+            let mut block_out = BlockOutput::default();
+            process_block(
                 ctx,
                 reference,
                 query,
@@ -167,7 +215,10 @@ mod tests {
                 config,
                 0..reference.len(),
                 0..query.len(),
+                &mut scratch,
+                &mut block_out,
             );
+            *out.lock() = block_out;
         });
         out.into_inner()
     }
@@ -250,7 +301,9 @@ mod tests {
         let device = Device::new(DeviceSpec::test_tiny());
         let out = Mutex::new(BlockOutput::default());
         device.launch_fn(LaunchConfig::new(1, 4), |ctx| {
-            *out.lock() = process_block(
+            let mut scratch = BlockScratch::new(4);
+            let mut block_out = BlockOutput::default();
+            process_block(
                 ctx,
                 &text,
                 &text,
@@ -258,7 +311,10 @@ mod tests {
                 &cfg,
                 0..text.len(),
                 40..60, // interior query window
+                &mut scratch,
+                &mut block_out,
             );
+            *out.lock() = block_out;
         });
         let output = out.into_inner();
         // The self-match diagonal crosses both edges of the window.
@@ -283,7 +339,20 @@ mod tests {
         let device = Device::new(DeviceSpec::test_tiny());
         let out = Mutex::new(BlockOutput::default());
         device.launch_fn(LaunchConfig::new(1, 4), |ctx| {
-            *out.lock() = process_block(ctx, &text, &text, &index, &cfg, 0..100, 50..50);
+            let mut scratch = BlockScratch::new(4);
+            let mut block_out = BlockOutput::default();
+            process_block(
+                ctx,
+                &text,
+                &text,
+                &index,
+                &cfg,
+                0..100,
+                50..50,
+                &mut scratch,
+                &mut block_out,
+            );
+            *out.lock() = block_out;
         });
         assert_eq!(out.into_inner(), BlockOutput::default());
     }

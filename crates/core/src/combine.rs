@@ -82,14 +82,29 @@ pub fn combine_schedule(tau: usize) -> Vec<Vec<(usize, usize)>> {
 }
 
 /// Algorithm 3 over one round's per-slot triplet lists. Deleted
-/// triplets are marked `len = 0` (callers filter).
+/// triplets are marked `len = 0` (callers filter). Computes the
+/// schedule on the fly; hot callers precompute it once and use
+/// [`tree_combine_scheduled`].
 pub fn tree_combine(ctx: &mut BlockCtx<'_>, assignment: &Assignment, triplets: &mut [Vec<Mem>]) {
+    let schedule = combine_schedule(ctx.block_dim);
+    tree_combine_scheduled(ctx, assignment, &schedule, triplets);
+}
+
+/// [`tree_combine`] with a caller-provided [`combine_schedule`]; the
+/// schedule depends only on `τ`, so the block loop computes it once.
+pub fn tree_combine_scheduled(
+    ctx: &mut BlockCtx<'_>,
+    assignment: &Assignment,
+    schedule: &[Vec<(usize, usize)>],
+    triplets: &mut [Vec<Mem>],
+) {
     let tau = ctx.block_dim;
     debug_assert!(tau.is_power_of_two());
-    for pairs in combine_schedule(tau) {
-        // Per-slot target lookup for this iteration.
-        let mut target_of = vec![usize::MAX; tau];
-        for &(src, tgt) in &pairs {
+    // Per-slot target lookup, rebuilt (not reallocated) per iteration.
+    let mut target_of = vec![usize::MAX; tau];
+    for pairs in schedule {
+        target_of.fill(usize::MAX);
+        for &(src, tgt) in pairs {
             target_of[src] = tgt;
         }
         ctx.simt(|lane| {
@@ -114,26 +129,31 @@ pub fn tree_combine(ctx: &mut BlockCtx<'_>, assignment: &Assignment, triplets: &
             } else {
                 unreachable!("target = src + d > src")
             };
+            // Charges accumulate into locals and post in one batch per
+            // lane (totals are what the warp model consumes).
+            let (mut compares, mut shared) = (0u64, 0u64);
             let mut i = my_offset;
             while i < s_list.len() {
                 let mine = s_list[i];
                 if mine.len > 0 {
                     for other in t_list.iter_mut() {
-                        lane.compare(3);
-                        lane.shared(2);
+                        compares += 3;
+                        shared += 2;
                         if other.len == 0 {
                             continue;
                         }
                         if let Some(merged) = combine_pair(mine, *other) {
                             s_list[i] = merged;
                             other.len = 0; // "GPUMEM just sets λ' to zero"
-                            lane.shared(2);
+                            shared += 2;
                             break; // ≤ 1 triplet per diagonal per slot
                         }
                     }
                 }
                 i += stride;
             }
+            lane.compare(compares);
+            lane.shared(shared);
         });
     }
 }
@@ -170,21 +190,25 @@ pub fn block_sort_by_diag(ctx: &mut BlockCtx<'_>, data: &mut Vec<Mem>) {
         let mut j = k / 2;
         while j >= 1 {
             ctx.simt_range(0..lanes, |lane| {
+                let (mut shared, mut compares, mut alu) = (0u64, 0u64, 0u64);
                 let mut i = lane.tid;
                 while i < padded {
                     let partner = i ^ j;
                     if partner > i {
-                        lane.shared(2);
-                        lane.compare(1);
+                        shared += 2;
+                        compares += 1;
                         let ascending = (i & k) == 0;
                         if (keyed[i].0 > keyed[partner].0) == ascending {
                             keyed.swap(i, partner);
-                            lane.shared(2);
+                            shared += 2;
                         }
                     }
-                    lane.charge(Op::Alu, 2);
+                    alu += 2;
                     i += lanes;
                 }
+                lane.shared(shared);
+                lane.compare(compares);
+                lane.charge(Op::Alu, alu);
             });
             j /= 2;
         }

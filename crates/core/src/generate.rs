@@ -8,18 +8,17 @@
 //! (spaced exactly `w` on the diagonal) are guaranteed to overlap and
 //! chain in the combine step.
 
-use gpu_sim::{Lane, Op};
+use gpu_sim::Op;
 use gpumem_index::SeedLookup;
 use gpumem_seq::{Mem, PackedSeq};
 
 use crate::balance::Assignment;
 
-/// Charge the lane for an LCE of `matched` bases (packed word reads on
-/// both sequences plus the comparisons).
+/// The cost of an LCE of `matched` bases as `(global loads, compares)`:
+/// packed word reads on both sequences plus the comparisons.
 #[inline]
-pub(crate) fn charge_lce(lane: &mut Lane<'_>, matched: usize) {
-    lane.charge(Op::GlobalLoad, (matched as u64 / 32 + 1) * 2);
-    lane.compare(matched as u64 + 1);
+pub(crate) fn lce_cost(matched: usize) -> (u64, u64) {
+    ((matched as u64 / 32 + 1) * 2, matched as u64 + 1)
 }
 
 /// Generate one round's triplets into `triplets[seed_slot]`.
@@ -57,17 +56,27 @@ pub fn generate_triplets(
         let bucket = index.lookup(code);
         let my_offset = lane.tid - group.threads.start;
         let stride = group.threads.len();
+        // One `locs[j]` load and one triplet store per visited element;
+        // the LCE cost is data-dependent, so it accumulates into locals.
+        // All charges post in one batch per lane (totals are what the
+        // warp model consumes).
+        let visited = if my_offset < bucket.len() {
+            (bucket.len() - my_offset).div_ceil(stride) as u64
+        } else {
+            0
+        };
+        let (mut lce_loads, mut lce_compares) = (0u64, 0u64);
         let mut j = my_offset;
         while j < bucket.len() {
-            lane.charge(Op::GlobalLoad, 1); // locs[j]
             let r = bucket[j] as usize;
             // The seed matches by construction (ℓs bases); extend right
             // up to the cap. LCE below block/tile boundaries is fine —
             // classification happens at expansion time.
             let len = reference.lce_fwd(r, query, q, cap);
             debug_assert!(len >= index.seed_len().min(cap));
-            charge_lce(lane, len);
-            lane.charge(Op::GlobalStore, 1); // write the triplet
+            let (loads, compares) = lce_cost(len);
+            lce_loads += loads;
+            lce_compares += compares;
             triplets[group.seed_slot].push(Mem {
                 r: r as u32,
                 q: q as u32,
@@ -75,6 +84,9 @@ pub fn generate_triplets(
             });
             j += stride;
         }
+        lane.charge(Op::GlobalLoad, visited + lce_loads);
+        lane.compare(lce_compares);
+        lane.charge(Op::GlobalStore, visited);
     });
 }
 

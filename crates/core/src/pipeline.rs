@@ -229,6 +229,14 @@ impl Gpumem {
             stats.rows = tiling.n_rows();
             stats.cols = tiling.n_cols();
 
+            // Working storage hoisted across every tile of the run:
+            // blocks execute sequentially (see the `gpu_sim::exec`
+            // docs), so one scratch/accumulator set behind a Mutex
+            // serves the whole grid without per-tile allocation.
+            let mut scratch = crate::block::BlockScratch::new(config.threads_per_block);
+            let mut tile_blocks = crate::block::BlockOutput::default();
+            let mut tile_out = crate::tile_run::TileOutput::default();
+
             for row in 0..tiling.n_rows() {
                 let row_range = tiling.row_range(row);
 
@@ -247,15 +255,20 @@ impl Gpumem {
                 for col in 0..tiling.n_cols() {
                     let t1 = Instant::now();
 
-                    // One GPU block per ℓ_tile × ℓ_block slice.
-                    let collector = Mutex::new(Vec::new());
+                    // One GPU block per ℓ_tile × ℓ_block slice; every
+                    // block appends into the reused accumulator.
+                    tile_blocks.in_block.clear();
+                    tile_blocks.out_block.clear();
+                    let cell = Mutex::new((&mut tile_blocks, &mut scratch));
                     let launch = self.device.launch_fn_named(
                         LaunchConfig::new(config.blocks_per_tile, config.threads_per_block),
                         "match.blocks",
                         |ctx| {
                             let block_q =
                                 tiling.block_range(col, ctx.block_id, config.block_width());
-                            let out = process_block(
+                            let guard = &mut *cell.lock();
+                            let (output, scratch) = guard;
+                            process_block(
                                 ctx,
                                 reference,
                                 query,
@@ -263,46 +276,47 @@ impl Gpumem {
                                 config,
                                 row_range.clone(),
                                 block_q,
+                                scratch,
+                                output,
                             );
-                            collector.lock().push(out);
                         },
                     );
                     stats.matching += launch;
 
-                    let mut out_block: Vec<Mem> = Vec::new();
-                    for block_out in collector.into_inner() {
-                        stats.counts.in_block += block_out.in_block.len();
-                        reported.extend(block_out.in_block);
-                        out_block.extend(block_out.out_block);
-                    }
-                    stats.counts.out_block += out_block.len();
+                    stats.counts.in_block += tile_blocks.in_block.len();
+                    reported.extend_from_slice(&tile_blocks.in_block);
+                    stats.counts.out_block += tile_blocks.out_block.len();
 
                     // Tile merge (§III-C1) as its own kernel.
-                    if !out_block.is_empty() {
+                    if !tile_blocks.out_block.is_empty() {
                         let tile_bounds = Bounds {
                             r: row_range.clone(),
                             q: tiling.col_range(col),
                         };
-                        let tile_collector = Mutex::new(crate::tile_run::TileOutput::default());
+                        tile_out.in_tile.clear();
+                        tile_out.out_tile.clear();
+                        let cell = Mutex::new((&mut tile_blocks.out_block, &mut tile_out));
                         let launch = self.device.launch_fn_named(
                             LaunchConfig::new(1, config.threads_per_block),
                             "match.tile_merge",
                             |ctx| {
-                                *tile_collector.lock() = merge_tile(
+                                let guard = &mut *cell.lock();
+                                let (fragments, output) = guard;
+                                merge_tile(
                                     ctx,
                                     reference,
                                     query,
-                                    out_block.clone(),
+                                    fragments,
                                     &tile_bounds,
                                     config.min_len,
+                                    output,
                                 );
                             },
                         );
                         stats.matching += launch;
-                        let tile_out = tile_collector.into_inner();
                         stats.counts.in_tile += tile_out.in_tile.len();
-                        reported.extend(tile_out.in_tile);
-                        out_tile_all.extend(tile_out.out_tile);
+                        reported.extend_from_slice(&tile_out.in_tile);
+                        out_tile_all.extend_from_slice(&tile_out.out_tile);
                     }
                     stats.match_wall += t1.elapsed();
                 }

@@ -12,7 +12,7 @@ use gpumem_seq::{Mem, PackedSeq};
 
 use crate::combine::{block_sort_by_diag, scan_combine_sorted};
 use crate::expand::{expand_within, Bounds};
-use crate::generate::charge_lce;
+use crate::generate::lce_cost;
 
 /// The two result classes of a tile (§III-C1).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -23,22 +23,25 @@ pub struct TileOutput {
     pub out_tile: Vec<Mem>,
 }
 
-/// Merge one tile's out-block fragments inside a launched kernel block.
+/// Merge one tile's out-block fragments inside a launched kernel
+/// block, appending results to `output`. `out_block` is consumed in
+/// place (sorted and scan-combined), so the caller can reuse its
+/// storage for the next tile.
 pub fn merge_tile(
     ctx: &mut BlockCtx<'_>,
     reference: &PackedSeq,
     query: &PackedSeq,
-    mut out_block: Vec<Mem>,
+    out_block: &mut Vec<Mem>,
     tile_bounds: &Bounds,
     min_len: u32,
-) -> TileOutput {
-    let mut output = TileOutput::default();
+    output: &mut TileOutput,
+) {
     if out_block.is_empty() {
-        return output;
+        return;
     }
 
     // Parallel sort by (r − q, q).
-    block_sort_by_diag(ctx, &mut out_block);
+    block_sort_by_diag(ctx, out_block);
 
     // Scan-combine, parallel over diagonal runs: find run starts, then
     // lanes take runs round-robin.
@@ -51,30 +54,37 @@ pub fn merge_tile(
     let n_runs = run_starts.len();
     let lanes = ctx.block_dim.min(n_runs).max(1);
     ctx.simt_range(0..lanes, |lane| {
+        let (mut loads, mut compares) = (0u64, 0u64);
         let mut run = lane.tid;
         while run < n_runs {
             let lo = run_starts[run];
             let hi = run_starts.get(run + 1).copied().unwrap_or(out_block.len());
-            lane.charge(Op::GlobalLoad, (hi - lo) as u64);
-            lane.compare((hi - lo) as u64 * 2);
+            loads += (hi - lo) as u64;
+            compares += (hi - lo) as u64 * 2;
             // Runs are disjoint; in-simulator lanes execute
             // sequentially, so the split is race-free (and would be on
             // hardware, too: one thread per run).
             scan_combine_sorted(&mut out_block[lo..hi]);
             run += lanes;
         }
+        lane.charge(Op::GlobalLoad, loads);
+        lane.compare(compares);
     });
 
-    // Re-expand and classify survivors.
+    // Re-expand and classify survivors; charges accumulate into locals
+    // and post in one batch per lane.
     let lanes = ctx.block_dim.min(out_block.len()).max(1);
     ctx.simt_range(0..lanes, |lane| {
+        let (mut lce_loads, mut lce_compares, mut stores) = (0u64, 0u64, 0u64);
         let mut i = lane.tid;
         while i < out_block.len() {
             let mem = out_block[i];
             if mem.len > 0 {
                 let (expanded, compared) = expand_within(reference, query, mem, tile_bounds);
-                charge_lce(lane, compared);
-                lane.charge(Op::GlobalStore, 1);
+                let (loads, compares) = lce_cost(compared);
+                lce_loads += loads;
+                lce_compares += compares;
+                stores += 1;
                 if expanded.touches_boundary {
                     output.out_tile.push(expanded.mem);
                 } else if expanded.mem.len >= min_len {
@@ -83,8 +93,10 @@ pub fn merge_tile(
             }
             i += lanes;
         }
+        lane.charge(Op::GlobalLoad, lce_loads);
+        lane.compare(lce_compares);
+        lane.charge(Op::GlobalStore, stores);
     });
-    output
 }
 
 #[cfg(test)]
@@ -104,7 +116,18 @@ mod tests {
         let device = Device::new(DeviceSpec::test_tiny());
         let out = Mutex::new(TileOutput::default());
         device.launch_fn(LaunchConfig::new(1, 64), |ctx| {
-            *out.lock() = merge_tile(ctx, reference, query, out_block.clone(), &bounds, min_len);
+            let mut fragments = out_block.clone();
+            let mut tile_out = TileOutput::default();
+            merge_tile(
+                ctx,
+                reference,
+                query,
+                &mut fragments,
+                &bounds,
+                min_len,
+                &mut tile_out,
+            );
+            *out.lock() = tile_out;
         });
         out.into_inner()
     }

@@ -1,10 +1,14 @@
 //! Kernel launch and SIMT execution.
 //!
-//! See the crate docs for the model. In short: blocks run truly in
-//! parallel (rayon); inside a block, [`BlockCtx::simt`] runs a closure
-//! once per logical thread, warp by warp; each region boundary is a
-//! block barrier; warp cost is the max over lane costs plus a
-//! divergence serialization charge.
+//! See the crate docs for the model. In short: blocks execute
+//! *sequentially on the launching thread* in ascending `block_id`
+//! order (the vendored rayon stand-in is a sequential shim, so the
+//! simulation is deterministic and kernels may capture host state
+//! behind a plain `Mutex` without contention) while being
+//! *cost-modeled* as parallel across SMs; inside a block,
+//! [`BlockCtx::simt`] runs a closure once per logical thread, warp by
+//! warp; each region boundary is a block barrier; warp cost is the max
+//! over lane costs plus a divergence serialization charge.
 
 use std::ops::Range;
 use std::time::{Duration, Instant};
@@ -13,6 +17,7 @@ use rayon::prelude::*;
 
 use crate::cost::{CostModel, Op};
 use crate::memory::{GpuU32, GpuU64};
+use crate::pool::{BufferPool, Init, PooledU32, PooledU64};
 use crate::spec::DeviceSpec;
 use crate::stats::LaunchStats;
 
@@ -72,6 +77,7 @@ where
 pub struct Device {
     spec: DeviceSpec,
     cost: CostModel,
+    pool: BufferPool,
 }
 
 impl Device {
@@ -80,12 +86,40 @@ impl Device {
         Device {
             spec,
             cost: CostModel::default(),
+            pool: BufferPool::default(),
         }
     }
 
     /// A device with an explicit cost model (ablations).
     pub fn with_cost_model(spec: DeviceSpec, cost: CostModel) -> Device {
-        Device { spec, cost }
+        Device {
+            spec,
+            cost,
+            pool: BufferPool::default(),
+        }
+    }
+
+    /// Pool-backed [`GpuU32::named`]: `len` zeroed elements, reusing
+    /// storage freed by earlier drops of pooled buffers on this device.
+    pub fn alloc_u32(&self, len: usize, name: &str) -> PooledU32<'_> {
+        self.pool.get_u32(len, name, Init::Zeroed)
+    }
+
+    /// Pool-backed [`GpuU32::alloc_uninit`]: contents are undefined
+    /// (recycled storage keeps its previous bits) and the sanitizer
+    /// flags reads-before-writes.
+    pub fn alloc_u32_uninit(&self, len: usize, name: &str) -> PooledU32<'_> {
+        self.pool.get_u32(len, name, Init::Uninit)
+    }
+
+    /// Pool-backed [`GpuU64::named`].
+    pub fn alloc_u64(&self, len: usize, name: &str) -> PooledU64<'_> {
+        self.pool.get_u64(len, name, Init::Zeroed)
+    }
+
+    /// Pool-backed [`GpuU64::alloc_uninit`].
+    pub fn alloc_u64_uninit(&self, len: usize, name: &str) -> PooledU64<'_> {
+        self.pool.get_u64(len, name, Init::Uninit)
     }
 
     /// The device specification.
@@ -180,6 +214,9 @@ impl Device {
             device_cycles,
             modeled_time: modeled,
             wall_time: wall,
+            // Host-side bookkeeping: fresh (pool-missing) buffer
+            // allocations since the previous launch on this device.
+            pool_allocs: self.pool.take_fresh(),
             ..LaunchStats::default()
         };
         for o in outs {
@@ -220,6 +257,10 @@ pub struct BlockCtx<'c> {
     /// accesses separated by a barrier land in different regions.
     #[cfg(feature = "sanitize")]
     region: u32,
+    /// Distinct branch signatures of the current warp. Owned by the
+    /// context so the hot warp loop never allocates (one buffer per
+    /// block instead of one per warp).
+    signatures: Vec<u64>,
     out: BlockOut,
 }
 
@@ -238,6 +279,7 @@ impl<'c> BlockCtx<'c> {
             warp_size,
             #[cfg(feature = "sanitize")]
             region: 0,
+            signatures: Vec::with_capacity(warp_size),
             out: BlockOut {
                 warps: 0,
                 warp_cycles: 0,
@@ -277,7 +319,7 @@ impl<'c> BlockCtx<'c> {
         while warp_start < end {
             let warp_end = (warp_start + self.warp_size).min(end);
             let mut warp_max = 0u64;
-            let mut signatures: Vec<u64> = Vec::with_capacity(self.warp_size);
+            self.signatures.clear();
             for tid in warp_start..warp_end {
                 let mut lane = Lane {
                     tid,
@@ -297,11 +339,11 @@ impl<'c> BlockCtx<'c> {
                 self.out.atomic_ops += lane.atomic_ops;
                 self.out.global_ops += lane.global_ops;
                 self.out.comparisons += lane.comparisons;
-                if !signatures.contains(&lane.branch_signature) {
-                    signatures.push(lane.branch_signature);
+                if !self.signatures.contains(&lane.branch_signature) {
+                    self.signatures.push(lane.branch_signature);
                 }
             }
-            let distinct_paths = signatures.len() as u64;
+            let distinct_paths = self.signatures.len() as u64;
             if distinct_paths > 1 {
                 self.out.divergence_events += 1;
             }
@@ -405,7 +447,8 @@ impl Lane<'_> {
     pub fn ld32(&mut self, buf: &GpuU32, i: usize) -> u32 {
         self.charge(Op::GlobalLoad, 1);
         #[cfg(feature = "sanitize")]
-        if !self.check32(buf, i, crate::sanitizer::AccessKind::Read) {
+        if crate::sanitizer::enabled() && !self.check32(buf, i, crate::sanitizer::AccessKind::Read)
+        {
             return 0;
         }
         buf.load(i)
@@ -416,10 +459,69 @@ impl Lane<'_> {
     pub fn st32(&mut self, buf: &GpuU32, i: usize, v: u32) {
         self.charge(Op::GlobalStore, 1);
         #[cfg(feature = "sanitize")]
-        if !self.check32(buf, i, crate::sanitizer::AccessKind::Write) {
+        if crate::sanitizer::enabled() && !self.check32(buf, i, crate::sanitizer::AccessKind::Write)
+        {
             return;
         }
         buf.store_raw(i, v);
+    }
+
+    /// Bulk global load: read `dst.len()` consecutive elements starting
+    /// at `start`. Each element is charged as one coalesced
+    /// [`Op::GlobalLoad`], identical to `dst.len()` [`Lane::ld32`]
+    /// calls (the cost model is linear in the count), but in one charge
+    /// call and — when no sanitizer session is active — one bulk copy.
+    pub fn ld32_slice(&mut self, buf: &GpuU32, start: usize, dst: &mut [u32]) {
+        self.charge(Op::GlobalLoad, dst.len() as u64);
+        #[cfg(feature = "sanitize")]
+        if crate::sanitizer::enabled() {
+            for (k, out) in dst.iter_mut().enumerate() {
+                *out = if self.check32(buf, start + k, crate::sanitizer::AccessKind::Read) {
+                    buf.load(start + k)
+                } else {
+                    0
+                };
+            }
+            return;
+        }
+        buf.load_range(start, dst);
+    }
+
+    /// Bulk global store: write `src` to `src.len()` consecutive
+    /// elements starting at `start`; the cost-model dual of
+    /// [`Lane::ld32_slice`].
+    pub fn st32_slice(&mut self, buf: &GpuU32, start: usize, src: &[u32]) {
+        self.charge(Op::GlobalStore, src.len() as u64);
+        #[cfg(feature = "sanitize")]
+        if crate::sanitizer::enabled() {
+            for (k, &v) in src.iter().enumerate() {
+                if self.check32(buf, start + k, crate::sanitizer::AccessKind::Write) {
+                    buf.store_raw(start + k, v);
+                }
+            }
+            return;
+        }
+        for (k, &v) in src.iter().enumerate() {
+            buf.store_raw(start + k, v);
+        }
+    }
+
+    /// Bulk global fill: store `v` to `len` consecutive elements
+    /// starting at `start`, charged as `len` coalesced global stores.
+    pub fn fill32(&mut self, buf: &GpuU32, start: usize, len: usize, v: u32) {
+        self.charge(Op::GlobalStore, len as u64);
+        #[cfg(feature = "sanitize")]
+        if crate::sanitizer::enabled() {
+            for i in start..start + len {
+                if self.check32(buf, i, crate::sanitizer::AccessKind::Write) {
+                    buf.store_raw(i, v);
+                }
+            }
+            return;
+        }
+        for i in start..start + len {
+            buf.store_raw(i, v);
+        }
     }
 
     /// `atomicAdd` on a `u32` buffer, returning the old value.
@@ -427,7 +529,9 @@ impl Lane<'_> {
     pub fn atomic_add32(&mut self, buf: &GpuU32, i: usize, v: u32) -> u32 {
         self.charge(Op::Atomic, 1);
         #[cfg(feature = "sanitize")]
-        if !self.check32(buf, i, crate::sanitizer::AccessKind::Atomic) {
+        if crate::sanitizer::enabled()
+            && !self.check32(buf, i, crate::sanitizer::AccessKind::Atomic)
+        {
             return 0;
         }
         buf.atomic_add(i, v)
@@ -438,7 +542,9 @@ impl Lane<'_> {
     pub fn atomic_max32(&mut self, buf: &GpuU32, i: usize, v: u32) -> u32 {
         self.charge(Op::Atomic, 1);
         #[cfg(feature = "sanitize")]
-        if !self.check32(buf, i, crate::sanitizer::AccessKind::Atomic) {
+        if crate::sanitizer::enabled()
+            && !self.check32(buf, i, crate::sanitizer::AccessKind::Atomic)
+        {
             return 0;
         }
         buf.atomic_max(i, v)
@@ -490,7 +596,8 @@ impl Lane<'_> {
     pub fn ld64(&mut self, buf: &GpuU64, i: usize) -> u64 {
         self.charge(Op::GlobalLoad, 1);
         #[cfg(feature = "sanitize")]
-        if !self.check64(buf, i, crate::sanitizer::AccessKind::Read) {
+        if crate::sanitizer::enabled() && !self.check64(buf, i, crate::sanitizer::AccessKind::Read)
+        {
             return 0;
         }
         buf.load(i)
@@ -501,10 +608,45 @@ impl Lane<'_> {
     pub fn st64(&mut self, buf: &GpuU64, i: usize, v: u64) {
         self.charge(Op::GlobalStore, 1);
         #[cfg(feature = "sanitize")]
-        if !self.check64(buf, i, crate::sanitizer::AccessKind::Write) {
+        if crate::sanitizer::enabled() && !self.check64(buf, i, crate::sanitizer::AccessKind::Write)
+        {
             return;
         }
         buf.store_raw(i, v);
+    }
+
+    /// Bulk `u64` global load (see [`Lane::ld32_slice`]).
+    pub fn ld64_slice(&mut self, buf: &GpuU64, start: usize, dst: &mut [u64]) {
+        self.charge(Op::GlobalLoad, dst.len() as u64);
+        #[cfg(feature = "sanitize")]
+        if crate::sanitizer::enabled() {
+            for (k, out) in dst.iter_mut().enumerate() {
+                *out = if self.check64(buf, start + k, crate::sanitizer::AccessKind::Read) {
+                    buf.load(start + k)
+                } else {
+                    0
+                };
+            }
+            return;
+        }
+        buf.load_range(start, dst);
+    }
+
+    /// Bulk `u64` global store (see [`Lane::st32_slice`]).
+    pub fn st64_slice(&mut self, buf: &GpuU64, start: usize, src: &[u64]) {
+        self.charge(Op::GlobalStore, src.len() as u64);
+        #[cfg(feature = "sanitize")]
+        if crate::sanitizer::enabled() {
+            for (k, &v) in src.iter().enumerate() {
+                if self.check64(buf, start + k, crate::sanitizer::AccessKind::Write) {
+                    buf.store_raw(start + k, v);
+                }
+            }
+            return;
+        }
+        for (k, &v) in src.iter().enumerate() {
+            buf.store_raw(start + k, v);
+        }
     }
 
     /// `atomicAdd` on a `u64` buffer, returning the old value.
@@ -512,7 +654,9 @@ impl Lane<'_> {
     pub fn atomic_add64(&mut self, buf: &GpuU64, i: usize, v: u64) -> u64 {
         self.charge(Op::Atomic, 1);
         #[cfg(feature = "sanitize")]
-        if !self.check64(buf, i, crate::sanitizer::AccessKind::Atomic) {
+        if crate::sanitizer::enabled()
+            && !self.check64(buf, i, crate::sanitizer::AccessKind::Atomic)
+        {
             return 0;
         }
         buf.atomic_add(i, v)
@@ -740,6 +884,106 @@ mod tests {
     fn oversized_block_rejected() {
         let device = tiny();
         device.launch_fn(LaunchConfig::new(1, 512), |_| {});
+    }
+
+    #[test]
+    fn blocks_execute_sequentially_in_ascending_order() {
+        // The execution model documented in the crate docs: blocks run
+        // one after another on the launching thread, in block_id order.
+        // Kernels (and the pipeline's collector pattern) rely on this
+        // determinism, so it is pinned here.
+        let device = tiny();
+        let order = parking_lot::Mutex::new(Vec::new());
+        let launcher = std::thread::current().id();
+        device.launch_fn(LaunchConfig::new(16, 32), |ctx| {
+            assert_eq!(
+                std::thread::current().id(),
+                launcher,
+                "blocks must run on the launching thread"
+            );
+            order.lock().push(ctx.block_id);
+        });
+        assert_eq!(order.into_inner(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_allocations_are_counted_then_reused() {
+        let device = tiny();
+        let round = |name: &str| {
+            let buf = device.alloc_u32(100, name);
+            device.launch_fn(LaunchConfig::new(1, 32), |ctx| {
+                ctx.simt(|lane| {
+                    lane.st32(&buf, lane.tid, 1);
+                });
+            })
+        };
+        let first = round("a");
+        assert_eq!(first.pool_allocs, 1, "first round allocates");
+        let second = round("b");
+        assert_eq!(second.pool_allocs, 0, "second round reuses the pool");
+        // Everything modeled is identical between the rounds.
+        assert_eq!(first.warp_cycles, second.warp_cycles);
+        assert_eq!(first.device_cycles, second.device_cycles);
+    }
+
+    #[test]
+    fn bulk_slice_ops_charge_exactly_like_element_ops() {
+        let device = tiny();
+        let a = GpuU32::from_slice(&(0..64).collect::<Vec<u32>>());
+        let b = GpuU32::new(64);
+        let element = device.launch_fn(LaunchConfig::new(1, 16), |ctx| {
+            ctx.simt(|lane| {
+                let lo = lane.tid * 4;
+                for i in lo..lo + 4 {
+                    let v = lane.ld32(&a, i);
+                    lane.st32(&b, i, v);
+                }
+            });
+        });
+        let bulk = device.launch_fn(LaunchConfig::new(1, 16), |ctx| {
+            ctx.simt(|lane| {
+                let lo = lane.tid * 4;
+                let mut tmp = [0u32; 4];
+                lane.ld32_slice(&a, lo, &mut tmp);
+                lane.st32_slice(&b, lo, &tmp);
+            });
+        });
+        assert_eq!(b.to_vec(), a.to_vec());
+        assert_eq!(element.warp_cycles, bulk.warp_cycles);
+        assert_eq!(element.lane_cycles, bulk.lane_cycles);
+        assert_eq!(element.global_mem_ops, bulk.global_mem_ops);
+        assert_eq!(element.device_cycles, bulk.device_cycles);
+    }
+
+    #[test]
+    fn fill32_writes_and_charges_stores() {
+        let device = tiny();
+        let buf = GpuU32::new(128);
+        let stats = device.launch_fn(LaunchConfig::new(1, 4), |ctx| {
+            ctx.simt(|lane| {
+                lane.fill32(&buf, lane.tid * 32, 32, 9);
+            });
+        });
+        assert_eq!(buf.to_vec(), vec![9; 128]);
+        assert_eq!(stats.global_mem_ops, 128);
+    }
+
+    #[test]
+    fn bulk_u64_slice_ops_round_trip() {
+        let device = tiny();
+        let src: Vec<u64> = (0..32).map(|i| (i as u64) << 40 | i as u64).collect();
+        let a = GpuU64::from_slice(&src);
+        let b = GpuU64::new(32);
+        let stats = device.launch_fn(LaunchConfig::new(1, 8), |ctx| {
+            ctx.simt(|lane| {
+                let lo = lane.tid * 4;
+                let mut tmp = [0u64; 4];
+                lane.ld64_slice(&a, lo, &mut tmp);
+                lane.st64_slice(&b, lo, &tmp);
+            });
+        });
+        assert_eq!(b.to_vec(), src);
+        assert_eq!(stats.global_mem_ops, 64);
     }
 
     #[test]

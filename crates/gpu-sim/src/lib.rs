@@ -6,9 +6,12 @@
 //! immature, so this crate *simulates the execution model* instead of
 //! the hardware:
 //!
-//! * a kernel is launched over a 1-D **grid of blocks**; blocks execute
-//!   truly in parallel across CPU cores (rayon), mirroring blocks being
-//!   distributed across SMs;
+//! * a kernel is launched over a 1-D **grid of blocks**; the simulator
+//!   executes blocks *sequentially on the launching thread*, in
+//!   ascending `block_id` order (the vendored rayon is a sequential
+//!   stand-in), while *cost-modeling* them as distributed across SMs —
+//!   execution is therefore fully deterministic, and block order is an
+//!   asserted invariant, not an accident of scheduling;
 //! * inside a block, code is written as a sequence of **SIMT regions**
 //!   ([`BlockCtx::simt`]): each region runs a closure once per logical
 //!   thread, warp by warp, and region boundaries are `__syncthreads()`
@@ -36,6 +39,7 @@
 pub mod cost;
 pub mod exec;
 pub mod memory;
+pub mod pool;
 pub mod primitives;
 #[cfg(feature = "sanitize")]
 pub mod sanitizer;
@@ -45,5 +49,6 @@ pub mod stats;
 pub use cost::{CostModel, Op};
 pub use exec::{BlockCtx, BlockKernel, Device, Lane, LaunchConfig};
 pub use memory::{GpuU32, GpuU64};
+pub use pool::{PooledU32, PooledU64};
 pub use spec::DeviceSpec;
 pub use stats::LaunchStats;

@@ -94,6 +94,32 @@ impl GpuU32 {
         buf
     }
 
+    /// Wrap recycled pool storage as a new buffer with a fresh identity.
+    /// `uninit` follows the [`GpuU32::alloc_uninit`] contract (contents
+    /// undefined, reads-before-writes flagged); otherwise the pool has
+    /// already zeroed the storage and this counts as initialization.
+    pub(crate) fn from_pool(data: Vec<AtomicU32>, name: &str, uninit: bool) -> GpuU32 {
+        #[cfg(not(feature = "sanitize"))]
+        let _ = name;
+        let buf = GpuU32 {
+            data,
+            #[cfg(feature = "sanitize")]
+            meta: BufMeta::new(name),
+        };
+        #[cfg(feature = "sanitize")]
+        if uninit {
+            crate::sanitizer::register_uninit(&buf.meta, buf.len());
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = uninit;
+        buf
+    }
+
+    /// Surrender the storage (to a buffer pool free list).
+    pub(crate) fn into_data(self) -> Vec<AtomicU32> {
+        self.data
+    }
+
     /// Copy a host slice to the device.
     pub fn from_slice(src: &[u32]) -> GpuU32 {
         Self::from_slice_named(src, UNNAMED)
@@ -136,7 +162,9 @@ impl GpuU32 {
     #[inline(always)]
     pub fn store(&self, i: usize, v: u32) {
         #[cfg(feature = "sanitize")]
-        crate::sanitizer::host_write(&self.meta, i, i + 1);
+        if crate::sanitizer::enabled() {
+            crate::sanitizer::host_write(&self.meta, i, i + 1);
+        }
         self.data[i].store(v, Ordering::Relaxed);
     }
 
@@ -164,7 +192,9 @@ impl GpuU32 {
     /// whole buffer initialized).
     pub fn zero(&self) {
         #[cfg(feature = "sanitize")]
-        crate::sanitizer::host_write(&self.meta, 0, self.data.len());
+        if crate::sanitizer::enabled() {
+            crate::sanitizer::host_write(&self.meta, 0, self.data.len());
+        }
         for cell in &self.data {
             cell.store(0, Ordering::Relaxed);
         }
@@ -176,6 +206,32 @@ impl GpuU32 {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Bulk host-side read: copy `dst.len()` elements starting at
+    /// `start` into `dst` (one `cudaMemcpy`, not `len` element reads).
+    pub fn load_range(&self, start: usize, dst: &mut [u32]) {
+        if dst.is_empty() {
+            return;
+        }
+        for (cell, out) in self.data[start..start + dst.len()].iter().zip(dst) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Bulk host-side write: copy `src` into the buffer starting at
+    /// `start`, marking the range initialized with one sanitizer report.
+    pub fn store_range(&self, start: usize, src: &[u32]) {
+        if src.is_empty() {
+            return;
+        }
+        #[cfg(feature = "sanitize")]
+        if crate::sanitizer::enabled() {
+            crate::sanitizer::host_write(&self.meta, start, start + src.len());
+        }
+        for (cell, &v) in self.data[start..start + src.len()].iter().zip(src) {
+            cell.store(v, Ordering::Relaxed);
+        }
     }
 }
 
@@ -212,6 +268,29 @@ impl GpuU64 {
         #[cfg(feature = "sanitize")]
         crate::sanitizer::register_uninit(&buf.meta, len);
         buf
+    }
+
+    /// Wrap recycled pool storage (see [`GpuU32::from_pool`]).
+    pub(crate) fn from_pool(data: Vec<AtomicU64>, name: &str, uninit: bool) -> GpuU64 {
+        #[cfg(not(feature = "sanitize"))]
+        let _ = name;
+        let buf = GpuU64 {
+            data,
+            #[cfg(feature = "sanitize")]
+            meta: BufMeta::new(name),
+        };
+        #[cfg(feature = "sanitize")]
+        if uninit {
+            crate::sanitizer::register_uninit(&buf.meta, buf.len());
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = uninit;
+        buf
+    }
+
+    /// Surrender the storage (to a buffer pool free list).
+    pub(crate) fn into_data(self) -> Vec<AtomicU64> {
+        self.data
     }
 
     /// Copy a host slice to the device.
@@ -256,7 +335,9 @@ impl GpuU64 {
     #[inline(always)]
     pub fn store(&self, i: usize, v: u64) {
         #[cfg(feature = "sanitize")]
-        crate::sanitizer::host_write(&self.meta, i, i + 1);
+        if crate::sanitizer::enabled() {
+            crate::sanitizer::host_write(&self.meta, i, i + 1);
+        }
         self.data[i].store(v, Ordering::Relaxed);
     }
 
@@ -279,6 +360,30 @@ impl GpuU64 {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Bulk host-side read (see [`GpuU32::load_range`]).
+    pub fn load_range(&self, start: usize, dst: &mut [u64]) {
+        if dst.is_empty() {
+            return;
+        }
+        for (cell, out) in self.data[start..start + dst.len()].iter().zip(dst) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Bulk host-side write (see [`GpuU32::store_range`]).
+    pub fn store_range(&self, start: usize, src: &[u64]) {
+        if src.is_empty() {
+            return;
+        }
+        #[cfg(feature = "sanitize")]
+        if crate::sanitizer::enabled() {
+            crate::sanitizer::host_write(&self.meta, start, start + src.len());
+        }
+        for (cell, &v) in self.data[start..start + src.len()].iter().zip(src) {
+            cell.store(v, Ordering::Relaxed);
+        }
     }
 }
 

@@ -1,0 +1,255 @@
+//! Device-owned buffer pool.
+//!
+//! Real pipelines allocate the same per-tile-row buffers (`ptrs`,
+//! `locs`, sort scratch…) over and over; on hardware that is a
+//! `cudaMalloc`/`cudaFree` churn that production code avoids with a
+//! suballocator. The simulator pays the same tax as host `Vec`
+//! allocations, so the [`Device`](crate::exec::Device) owns this pool:
+//! freed buffers go onto per-size-class free lists and the next
+//! allocation of a similar size reuses the storage instead of touching
+//! the heap.
+//!
+//! Size classes are powers of two: an allocation of `len` elements is
+//! served from class `len.next_power_of_two()`, so a recycled buffer is
+//! never more than 2× the request and a tile row whose rounded sizes
+//! repeat (the common case — every row has the same geometry) hits the
+//! pool every time after the first row.
+//!
+//! The pool is host-side bookkeeping only: reused buffers get a fresh
+//! sanitizer identity and the same initialization semantics as a fresh
+//! allocation (`named` ⇒ zeroed, `uninit` ⇒ contents undefined), so
+//! modeled time, hazard checking, and results are unaffected. Fresh
+//! heap allocations (pool misses) are counted and reported per launch
+//! as [`LaunchStats::pool_allocs`](crate::stats::LaunchStats), which is
+//! what the steady-state regression tests pin to zero.
+
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::memory::{GpuU32, GpuU64};
+
+/// Per-size-class free lists of recycled buffer storage.
+#[derive(Default)]
+pub(crate) struct BufferPool {
+    free_u32: Mutex<HashMap<usize, Vec<Vec<AtomicU32>>>>,
+    free_u64: Mutex<HashMap<usize, Vec<Vec<AtomicU64>>>>,
+    /// Fresh heap allocations (pool misses) since the last drain.
+    fresh: AtomicU64,
+}
+
+/// Whether an acquired buffer must come back zeroed (the `named`
+/// contract) or may keep whatever the previous user left (`uninit`,
+/// the `cudaMalloc` contract — the sanitizer flags reads-before-writes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Init {
+    Zeroed,
+    Uninit,
+}
+
+impl BufferPool {
+    /// Fresh allocations since the previous call (drained per launch
+    /// into `LaunchStats::pool_allocs`).
+    pub(crate) fn take_fresh(&self) -> u64 {
+        self.fresh.swap(0, Ordering::Relaxed)
+    }
+
+    fn acquire_u32(&self, len: usize, init: Init) -> (Vec<AtomicU32>, usize) {
+        let class = len.next_power_of_two().max(1);
+        let recycled = self.free_u32.lock().get_mut(&class).and_then(Vec::pop);
+        match recycled {
+            Some(mut data) => {
+                data.truncate(len);
+                // Within the class capacity: never reallocates.
+                data.resize_with(len, || AtomicU32::new(0));
+                if init == Init::Zeroed {
+                    for cell in &data {
+                        cell.store(0, Ordering::Relaxed);
+                    }
+                }
+                (data, class)
+            }
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                let mut data = Vec::with_capacity(class);
+                data.resize_with(len, || AtomicU32::new(0));
+                (data, class)
+            }
+        }
+    }
+
+    fn acquire_u64(&self, len: usize, init: Init) -> (Vec<AtomicU64>, usize) {
+        let class = len.next_power_of_two().max(1);
+        let recycled = self.free_u64.lock().get_mut(&class).and_then(Vec::pop);
+        match recycled {
+            Some(mut data) => {
+                data.truncate(len);
+                data.resize_with(len, || AtomicU64::new(0));
+                if init == Init::Zeroed {
+                    for cell in &data {
+                        cell.store(0, Ordering::Relaxed);
+                    }
+                }
+                (data, class)
+            }
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                let mut data = Vec::with_capacity(class);
+                data.resize_with(len, || AtomicU64::new(0));
+                (data, class)
+            }
+        }
+    }
+
+    fn release_u32(&self, class: usize, data: Vec<AtomicU32>) {
+        self.free_u32.lock().entry(class).or_default().push(data);
+    }
+
+    fn release_u64(&self, class: usize, data: Vec<AtomicU64>) {
+        self.free_u64.lock().entry(class).or_default().push(data);
+    }
+
+    pub(crate) fn get_u32(&self, len: usize, name: &str, init: Init) -> PooledU32<'_> {
+        let (data, class) = self.acquire_u32(len, init);
+        PooledU32 {
+            buf: Some(GpuU32::from_pool(data, name, init == Init::Uninit)),
+            pool: self,
+            class,
+        }
+    }
+
+    pub(crate) fn get_u64(&self, len: usize, name: &str, init: Init) -> PooledU64<'_> {
+        let (data, class) = self.acquire_u64(len, init);
+        PooledU64 {
+            buf: Some(GpuU64::from_pool(data, name, init == Init::Uninit)),
+            pool: self,
+            class,
+        }
+    }
+}
+
+/// A pool-backed [`GpuU32`]; derefs to the buffer and returns the
+/// storage to its size class when dropped.
+pub struct PooledU32<'d> {
+    buf: Option<GpuU32>,
+    pool: &'d BufferPool,
+    class: usize,
+}
+
+impl Deref for PooledU32<'_> {
+    type Target = GpuU32;
+
+    fn deref(&self) -> &GpuU32 {
+        self.buf.as_ref().expect("present until drop")
+    }
+}
+
+impl Drop for PooledU32<'_> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            self.pool.release_u32(self.class, buf.into_data());
+        }
+    }
+}
+
+/// A pool-backed [`GpuU64`]; see [`PooledU32`].
+pub struct PooledU64<'d> {
+    buf: Option<GpuU64>,
+    pool: &'d BufferPool,
+    class: usize,
+}
+
+impl Deref for PooledU64<'_> {
+    type Target = GpuU64;
+
+    fn deref(&self) -> &GpuU64 {
+        self.buf.as_ref().expect("present until drop")
+    }
+}
+
+impl Drop for PooledU64<'_> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            self.pool.release_u64(self.class, buf.into_data());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_allocation_is_fresh_second_is_reused() {
+        let pool = BufferPool::default();
+        {
+            let a = pool.get_u32(100, "a", Init::Zeroed);
+            assert_eq!(a.len(), 100);
+        }
+        assert_eq!(pool.take_fresh(), 1);
+        {
+            // 100 and 120 share the 128 class: reuse, no fresh alloc.
+            let b = pool.get_u32(120, "b", Init::Zeroed);
+            assert_eq!(b.len(), 120);
+        }
+        assert_eq!(pool.take_fresh(), 0);
+    }
+
+    #[test]
+    fn named_reuse_is_zeroed_uninit_reuse_may_not_be() {
+        let pool = BufferPool::default();
+        {
+            let a = pool.get_u32(8, "a", Init::Zeroed);
+            for i in 0..8 {
+                a.store(i, 7);
+            }
+        }
+        {
+            let b = pool.get_u32(8, "b", Init::Uninit);
+            assert_eq!(b.to_vec(), vec![7; 8], "uninit reuse keeps stale data");
+        }
+        let c = pool.get_u32(8, "c", Init::Zeroed);
+        assert_eq!(c.to_vec(), vec![0; 8], "named reuse is zeroed");
+    }
+
+    #[test]
+    fn distinct_size_classes_do_not_mix() {
+        let pool = BufferPool::default();
+        drop(pool.get_u32(10, "small", Init::Zeroed));
+        pool.take_fresh();
+        drop(pool.get_u32(1000, "big", Init::Zeroed));
+        assert_eq!(pool.take_fresh(), 1, "1000 cannot reuse the 16 class");
+    }
+
+    #[test]
+    fn u64_pool_reuses_and_resizes() {
+        let pool = BufferPool::default();
+        drop(pool.get_u64(33, "a", Init::Zeroed));
+        pool.take_fresh();
+        let b = pool.get_u64(64, "b", Init::Zeroed);
+        assert_eq!(b.len(), 64, "recycled 64-class grows to the request");
+        assert_eq!(pool.take_fresh(), 0);
+    }
+
+    #[test]
+    fn zero_len_allocations_work() {
+        let pool = BufferPool::default();
+        let a = pool.get_u32(0, "empty", Init::Zeroed);
+        assert!(a.is_empty());
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn reused_buffers_get_fresh_identities() {
+        let pool = BufferPool::default();
+        let first_id = {
+            let a = pool.get_u32(4, "a", Init::Zeroed);
+            a.meta().id()
+        };
+        let b = pool.get_u32(4, "b", Init::Zeroed);
+        assert_ne!(b.meta().id(), first_id);
+        assert_eq!(b.meta().name(), "b");
+    }
+}

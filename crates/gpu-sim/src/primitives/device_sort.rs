@@ -29,6 +29,11 @@ pub fn device_sort_u64(device: &Device, buf: &GpuU64) -> LaunchStats {
     }
     let n_chunks = n.div_ceil(CHUNK);
 
+    // Per-block "shared memory" scratch, hoisted out of the launches:
+    // blocks execute sequentially (see `exec` docs), so one buffer
+    // behind a Mutex serves every block without a per-block allocation.
+    let shared_scratch = parking_lot::Mutex::new(Vec::<u64>::with_capacity(CHUNK));
+
     // Phase 1: per-block chunk sorts.
     let mut stats = device.launch_fn_named(
         LaunchConfig::new(n_chunks, BLOCK_DIM),
@@ -36,33 +41,37 @@ pub fn device_sort_u64(device: &Device, buf: &GpuU64) -> LaunchStats {
         |ctx| {
             let lo = ctx.block_id * CHUNK;
             let hi = (lo + CHUNK).min(n);
-            // Load to "shared memory".
-            let mut shared: Vec<u64> = Vec::with_capacity(hi - lo);
+            let m = hi - lo;
+            // Load to "shared memory". Each lane is charged for the
+            // elements its strided loop would touch, in one batch.
             ctx.simt(|lane| {
-                let mut i = lo + lane.tid;
-                while i < hi {
-                    lane.charge(crate::cost::Op::GlobalLoad, 1);
-                    i += BLOCK_DIM;
-                }
+                let per_lane = if lane.tid < m {
+                    (m - lane.tid).div_ceil(BLOCK_DIM) as u64
+                } else {
+                    0
+                };
+                lane.charge(crate::cost::Op::GlobalLoad, per_lane);
             });
-            for i in lo..hi {
-                shared.push(buf.load(i));
-            }
+            let mut shared = shared_scratch.lock();
+            shared.clear();
+            shared.resize(m, 0);
+            buf.load_range(lo, &mut shared);
             super::sort::block_bitonic_sort_u64(ctx, &mut shared);
             ctx.simt(|lane| {
-                let mut i = lo + lane.tid;
-                while i < hi {
-                    lane.charge(crate::cost::Op::GlobalStore, 1);
-                    i += BLOCK_DIM;
-                }
+                let per_lane = if lane.tid < m {
+                    (m - lane.tid).div_ceil(BLOCK_DIM) as u64
+                } else {
+                    0
+                };
+                lane.charge(crate::cost::Op::GlobalStore, per_lane);
             });
-            for (offset, value) in shared.into_iter().enumerate() {
-                buf.store(lo + offset, value);
-            }
+            buf.store_range(lo, &shared);
         },
     );
 
-    // Phase 2: iterative merge passes over run pairs.
+    // Phase 2: iterative merge passes over run pairs. The run/merged
+    // buffers are likewise hoisted and reused across blocks and passes.
+    let merge_scratch = parking_lot::Mutex::new((Vec::<u64>::new(), Vec::<u64>::new()));
     let mut run = CHUNK;
     while run < n {
         let n_pairs = n.div_ceil(2 * run);
@@ -85,29 +94,27 @@ pub fn device_sort_u64(device: &Device, buf: &GpuU64) -> LaunchStats {
                     lane.charge(crate::cost::Op::Compare, per_lane);
                     lane.charge(crate::cost::Op::GlobalStore, per_lane);
                 });
-                let mut merged = Vec::with_capacity(hi - lo);
-                let (mut a, mut b) = (lo, mid);
-                while a < mid && b < hi {
-                    let (va, vb) = (buf.load(a), buf.load(b));
-                    if va <= vb {
-                        merged.push(va);
+                let guard = &mut *merge_scratch.lock();
+                let (runs, merged) = guard;
+                runs.clear();
+                runs.resize(hi - lo, 0);
+                buf.load_range(lo, runs);
+                merged.clear();
+                merged.reserve(hi - lo);
+                let (left, right) = runs.split_at(mid - lo);
+                let (mut a, mut b) = (0, 0);
+                while a < left.len() && b < right.len() {
+                    if left[a] <= right[b] {
+                        merged.push(left[a]);
                         a += 1;
                     } else {
-                        merged.push(vb);
+                        merged.push(right[b]);
                         b += 1;
                     }
                 }
-                while a < mid {
-                    merged.push(buf.load(a));
-                    a += 1;
-                }
-                while b < hi {
-                    merged.push(buf.load(b));
-                    b += 1;
-                }
-                for (offset, value) in merged.into_iter().enumerate() {
-                    buf.store(lo + offset, value);
-                }
+                merged.extend_from_slice(&left[a..]);
+                merged.extend_from_slice(&right[b..]);
+                buf.store_range(lo, merged);
             });
         run *= 2;
     }

@@ -28,11 +28,13 @@ pub fn block_inclusive_scan(ctx: &mut BlockCtx<'_>, data: &mut [u32]) {
         "block scan over {n} elements needs at least {n} threads (block_dim = {})",
         ctx.block_dim
     );
+    // Hillis–Steele needs the pre-step values; a real kernel double
+    // buffers, we snapshot into one reusable buffer (cost charged per
+    // lane below — the snapshot itself is host bookkeeping).
+    let mut src = vec![0u32; n];
     let mut dist = 1;
     while dist < n {
-        // Hillis–Steele needs the pre-step values; a real kernel double
-        // buffers, we snapshot (cost charged per lane below).
-        let src = data.to_vec();
+        src.copy_from_slice(data);
         ctx.simt_range(0..n, |lane| {
             lane.charge(crate::cost::Op::Alu, 1);
             if lane.branch(lane.tid >= dist) {
@@ -77,8 +79,14 @@ pub fn device_exclusive_scan(device: &Device, buf: &GpuU32) -> LaunchStats {
         return LaunchStats::default();
     }
     let n_chunks = n.div_ceil(SCAN_CHUNK);
-    let sums = GpuU32::named(n_chunks, "scan.sums");
-    let per_thread = SCAN_CHUNK.div_ceil(SCAN_BLOCK_DIM);
+    let sums = device.alloc_u32(n_chunks, "scan.sums");
+    const PER_THREAD: usize = SCAN_CHUNK.div_ceil(SCAN_BLOCK_DIM);
+
+    // Per-block shared-memory scratch, hoisted out of the launch: blocks
+    // execute sequentially (see `exec` docs), so one buffer behind a
+    // Mutex serves every block without a per-block allocation. Each
+    // block fully overwrites `local` before reading it.
+    let local_scratch = parking_lot::Mutex::new(vec![0u32; SCAN_BLOCK_DIM]);
 
     // Pass 1: each block exclusively scans its chunk and records the
     // chunk total.
@@ -89,30 +97,33 @@ pub fn device_exclusive_scan(device: &Device, buf: &GpuU32) -> LaunchStats {
             let chunk_start = ctx.block_id * SCAN_CHUNK;
             let chunk_end = (chunk_start + SCAN_CHUNK).min(n);
             let m = chunk_end - chunk_start;
-            let mut local = vec![0u32; SCAN_BLOCK_DIM];
+            let mut local = local_scratch.lock();
             ctx.simt(|lane| {
-                let lo = chunk_start + lane.tid * per_thread;
-                let hi = (lo + per_thread).min(chunk_end);
-                let mut sum = 0u32;
-                for i in lo..hi {
-                    sum = sum.wrapping_add(lane.ld32(buf, i));
-                }
+                let lo = chunk_start + lane.tid * PER_THREAD;
+                let hi = (lo + PER_THREAD).min(chunk_end);
+                let mut vals = [0u32; PER_THREAD];
+                lane.ld32_slice(buf, lo, &mut vals[..hi.saturating_sub(lo)]);
+                let sum = vals.iter().fold(0u32, |a, &v| a.wrapping_add(v));
                 lane.shared(1);
                 local[lane.tid] = sum;
             });
             block_exclusive_scan(ctx, &mut local);
-            let last_lane = (m.saturating_sub(1)) / per_thread;
+            let last_lane = (m.saturating_sub(1)) / PER_THREAD;
             let block_id = ctx.block_id;
             ctx.simt(|lane| {
-                let lo = chunk_start + lane.tid * per_thread;
-                let hi = (lo + per_thread).min(chunk_end);
+                let lo = chunk_start + lane.tid * PER_THREAD;
+                let hi = (lo + PER_THREAD).min(chunk_end);
+                let k = hi.saturating_sub(lo);
                 lane.shared(1);
                 let mut acc = local[lane.tid];
-                for i in lo..hi {
-                    let v = lane.ld32(buf, i);
-                    lane.st32(buf, i, acc);
-                    acc = acc.wrapping_add(v);
+                let mut vals = [0u32; PER_THREAD];
+                lane.ld32_slice(buf, lo, &mut vals[..k]);
+                let mut outs = [0u32; PER_THREAD];
+                for j in 0..k {
+                    outs[j] = acc;
+                    acc = acc.wrapping_add(vals[j]);
                 }
+                lane.st32_slice(buf, lo, &outs[..k]);
                 if lane.branch(lane.tid == last_lane) {
                     lane.st32(&sums, block_id, acc);
                 }
@@ -134,12 +145,15 @@ pub fn device_exclusive_scan(device: &Device, buf: &GpuU32) -> LaunchStats {
                 let block_id = ctx.block_id;
                 ctx.simt(|lane| {
                     let offset = lane.ld32(&sums, block_id);
-                    let lo = chunk_start + lane.tid * per_thread;
-                    let hi = (lo + per_thread).min(chunk_end);
-                    for i in lo..hi {
-                        let v = lane.ld32(buf, i);
-                        lane.st32(buf, i, v.wrapping_add(offset));
+                    let lo = chunk_start + lane.tid * PER_THREAD;
+                    let hi = (lo + PER_THREAD).min(chunk_end);
+                    let k = hi.saturating_sub(lo);
+                    let mut vals = [0u32; PER_THREAD];
+                    lane.ld32_slice(buf, lo, &mut vals[..k]);
+                    for v in &mut vals[..k] {
+                        *v = v.wrapping_add(offset);
                     }
+                    lane.st32_slice(buf, lo, &vals[..k]);
                 });
             },
         );

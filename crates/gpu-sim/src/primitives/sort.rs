@@ -50,21 +50,27 @@ pub fn block_bitonic_sort_u64(ctx: &mut BlockCtx<'_>, data: &mut Vec<u64>) {
         let mut j = k / 2;
         while j >= 1 {
             ctx.simt_range(0..lanes, |lane| {
+                // Charges accumulate into locals and post once per lane
+                // (the warp model consumes per-lane totals).
+                let (mut shared, mut compares, mut alu) = (0u64, 0u64, 0u64);
                 let mut i = lane.tid;
                 while i < padded {
                     let partner = i ^ j;
                     if partner > i {
-                        lane.shared(2);
-                        lane.compare(1);
+                        shared += 2;
+                        compares += 1;
                         let ascending = (i & k) == 0;
                         if (data[i] > data[partner]) == ascending {
                             data.swap(i, partner);
-                            lane.shared(2);
+                            shared += 2;
                         }
                     }
-                    lane.charge(Op::Alu, 2);
+                    alu += 2;
                     i += lanes;
                 }
+                lane.shared(shared);
+                lane.compare(compares);
+                lane.charge(Op::Alu, alu);
             });
             j /= 2;
         }

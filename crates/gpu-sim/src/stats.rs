@@ -33,6 +33,10 @@ pub struct LaunchStats {
     pub global_mem_ops: u64,
     /// Base comparisons charged (the domain-level work measure).
     pub comparisons: u64,
+    /// Fresh device-buffer allocations that missed the device's buffer
+    /// pool since the previous launch (host-side bookkeeping; no cycle
+    /// cost). Steady-state launches should report 0.
+    pub pool_allocs: u64,
 }
 
 impl LaunchStats {
@@ -74,6 +78,7 @@ impl AddAssign for LaunchStats {
         self.atomic_ops += rhs.atomic_ops;
         self.global_mem_ops += rhs.global_mem_ops;
         self.comparisons += rhs.comparisons;
+        self.pool_allocs += rhs.pool_allocs;
     }
 }
 
@@ -96,6 +101,7 @@ mod tests {
             atomic_ops: 6,
             global_mem_ops: 7,
             comparisons: 8,
+            pool_allocs: 9,
         };
         let sum = a.clone() + a.clone();
         assert_eq!(sum.launches, 2);
@@ -104,6 +110,7 @@ mod tests {
         assert_eq!(sum.lane_cycles, 200);
         assert_eq!(sum.modeled_time, Duration::from_millis(2));
         assert_eq!(sum.comparisons, 16);
+        assert_eq!(sum.pool_allocs, 18);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!    ([`gpu_sim::primitives::lane_sort_bucket`]).
 
 use gpu_sim::primitives::{device_exclusive_scan, lane_sort_bucket};
-use gpu_sim::{Device, GpuU32, LaunchConfig, LaunchStats, Op};
+use gpu_sim::{Device, LaunchConfig, LaunchStats, Op};
 
 use gpumem_seq::PackedSeq;
 
@@ -52,7 +52,10 @@ pub fn build_gpu(
     };
     let position_of = |gid: usize| region.start + gid * step;
 
-    let ptrs = GpuU32::named(num_seeds + 1, "index.ptrs");
+    // Pool-backed: every tile row re-allocates the same geometry, so
+    // rows after the first reuse this storage (LaunchStats::pool_allocs
+    // pins that in the regression tests).
+    let ptrs = device.alloc_u32(num_seeds + 1, "index.ptrs");
     let mut stats = LaunchStats::default();
 
     // Step 1: count seed occurrences.
@@ -75,7 +78,7 @@ pub fn build_gpu(
     stats += device_exclusive_scan(device, &ptrs);
 
     // Step 3: fill locs through an atomic cursor copy.
-    let temp = GpuU32::named(num_seeds, "index.temp");
+    let temp = device.alloc_u32(num_seeds, "index.temp");
     let copy_grid = num_seeds.div_ceil(BLOCK_DIM * SEEDS_PER_THREAD);
     stats += device.launch_fn_named(
         LaunchConfig::new(copy_grid, BLOCK_DIM),
@@ -94,8 +97,10 @@ pub fn build_gpu(
     );
 
     // `locs` models a raw `cudaMalloc` allocation: the fill below is
-    // what initializes it, and the sanitizer checks exactly that.
-    let locs = GpuU32::alloc_uninit(n_positions, "index.locs");
+    // what initializes it, and the sanitizer checks exactly that
+    // (recycled pool storage keeps stale bits, so a read-before-write
+    // here would also return garbage, as on real hardware).
+    let locs = device.alloc_u32_uninit(n_positions, "index.locs");
     stats += device.launch_fn_named(LaunchConfig::new(grid, BLOCK_DIM), "index.fill", |ctx| {
         let base = ctx.block_id * BLOCK_DIM;
         ctx.simt(|lane| {

@@ -20,7 +20,7 @@
 //! sort/compact pass.
 
 use gpu_sim::primitives::device_sort_u64;
-use gpu_sim::{Device, GpuU64, LaunchConfig, LaunchStats, Op};
+use gpu_sim::{Device, LaunchConfig, LaunchStats, Op};
 use gpumem_seq::PackedSeq;
 
 use crate::index::{Region, SeedIndex};
@@ -166,7 +166,7 @@ pub fn build_compact_gpu(
     let codec = SeedCodec::new(seed_len);
     let positions = SeedIndex::expected_positions(region, step, seed_len, seq.len());
     let n = positions.len();
-    let pairs = GpuU64::named(n, "compact.pairs");
+    let pairs = device.alloc_u64(n, "compact.pairs");
 
     const BLOCK_DIM: usize = 256;
     let mut stats = device.launch_fn_named(

@@ -1,0 +1,106 @@
+//! Allocation-regression tests for the device buffer pool.
+//!
+//! The pool exists so repeated tile/row launches stop allocating:
+//! after a warm-up pass over one geometry, subsequent passes must
+//! report **zero** fresh pool allocations (`LaunchStats::pool_allocs`).
+//! These tests pin that property so a refactor that quietly reverts to
+//! per-launch allocation fails CI instead of silently regressing.
+
+use gpumem::core::{Gpumem, GpumemConfig};
+use gpumem::index::{build_gpu, Region};
+use gpumem::seq::{GenomeModel, MutationModel, PackedSeq};
+use gpumem::sim::{Device, DeviceSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn second_index_build_reuses_all_pool_storage() {
+    let seq = GenomeModel::mammalian().generate(4_000, 77);
+    let device = Device::new(DeviceSpec::test_tiny());
+
+    // Two same-geometry rows, as the pipeline's row loop issues them.
+    let rows = [
+        Region {
+            start: 0,
+            len: 2_000,
+        },
+        Region {
+            start: 2_000,
+            len: 2_000,
+        },
+    ];
+    let (_, first) = build_gpu(&device, &seq, rows[0], 6, 5);
+    assert!(
+        first.pool_allocs > 0,
+        "cold build must allocate through the pool, got {first:?}"
+    );
+    let (_, second) = build_gpu(&device, &seq, rows[1], 6, 5);
+    assert_eq!(
+        second.pool_allocs, 0,
+        "second row of identical geometry must reuse pooled buffers"
+    );
+}
+
+#[test]
+fn second_pipeline_run_allocates_nothing_from_the_pool() {
+    let reference = GenomeModel::mammalian().generate(4_000, 2024);
+    let query = {
+        let model = MutationModel {
+            sub_rate: 0.03,
+            indel_rate: 0.003,
+        };
+        let mut rng = StdRng::seed_from_u64(2025);
+        PackedSeq::from_codes(&model.apply(&reference.to_codes(), &mut rng))
+    };
+
+    let config = GpumemConfig::builder(25)
+        .seed_len(6)
+        .threads_per_block(64)
+        .blocks_per_tile(2)
+        .build()
+        .unwrap();
+    let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
+
+    let warm = gpumem.run(&reference, &query);
+    let cold_allocs = warm.stats.index.pool_allocs + warm.stats.matching.pool_allocs;
+    assert!(
+        cold_allocs > 0,
+        "first run must populate the pool, stats: {:?}",
+        warm.stats
+    );
+    // Multi-row grid, so rows after the first already reuse in-run.
+    assert!(warm.stats.rows > 1, "test geometry must span rows");
+
+    let rerun = gpumem.run(&reference, &query);
+    assert_eq!(
+        rerun.stats.index.pool_allocs + rerun.stats.matching.pool_allocs,
+        0,
+        "a warmed device must serve a whole run without fresh allocations"
+    );
+    assert_eq!(rerun.mems, warm.mems, "reuse must not change output");
+}
+
+#[test]
+fn in_run_rows_after_the_first_reuse_pool_storage() {
+    // Drive the row loop by hand: the pipeline builds one partial index
+    // per tile row; every row after the first must be allocation-free.
+    let seq = GenomeModel::mammalian().generate(6_000, 99);
+    let device = Device::new(DeviceSpec::test_tiny());
+    let row_len = 1_500;
+    let mut fresh_per_row = Vec::new();
+    for row in 0..4 {
+        let (_, stats) = build_gpu(
+            &device,
+            &seq,
+            Region {
+                start: row * row_len,
+                len: row_len,
+            },
+            6,
+            5,
+        );
+        fresh_per_row.push(stats.pool_allocs);
+    }
+    assert!(fresh_per_row[0] > 0, "{fresh_per_row:?}");
+    assert_eq!(&fresh_per_row[1..], &[0, 0, 0], "{fresh_per_row:?}");
+}

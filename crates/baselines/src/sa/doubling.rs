@@ -117,7 +117,7 @@ mod tests {
             let filtered: Vec<u32> = full
                 .iter()
                 .copied()
-                .filter(|&p| p as usize % k == 0)
+                .filter(|&p| (p as usize).is_multiple_of(k))
                 .collect();
             assert_eq!(sorted, filtered, "K = {k}");
         }
@@ -157,7 +157,7 @@ mod proptests {
             let sorted = sort_sampled_suffixes(&seq, sampled);
             let filtered: Vec<u32> = suffix_array_sais(&codes)
                 .into_iter()
-                .filter(|&p| p as usize % k == 0)
+                .filter(|&p| (p as usize).is_multiple_of(k))
                 .collect();
             prop_assert_eq!(sorted, filtered);
         }

@@ -32,7 +32,7 @@ fn bench_load_balancing(c: &mut Criterion) {
     for lb in [true, false] {
         let gpumem = Gpumem::new(config(seed_len, 8, lb, None));
         group.bench_with_input(BenchmarkId::from_parameter(lb), &lb, |b, _| {
-            b.iter(|| gpumem.run(&pair.reference, &pair.query))
+            b.iter(|| gpumem.run(&pair.reference, &pair.query).unwrap())
         });
     }
     group.finish();
@@ -46,7 +46,7 @@ fn bench_tile_size(c: &mut Criterion) {
     for n_block in [2usize, 8, 32] {
         let gpumem = Gpumem::new(config(seed_len, n_block, true, None));
         group.bench_with_input(BenchmarkId::from_parameter(n_block), &n_block, |b, _| {
-            b.iter(|| gpumem.run(&pair.reference, &pair.query))
+            b.iter(|| gpumem.run(&pair.reference, &pair.query).unwrap())
         });
     }
     group.finish();
@@ -63,7 +63,7 @@ fn bench_sparsification(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(step), &step, |b, _| {
             b.iter(|| {
                 let index = gpumem.build_index_only(&pair.reference);
-                let run = gpumem.run(&pair.reference, &pair.query);
+                let run = gpumem.run(&pair.reference, &pair.query).unwrap();
                 (index, run)
             })
         });
@@ -78,7 +78,7 @@ fn bench_seed_len(c: &mut Criterion) {
     for seed_len in [8usize, 10, 12] {
         let gpumem = Gpumem::new(config(seed_len, 8, true, None));
         group.bench_with_input(BenchmarkId::from_parameter(seed_len), &seed_len, |b, _| {
-            b.iter(|| gpumem.run(&pair.reference, &pair.query))
+            b.iter(|| gpumem.run(&pair.reference, &pair.query).unwrap())
         });
     }
     group.finish();
@@ -104,7 +104,7 @@ fn bench_index_kind(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let build = gpumem.build_index_only(&pair.reference);
-                let run = gpumem.run(&pair.reference, &pair.query);
+                let run = gpumem.run(&pair.reference, &pair.query).unwrap();
                 (build, run)
             })
         });

@@ -21,7 +21,7 @@ fn bench_vs_query_size(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(query.len()),
             &query,
-            |b, query| b.iter(|| gpumem.run(&pair.reference, query)),
+            |b, query| b.iter(|| gpumem.run(&pair.reference, query).unwrap()),
         );
     }
     group.finish();
@@ -35,7 +35,7 @@ fn bench_vs_l(c: &mut Criterion) {
         let seed_len = scaled_seed_len(13, pair.reference.len(), min_len);
         let gpumem = Gpumem::new(gpumem_config(min_len, seed_len, true));
         group.bench_with_input(BenchmarkId::from_parameter(min_len), &min_len, |b, _| {
-            b.iter(|| gpumem.run(&pair.reference, &pair.query))
+            b.iter(|| gpumem.run(&pair.reference, &pair.query).unwrap())
         });
     }
     group.finish();

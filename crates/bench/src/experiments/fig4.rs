@@ -37,7 +37,9 @@ pub fn run(scale: f64, seed: u64) -> Vec<(usize, f64, usize)> {
     for mbp in PREFIX_MBP {
         let n = ((mbp * 1.0e6 * scale) as usize).min(pair.query.len());
         let query = pair.query_prefix(n);
-        let result = gpumem.run(&pair.reference, &query);
+        let result = gpumem
+            .run(&pair.reference, &query)
+            .expect("K20c fits the scaled datasets");
         let modeled = result.stats.matching.modeled_secs();
         writer.row(&[
             format!("{mbp}"),

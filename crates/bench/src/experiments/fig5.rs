@@ -23,7 +23,9 @@ pub fn run(scale: f64, seed: u64) -> Vec<(u32, f64, usize)> {
     for min_len in L_VALUES {
         let seed_len = scaled_seed_len(13, pair.reference.len(), min_len);
         let gpumem = Gpumem::new(gpumem_config(min_len, seed_len, true));
-        let result = gpumem.run(&pair.reference, &pair.query);
+        let result = gpumem
+            .run(&pair.reference, &pair.query)
+            .expect("K20c fits the scaled datasets");
         let modeled = result.stats.matching.modeled_secs();
         writer.row(&[
             min_len.to_string(),

@@ -39,9 +39,11 @@ pub fn run(scale: f64, seed: u64) -> Vec<(f64, f64)> {
             .or_insert_with(|| row.realize(seed));
 
         let with = Gpumem::new(gpumem_config(row.min_len, row.seed_len, true))
-            .run(&pair.reference, &pair.query);
+            .run(&pair.reference, &pair.query)
+            .expect("K20c fits the scaled datasets");
         let without = Gpumem::new(gpumem_config(row.min_len, row.seed_len, false))
-            .run(&pair.reference, &pair.query);
+            .run(&pair.reference, &pair.query)
+            .expect("K20c fits the scaled datasets");
         assert_eq!(
             with.mems,
             without.mems,

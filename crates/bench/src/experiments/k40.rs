@@ -30,9 +30,11 @@ pub fn run(scale: f64, seed: u64) -> Vec<(f64, f64)> {
             .or_insert_with(|| row.realize(seed));
         let config = gpumem_config(row.min_len, row.seed_len, true);
         let k20 = Gpumem::with_device(config.clone(), Device::new(DeviceSpec::tesla_k20c()))
-            .run(&pair.reference, &pair.query);
+            .run(&pair.reference, &pair.query)
+            .expect("K20c fits the scaled datasets");
         let k40 = Gpumem::with_device(config, Device::new(DeviceSpec::tesla_k40()))
-            .run(&pair.reference, &pair.query);
+            .run(&pair.reference, &pair.query)
+            .expect("K40 fits the scaled datasets");
         assert_eq!(k20.mems, k40.mems, "device must not change results");
         let (t20, t40) = (
             k20.stats.matching.modeled_secs(),

@@ -40,7 +40,9 @@ pub fn run(scale: f64, seed: u64) -> Vec<(usize, usize)> {
             .entry(row.pair.name.clone())
             .or_insert_with(|| row.realize(seed));
         let gpumem = Gpumem::new(gpumem_config(row.min_len, row.seed_len, true));
-        let result = gpumem.run(&pair.reference, &pair.query);
+        let result = gpumem
+            .run(&pair.reference, &pair.query)
+            .expect("K20c fits the scaled datasets");
         let c = result.stats.counts;
         writer.row(&[
             row.pair.name.clone(),

@@ -67,10 +67,10 @@ pub fn run(scale: f64, seed: u64) -> Vec<f64> {
         cells.push(secs(t_sla));
 
         let gpumem = Gpumem::new(gpumem_config(row.min_len, row.seed_len, true));
-        let (stats, wall) = gpumem.build_index_only(reference);
-        gpumem_modeled.push(stats.modeled_secs());
-        cells.push(secs(stats.modeled_secs()));
-        cells.push(secs(wall.as_secs_f64()));
+        let report = gpumem.build_index_only(reference);
+        gpumem_modeled.push(report.stats.modeled_secs());
+        cells.push(secs(report.stats.modeled_secs()));
+        cells.push(secs(report.wall.as_secs_f64()));
         writer.row(&cells);
     }
     writer.finish().expect("write table3.tsv");

@@ -79,7 +79,9 @@ pub fn run(scale: f64, seed: u64) -> Vec<(f64, usize)> {
 
         // GPUMEM: modeled device time of the extraction launches.
         let gpumem = Gpumem::new(gpumem_config(min_len, row.seed_len, true));
-        let result = gpumem.run(reference, query);
+        let result = gpumem
+            .run(reference, query)
+            .expect("K20c fits the scaled datasets");
         counts.push(result.mems.len());
         cells.push(secs(result.stats.matching.modeled_secs()));
         cells.push(secs(result.stats.match_wall.as_secs_f64()));

@@ -1,0 +1,561 @@
+//! The query-batch serving engine.
+//!
+//! [`Gpumem::run`](crate::Gpumem::run) is a one-shot call: it rebuilds
+//! every tile row's partial index for each query, so serving N queries
+//! against one reference pays the Table III index cost N times. The
+//! engine amortizes that cost the way copMEM amortizes its sampled
+//! k-mer table and slaMEM reuses one reference index across query
+//! sequences:
+//!
+//! * [`RefSession`] is created once per `(reference, config)` pair and
+//!   caches every row's partial index behind an [`Arc`] — built lazily
+//!   on first touch (or eagerly via [`RefSession::warm`]) and shared by
+//!   all subsequent queries;
+//! * [`Engine`] binds a session to a pool of query workers, each with
+//!   its own simulated [`Device`] and [`RunScratch`], so
+//!   [`Engine::run_batch`] can execute independent queries in parallel
+//!   without contending on scratch or misattributing pool statistics;
+//! * [`MemSink`] streams MEMs out of [`Engine::run_with_sink`] stage by
+//!   stage instead of accumulating the whole result vector.
+//!
+//! ## Sink ordering guarantees
+//!
+//! For one run, batches arrive in a deterministic order: tiles in
+//! row-major order, each tile's [`MemStage::Block`] batch before its
+//! [`MemStage::Tile`] batch, and one final [`MemStage::Global`] batch.
+//! Only non-empty batches are delivered. Batches are the raw stage
+//! outputs — across tiles they may repeat a MEM (boundary
+//! re-expansion), so a sink that needs the canonical set must dedup
+//! (as [`MemCollector::into_canonical`] does).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use gpu_sim::{Device, DeviceSpec, LaunchStats};
+use gpumem_index::{Region, SharedSeedLookup};
+use gpumem_seq::{canonicalize, Mem, PackedSeq, SeqSet};
+use rayon::prelude::*;
+
+use crate::config::GpumemConfig;
+use crate::pipeline::{
+    build_row_index, ensure_fits, ensure_sort_key, run_tiles, GpumemResult, GpumemStats,
+    IndexBuildReport, RunError, RunScratch,
+};
+use crate::tile::Tiling;
+
+/// Which pipeline stage produced a batch of MEMs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemStage {
+    /// The block kernels of tile `(row, col)` — in-block MEMs.
+    Block {
+        /// Tile row.
+        row: usize,
+        /// Tile column.
+        col: usize,
+    },
+    /// The tile merge of tile `(row, col)` — in-tile MEMs.
+    Tile {
+        /// Tile row.
+        row: usize,
+        /// Tile column.
+        col: usize,
+    },
+    /// The final host merge of out-tile fragments.
+    Global,
+}
+
+/// Receives MEM batches as the pipeline produces them (see the module
+/// docs for the ordering and duplication contract).
+pub trait MemSink {
+    /// A stage completed with these MEMs. Never called with an empty
+    /// batch.
+    fn mems(&mut self, stage: MemStage, mems: &[Mem]);
+}
+
+/// The collecting sink: accumulates every batch and canonicalizes at
+/// the end — the adapter that turns a streaming run back into the
+/// classic `Vec<Mem>` result.
+#[derive(Debug, Default)]
+pub struct MemCollector {
+    mems: Vec<Mem>,
+}
+
+impl MemCollector {
+    /// Sort and dedup everything received into the canonical MEM set.
+    pub fn into_canonical(self) -> Vec<Mem> {
+        canonicalize(self.mems)
+    }
+}
+
+impl MemSink for MemCollector {
+    fn mems(&mut self, _stage: MemStage, mems: &[Mem]) {
+        self.mems.extend_from_slice(mems);
+    }
+}
+
+/// Accumulated index-build cost of a session.
+#[derive(Default)]
+struct BuildAccum {
+    stats: LaunchStats,
+    wall: Duration,
+    built: usize,
+}
+
+/// A cached reference session: one per `(reference, config)` pair.
+///
+/// Owns the per-row partial indexes. Row ranges depend only on the
+/// reference length and `ℓ_tile` — never on the query — so one session
+/// serves any number of queries; each row's index is built once (on
+/// whichever worker device touches it first) and shared from then on.
+pub struct RefSession {
+    reference: Arc<PackedSeq>,
+    config: GpumemConfig,
+    row_regions: Vec<Region>,
+    rows: Vec<Mutex<Option<SharedSeedLookup>>>,
+    build: Mutex<BuildAccum>,
+}
+
+impl RefSession {
+    /// Create a session, validating the reference length and that one
+    /// tile row's working set fits `spec`'s global memory.
+    pub fn new(
+        reference: Arc<PackedSeq>,
+        config: GpumemConfig,
+        spec: &DeviceSpec,
+    ) -> Result<RefSession, RunError> {
+        ensure_sort_key(&reference)?;
+        ensure_fits(&config, spec)?;
+        let tiling = Tiling::new(config.tile_len(), reference.len(), usize::MAX);
+        let row_regions: Vec<Region> = (0..tiling.n_rows())
+            .map(|row| {
+                let range = tiling.row_range(row);
+                Region {
+                    start: range.start,
+                    len: range.len(),
+                }
+            })
+            .collect();
+        let rows = row_regions.iter().map(|_| Mutex::new(None)).collect();
+        Ok(RefSession {
+            reference,
+            config,
+            row_regions,
+            rows,
+            build: Mutex::new(BuildAccum::default()),
+        })
+    }
+
+    /// The reference sequence.
+    pub fn reference(&self) -> &PackedSeq {
+        &self.reference
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpumemConfig {
+        &self.config
+    }
+
+    /// Number of tile rows (cached index slots).
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of row indexes built so far.
+    pub fn built_rows(&self) -> usize {
+        self.build.lock().built
+    }
+
+    /// This row's index: the cached handle (with zero launch stats), or
+    /// a fresh build on `device`, cached for everyone after. Holding
+    /// the slot lock across the build means concurrent queries touching
+    /// the same cold row build it exactly once.
+    pub(crate) fn row_index(&self, device: &Device, row: usize) -> (SharedSeedLookup, LaunchStats) {
+        let mut slot = self.rows[row].lock();
+        if let Some(index) = slot.as_ref() {
+            return (Arc::clone(index), LaunchStats::default());
+        }
+        let t0 = Instant::now();
+        let (index, stats) =
+            build_row_index(device, &self.config, &self.reference, self.row_regions[row]);
+        let wall = t0.elapsed();
+        *slot = Some(Arc::clone(&index));
+        let mut accum = self.build.lock();
+        accum.stats += stats.clone();
+        accum.wall += wall;
+        accum.built += 1;
+        (index, stats)
+    }
+
+    /// Build every row index now (on `device`), so subsequent queries
+    /// run with zero index launches.
+    pub fn warm(&self, device: &Device) -> IndexBuildReport {
+        for row in 0..self.rows.len() {
+            let _ = self.row_index(device, row);
+        }
+        self.index_report()
+    }
+
+    /// Aggregate index-build cost so far ([`IndexBuildReport::rows`] is
+    /// the number of rows actually built).
+    pub fn index_report(&self) -> IndexBuildReport {
+        let accum = self.build.lock();
+        IndexBuildReport {
+            stats: accum.stats.clone(),
+            wall: accum.wall,
+            rows: accum.built,
+        }
+    }
+}
+
+/// One query worker: a simulated device plus reusable run scratch.
+struct Worker {
+    device: Device,
+    scratch: RunScratch,
+}
+
+/// The serving engine: a [`RefSession`] bound to a pool of query
+/// workers.
+pub struct Engine {
+    session: Arc<RefSession>,
+    workers: Vec<Mutex<Worker>>,
+}
+
+impl Engine {
+    /// Serve `reference` on the paper's Tesla K20c with one query
+    /// worker.
+    pub fn new(reference: PackedSeq, config: GpumemConfig) -> Result<Engine, RunError> {
+        Engine::with_spec(reference, config, DeviceSpec::tesla_k20c(), 1)
+    }
+
+    /// Serve `reference` on `query_threads` workers of an explicit
+    /// device spec (each worker simulates its own device).
+    pub fn with_spec(
+        reference: PackedSeq,
+        config: GpumemConfig,
+        spec: DeviceSpec,
+        query_threads: usize,
+    ) -> Result<Engine, RunError> {
+        let session = Arc::new(RefSession::new(Arc::new(reference), config, &spec)?);
+        Ok(Engine::from_session(session, spec, query_threads))
+    }
+
+    /// Bind an existing (possibly shared, possibly warmed) session to a
+    /// fresh worker pool.
+    pub fn from_session(
+        session: Arc<RefSession>,
+        spec: DeviceSpec,
+        query_threads: usize,
+    ) -> Engine {
+        let tau = session.config().threads_per_block;
+        let workers = (0..query_threads.max(1))
+            .map(|_| {
+                Mutex::new(Worker {
+                    device: Device::new(spec.clone()),
+                    scratch: RunScratch::new(tau),
+                })
+            })
+            .collect();
+        Engine { session, workers }
+    }
+
+    /// The underlying session (shareable with other engines).
+    pub fn session(&self) -> &Arc<RefSession> {
+        &self.session
+    }
+
+    /// Number of query workers.
+    pub fn query_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Build every row index now, so the first query pays no index
+    /// launches.
+    pub fn warm(&self) -> IndexBuildReport {
+        let worker = self.workers[0].lock();
+        self.session.warm(&worker.device)
+    }
+
+    fn run_on_worker(
+        &self,
+        worker: &mut Worker,
+        query: &PackedSeq,
+        sink: &mut dyn MemSink,
+    ) -> GpumemStats {
+        let session = &self.session;
+        let mut provider =
+            |device: &Device, row: usize, _region: Region| session.row_index(device, row);
+        run_tiles(
+            &worker.device,
+            session.config(),
+            session.reference(),
+            query,
+            &mut provider,
+            &mut worker.scratch,
+            sink,
+        )
+    }
+
+    fn collect_on_worker(&self, worker: &mut Worker, query: &PackedSeq) -> GpumemResult {
+        let mut collector = MemCollector::default();
+        let mut stats = self.run_on_worker(worker, query, &mut collector);
+        let t = Instant::now();
+        let mems = collector.into_canonical();
+        stats.match_wall += t.elapsed();
+        stats.counts.total = mems.len();
+        GpumemResult { mems, stats }
+    }
+
+    /// Stream one query's MEMs into `sink` as stages complete (see the
+    /// module docs for the ordering contract). A warmed session makes
+    /// this a zero-index-launch operation.
+    pub fn run_with_sink(
+        &self,
+        query: &PackedSeq,
+        sink: &mut dyn MemSink,
+    ) -> Result<GpumemStats, RunError> {
+        ensure_sort_key(query)?;
+        let mut worker = self.workers[0].lock();
+        Ok(self.run_on_worker(&mut worker, query, sink))
+    }
+
+    /// Run one query, collecting the canonical MEM set — the thin
+    /// adapter over [`Engine::run_with_sink`].
+    pub fn run(&self, query: &PackedSeq) -> Result<GpumemResult, RunError> {
+        ensure_sort_key(query)?;
+        let mut worker = self.workers[0].lock();
+        Ok(self.collect_on_worker(&mut worker, query))
+    }
+
+    /// Run every record of `queries` as an independent query, in
+    /// parallel across the engine's workers. Results come back in
+    /// record order, each exactly what [`Engine::run`] would return for
+    /// that record alone.
+    pub fn run_batch(&self, queries: &SeqSet) -> Vec<Result<GpumemResult, RunError>> {
+        let n_workers = self.workers.len();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(n_workers)
+            .build()
+            .expect("thread pool");
+        pool.install(|| {
+            (0..queries.records.len())
+                .into_par_iter()
+                .map(|i| {
+                    let query = queries.record_seq(i);
+                    ensure_sort_key(&query)?;
+                    let mut worker = self.workers[i % n_workers].lock();
+                    Ok(self.collect_on_worker(&mut worker, &query))
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Gpumem;
+    use gpumem_seq::{naive_mems, FastaRecord, GenomeModel, MutationModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(min_len: u32) -> GpumemConfig {
+        GpumemConfig::builder(min_len)
+            .seed_len(8)
+            .threads_per_block(8)
+            .blocks_per_tile(2)
+            .build()
+            .unwrap()
+    }
+
+    fn query_set(reference: &PackedSeq, n: usize) -> SeqSet {
+        let model = MutationModel {
+            sub_rate: 0.03,
+            indel_rate: 0.003,
+        };
+        let records: Vec<FastaRecord> = (0..n)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(900 + i as u64);
+                FastaRecord {
+                    header: format!("q{i}"),
+                    seq: PackedSeq::from_codes(&model.apply(&reference.to_codes(), &mut rng)),
+                }
+            })
+            .collect();
+        SeqSet::from_records(&records)
+    }
+
+    #[test]
+    fn engine_run_matches_gpumem_run() {
+        let reference = GenomeModel::mammalian().generate(2_000, 800);
+        let query = GenomeModel::mammalian().generate(1_500, 801);
+        let engine =
+            Engine::with_spec(reference.clone(), config(16), DeviceSpec::test_tiny(), 1).unwrap();
+        let classic = Gpumem::with_device(config(16), Device::new(DeviceSpec::test_tiny()))
+            .run(&reference, &query)
+            .unwrap();
+        let served = engine.run(&query).unwrap();
+        assert_eq!(served.mems, classic.mems);
+        assert_eq!(served.mems, naive_mems(&reference, &query, 16));
+    }
+
+    #[test]
+    fn second_query_builds_nothing() {
+        let reference = GenomeModel::mammalian().generate(3_000, 802);
+        let engine =
+            Engine::with_spec(reference.clone(), config(16), DeviceSpec::test_tiny(), 1).unwrap();
+        let q1 = GenomeModel::mammalian().generate(1_000, 803);
+        let first = engine.run(&q1).unwrap();
+        assert!(first.stats.index.launches > 0, "cold run builds indexes");
+        let built = engine.session().built_rows();
+        assert_eq!(built, engine.session().rows(), "q1 touched every row");
+        let second = engine.run(&q1).unwrap();
+        assert_eq!(second.stats.index.launches, 0, "warm run builds nothing");
+        assert_eq!(second.mems, first.mems);
+        assert_eq!(engine.session().built_rows(), built);
+    }
+
+    #[test]
+    fn warm_prebuilds_every_row() {
+        let reference = GenomeModel::mammalian().generate(2_500, 804);
+        let engine =
+            Engine::with_spec(reference.clone(), config(16), DeviceSpec::test_tiny(), 1).unwrap();
+        let report = engine.warm();
+        assert_eq!(report.rows, engine.session().rows());
+        assert!(report.stats.launches > 0);
+        let q = GenomeModel::mammalian().generate(800, 805);
+        let run = engine.run(&q).unwrap();
+        assert_eq!(run.stats.index.launches, 0, "warmed: no builds at all");
+        // Warming again is free.
+        let again = engine.warm();
+        assert_eq!(again.stats.launches, report.stats.launches);
+    }
+
+    #[test]
+    fn batch_equals_sequential_for_any_worker_count() {
+        let reference = GenomeModel::mammalian().generate(2_000, 806);
+        let queries = query_set(&reference, 4);
+        let sequential: Vec<Vec<Mem>> = (0..4)
+            .map(|i| {
+                Gpumem::with_device(config(16), Device::new(DeviceSpec::test_tiny()))
+                    .run(&reference, &queries.record_seq(i))
+                    .unwrap()
+                    .mems
+            })
+            .collect();
+        for workers in [1, 2, 4] {
+            let engine = Engine::with_spec(
+                reference.clone(),
+                config(16),
+                DeviceSpec::test_tiny(),
+                workers,
+            )
+            .unwrap();
+            let batch = engine.run_batch(&queries);
+            assert_eq!(batch.len(), 4);
+            for (result, expect) in batch.iter().zip(&sequential) {
+                assert_eq!(&result.as_ref().unwrap().mems, expect, "{workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_builds_each_row_index_once() {
+        let reference = GenomeModel::mammalian().generate(2_500, 807);
+        let queries = query_set(&reference, 6);
+        let engine =
+            Engine::with_spec(reference.clone(), config(16), DeviceSpec::test_tiny(), 3).unwrap();
+        let results = engine.run_batch(&queries);
+        let total_index_launches: u64 = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().stats.index.launches)
+            .sum();
+        let one_build = Gpumem::with_device(config(16), Device::new(DeviceSpec::test_tiny()))
+            .build_index_only(&reference);
+        assert_eq!(
+            total_index_launches, one_build.stats.launches,
+            "6 queries paid for exactly one full index build"
+        );
+        assert_eq!(engine.session().built_rows(), engine.session().rows());
+    }
+
+    #[test]
+    fn sink_order_is_deterministic_and_complete() {
+        #[derive(Default)]
+        struct Recorder {
+            batches: Vec<(MemStage, Vec<Mem>)>,
+        }
+        impl MemSink for Recorder {
+            fn mems(&mut self, stage: MemStage, mems: &[Mem]) {
+                assert!(!mems.is_empty(), "empty batches are never delivered");
+                self.batches.push((stage, mems.to_vec()));
+            }
+        }
+
+        let reference = GenomeModel::mammalian().generate(3_000, 808);
+        let engine =
+            Engine::with_spec(reference.clone(), config(20), DeviceSpec::test_tiny(), 1).unwrap();
+        // Self-comparison: the main diagonal guarantees every stage
+        // (including Global) fires.
+        let run = |engine: &Engine| {
+            let mut sink = Recorder::default();
+            engine.run_with_sink(&reference, &mut sink).unwrap();
+            sink.batches
+        };
+        let a = run(&engine);
+        let b = run(&engine);
+        assert_eq!(a, b, "identical runs stream identical batch sequences");
+
+        assert_eq!(
+            a.last().map(|(stage, _)| *stage),
+            Some(MemStage::Global),
+            "the host merge is always the final batch"
+        );
+        // Tiles arrive in row-major order; Block precedes Tile within a
+        // tile.
+        let cells: Vec<(usize, usize, bool)> = a
+            .iter()
+            .filter_map(|(stage, _)| match *stage {
+                MemStage::Block { row, col } => Some((row, col, false)),
+                MemStage::Tile { row, col } => Some((row, col, true)),
+                MemStage::Global => None,
+            })
+            .collect();
+        assert!(cells.windows(2).all(|w| w[0] <= w[1]), "row-major order");
+
+        // Streamed batches reconstruct the canonical result exactly.
+        let streamed: Vec<Mem> = canonicalize(a.into_iter().flat_map(|(_, mems)| mems).collect());
+        assert_eq!(streamed, engine.run(&reference).unwrap().mems);
+        assert_eq!(streamed, naive_mems(&reference, &reference, 20));
+    }
+
+    #[test]
+    fn session_rejects_oversized_working_set() {
+        let mut spec = DeviceSpec::test_tiny();
+        spec.global_mem_bytes = 1 << 16; // 64 KiB device
+        let reference = GenomeModel::uniform().generate(1_000, 809);
+        let big = GpumemConfig::builder(20)
+            .seed_len(10)
+            .threads_per_block(16)
+            .blocks_per_tile(2)
+            .build()
+            .unwrap();
+        let err = Engine::with_spec(reference, big, spec, 1).err().unwrap();
+        assert!(matches!(err, RunError::DeviceMemoryExceeded { .. }));
+    }
+
+    #[test]
+    fn empty_batch_and_empty_records() {
+        let reference = GenomeModel::uniform().generate(500, 810);
+        let engine = Engine::with_spec(reference, config(16), DeviceSpec::test_tiny(), 2).unwrap();
+        assert!(engine.run_batch(&SeqSet::from_records(&[])).is_empty());
+        let empty_record = SeqSet::from_records(&[FastaRecord {
+            header: "empty".into(),
+            seq: PackedSeq::from_codes(&[]),
+        }]);
+        let results = engine.run_batch(&empty_record);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].as_ref().unwrap().mems.is_empty());
+    }
+}

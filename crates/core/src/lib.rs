@@ -17,7 +17,10 @@
 //! * [`block`] / [`tile_run`] / [`global`] — the three merge levels
 //!   (block → tile → host);
 //! * [`pipeline`] — the [`Gpumem`] runner tying everything together on
-//!   a [`gpu_sim::Device`].
+//!   a [`gpu_sim::Device`];
+//! * [`engine`] — the serving layer: cached [`RefSession`] reference
+//!   indexes, the batch [`Engine`] with per-worker devices/scratch, and
+//!   the streaming [`MemSink`] result path.
 //!
 //! The output is the exact canonical MEM set: property tests pin it to
 //! the ground-truth [`gpumem_seq::naive_mems`] and (in the workspace
@@ -30,7 +33,7 @@
 //! let reference: PackedSeq = "ACGTACGTACGTGGGGACGTACGTACGT".parse().unwrap();
 //! let query: PackedSeq = "TTTTACGTACGTACGTCCCC".parse().unwrap();
 //! let config = GpumemConfig::builder(8).seed_len(4).build().unwrap();
-//! let result = Gpumem::new(config).run(&reference, &query);
+//! let result = Gpumem::new(config).run(&reference, &query).unwrap();
 //! assert!(result.mems.iter().all(|m| m.len >= 8));
 //! ```
 
@@ -38,6 +41,7 @@ pub mod balance;
 pub mod block;
 pub mod combine;
 pub mod config;
+pub mod engine;
 pub mod expand;
 pub mod generate;
 pub mod global;
@@ -46,6 +50,10 @@ pub mod tile;
 pub mod tile_run;
 
 pub use config::{ConfigError, GpumemConfig, GpumemConfigBuilder, IndexKind};
+pub use engine::{Engine, MemCollector, MemSink, MemStage, RefSession};
 pub use expand::Bounds;
-pub use pipeline::{Gpumem, GpumemResult, GpumemStats, StageCounts};
+pub use pipeline::{
+    Gpumem, GpumemResult, GpumemStats, IndexBuildReport, RunError, RunScratch, StageCounts,
+    SORT_KEY_LIMIT,
+};
 pub use tile::Tiling;

@@ -5,21 +5,175 @@
 //! per `ℓ_tile × ℓ_block` slice (§III-B), merge the tile's out-block
 //! fragments (§III-C1), and finally merge the accumulated out-tile
 //! fragments on the host (§III-C2).
+//!
+//! The tile loop itself lives in [`run_tiles`]: a streaming core that
+//! emits every stage's MEMs into a [`MemSink`](crate::engine::MemSink)
+//! as tiles complete and takes the row index from a caller-supplied
+//! provider. [`Gpumem::run`] wires it to a fresh per-row build and a
+//! collecting sink; the serving engine ([`crate::engine`]) wires the
+//! same core to a cached [`RefSession`](crate::engine::RefSession) and
+//! per-worker scratch instead.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use gpu_sim::{Device, DeviceSpec, LaunchConfig, LaunchStats};
-use gpumem_index::{build_compact_gpu, build_gpu, Region, SeedLookup};
-use gpumem_seq::{canonicalize, Mem, PackedSeq};
+use gpumem_index::{build_compact_gpu, build_gpu, Region, SharedSeedLookup};
+use gpumem_seq::{Mem, PackedSeq};
 
-use crate::block::process_block;
+use crate::block::{process_block, BlockOutput, BlockScratch};
 use crate::config::GpumemConfig;
+use crate::engine::{MemCollector, MemSink, MemStage};
 use crate::expand::Bounds;
 use crate::global::global_merge;
 use crate::tile::Tiling;
-use crate::tile_run::merge_tile;
+use crate::tile_run::{merge_tile, TileOutput};
+
+/// The sort-key packing in the device sort limits sequence coordinates
+/// to 30 bits, so each input sequence must stay under 1 Gbp.
+pub const SORT_KEY_LIMIT: usize = 1 << 30;
+
+/// Why a run (or session creation) was refused before any launch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// A sequence is at or over [`SORT_KEY_LIMIT`] bases.
+    SequenceTooLong {
+        /// The offending sequence's length.
+        len: usize,
+        /// The limit it violates ([`SORT_KEY_LIMIT`]).
+        limit: usize,
+    },
+    /// One tile row's working set does not fit the device's global
+    /// memory (the quantity the paper sizes the tiling against, §III).
+    DeviceMemoryExceeded {
+        /// Estimated bytes for one tile row's working set.
+        estimate: u64,
+        /// The device's global memory capacity in bytes.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::SequenceTooLong { len, limit } => write!(
+                f,
+                "sequence of {len} bases exceeds the {limit}-base sort-key limit (1 Gbp)"
+            ),
+            RunError::DeviceMemoryExceeded { estimate, capacity } => write!(
+                f,
+                "tile working set (~{estimate} bytes) exceeds device memory ({capacity} bytes); \
+                 reduce blocks_per_tile or seed_len"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Refuse sequences whose coordinates would overflow the sort keys.
+pub(crate) fn ensure_sort_key(seq: &PackedSeq) -> Result<(), RunError> {
+    if seq.len() >= SORT_KEY_LIMIT {
+        return Err(RunError::SequenceTooLong {
+            len: seq.len(),
+            limit: SORT_KEY_LIMIT,
+        });
+    }
+    Ok(())
+}
+
+/// Refuse configurations whose tile-row working set overflows `spec`'s
+/// global memory.
+pub(crate) fn ensure_fits(config: &GpumemConfig, spec: &DeviceSpec) -> Result<(), RunError> {
+    let estimate = device_memory_estimate(config);
+    if estimate > spec.global_mem_bytes {
+        return Err(RunError::DeviceMemoryExceeded {
+            estimate,
+            capacity: spec.global_mem_bytes,
+        });
+    }
+    Ok(())
+}
+
+/// Estimated device bytes for one tile row under `config`: the partial
+/// index (`ptrs` + `locs`), the packed tile of reference bases, and
+/// working triplet buffers. This is the quantity the paper sizes the
+/// tiling against ("to fit the problem to GPU memory", §III).
+pub fn device_memory_estimate(config: &GpumemConfig) -> u64 {
+    let n_locs = (config.tile_len() / config.step + 1) as u64;
+    let directory = match config.index_kind {
+        // Dense: the full 4^ℓs ptrs table.
+        crate::config::IndexKind::DenseTable => ((1u64 << (2 * config.seed_len)) + 1) * 4,
+        // Compact: entries + offsets, both ≤ n_locs.
+        crate::config::IndexKind::CompactDirectory => 2 * (n_locs + 1) * 4,
+    };
+    let locs = n_locs * 4;
+    let tile_bases = (config.tile_len() as u64).div_ceil(4); // 2-bit packed
+                                                             // Triplet working set: generously assume every sampled location
+                                                             // anchors one 12-byte triplet, twice (block + tile stage).
+    let triplets = n_locs * 12 * 2;
+    directory + locs + 2 * tile_bases + triplets
+}
+
+/// Build `config`'s index layout for one reference region on `device`.
+/// Returned behind an [`Arc`] so a serving session can cache the index
+/// and hand clones to concurrent query workers.
+pub(crate) fn build_row_index(
+    device: &Device,
+    config: &GpumemConfig,
+    reference: &PackedSeq,
+    region: Region,
+) -> (SharedSeedLookup, LaunchStats) {
+    match config.index_kind {
+        crate::config::IndexKind::DenseTable => {
+            let (index, stats) = build_gpu(device, reference, region, config.seed_len, config.step);
+            (Arc::new(index), stats)
+        }
+        crate::config::IndexKind::CompactDirectory => {
+            let (index, stats) =
+                build_compact_gpu(device, reference, region, config.seed_len, config.step);
+            (Arc::new(index), stats)
+        }
+    }
+}
+
+/// Report from building the per-row partial indexes (the Table III
+/// measurement).
+#[derive(Clone, Debug, Default)]
+pub struct IndexBuildReport {
+    /// Device statistics of the index-construction launches.
+    pub stats: LaunchStats,
+    /// Wall time spent simulating the builds.
+    pub wall: Duration,
+    /// Number of tile rows whose index was built.
+    pub rows: usize,
+}
+
+/// Per-worker working storage for one in-flight run: the block
+/// scratch/accumulators hoisted across every tile (blocks execute
+/// sequentially, see the `gpu_sim::exec` docs) plus the run's out-tile
+/// fragment list. One-shot runs make one; the serving engine keeps one
+/// per query worker so parallel queries never contend on scratch.
+pub struct RunScratch {
+    block: BlockScratch,
+    blocks_out: BlockOutput,
+    tile_out: TileOutput,
+    out_tile: Vec<Mem>,
+}
+
+impl RunScratch {
+    /// Scratch for a configuration with `tau` threads per block.
+    pub fn new(tau: usize) -> RunScratch {
+        RunScratch {
+            block: BlockScratch::new(tau),
+            blocks_out: BlockOutput::default(),
+            tile_out: TileOutput::default(),
+            out_tile: Vec::new(),
+        }
+    }
+}
 
 /// How many MEM fragments each stage produced (§IV would call these the
 /// intermediate result sizes; Fig. 7's discussion leans on them).
@@ -35,7 +189,8 @@ pub struct StageCounts {
     pub out_tile: usize,
     /// MEMs produced by the final host merge.
     pub from_global: usize,
-    /// Final canonical MEM count.
+    /// Final canonical MEM count (for a streaming run: the total MEMs
+    /// emitted, which may count cross-tile duplicates).
     pub total: usize,
 }
 
@@ -100,6 +255,142 @@ pub struct GpumemResult {
     pub stats: GpumemStats,
 }
 
+/// The streaming tile loop shared by [`Gpumem::run`] and the serving
+/// engine. Walks the tile grid in row-major order; `row_index` supplies
+/// each row's partial index (built fresh, or served from a session
+/// cache with zero launch stats); every stage's MEMs go to `sink` the
+/// moment the stage completes. The returned `counts.total` is the
+/// emitted total (in-block + in-tile + global, cross-tile duplicates
+/// included); collecting callers overwrite it with the canonical count.
+pub(crate) fn run_tiles(
+    device: &Device,
+    config: &GpumemConfig,
+    reference: &PackedSeq,
+    query: &PackedSeq,
+    row_index: &mut dyn FnMut(&Device, usize, Region) -> (SharedSeedLookup, LaunchStats),
+    scratch: &mut RunScratch,
+    sink: &mut dyn MemSink,
+) -> GpumemStats {
+    let mut stats = GpumemStats::default();
+    scratch.out_tile.clear();
+
+    if reference.len() >= config.seed_len && !query.is_empty() {
+        let tiling = Tiling::new(config.tile_len(), reference.len(), query.len());
+        stats.rows = tiling.n_rows();
+        stats.cols = tiling.n_cols();
+
+        for row in 0..tiling.n_rows() {
+            let row_range = tiling.row_range(row);
+
+            // Partial index of this row (Algorithm 1, on device).
+            let t0 = Instant::now();
+            let (index, istats) = row_index(
+                device,
+                row,
+                Region {
+                    start: row_range.start,
+                    len: row_range.len(),
+                },
+            );
+            stats.index += istats;
+            stats.index_wall += t0.elapsed();
+
+            for col in 0..tiling.n_cols() {
+                let t1 = Instant::now();
+
+                // One GPU block per ℓ_tile × ℓ_block slice; every
+                // block appends into the reused accumulator.
+                scratch.blocks_out.in_block.clear();
+                scratch.blocks_out.out_block.clear();
+                let cell = Mutex::new((&mut scratch.blocks_out, &mut scratch.block));
+                let launch = device.launch_fn_named(
+                    LaunchConfig::new(config.blocks_per_tile, config.threads_per_block),
+                    "match.blocks",
+                    |ctx| {
+                        let block_q = tiling.block_range(col, ctx.block_id, config.block_width());
+                        let guard = &mut *cell.lock();
+                        let (output, scratch) = guard;
+                        process_block(
+                            ctx,
+                            reference,
+                            query,
+                            index.as_ref(),
+                            config,
+                            row_range.clone(),
+                            block_q,
+                            scratch,
+                            output,
+                        );
+                    },
+                );
+                stats.matching += launch;
+
+                stats.counts.in_block += scratch.blocks_out.in_block.len();
+                if !scratch.blocks_out.in_block.is_empty() {
+                    sink.mems(MemStage::Block { row, col }, &scratch.blocks_out.in_block);
+                }
+                stats.counts.out_block += scratch.blocks_out.out_block.len();
+
+                // Tile merge (§III-C1) as its own kernel.
+                if !scratch.blocks_out.out_block.is_empty() {
+                    let tile_bounds = Bounds {
+                        r: row_range.clone(),
+                        q: tiling.col_range(col),
+                    };
+                    scratch.tile_out.in_tile.clear();
+                    scratch.tile_out.out_tile.clear();
+                    let cell =
+                        Mutex::new((&mut scratch.blocks_out.out_block, &mut scratch.tile_out));
+                    let launch = device.launch_fn_named(
+                        LaunchConfig::new(1, config.threads_per_block),
+                        "match.tile_merge",
+                        |ctx| {
+                            let guard = &mut *cell.lock();
+                            let (fragments, output) = guard;
+                            merge_tile(
+                                ctx,
+                                reference,
+                                query,
+                                fragments,
+                                &tile_bounds,
+                                config.min_len,
+                                output,
+                            );
+                        },
+                    );
+                    stats.matching += launch;
+                    stats.counts.in_tile += scratch.tile_out.in_tile.len();
+                    if !scratch.tile_out.in_tile.is_empty() {
+                        sink.mems(MemStage::Tile { row, col }, &scratch.tile_out.in_tile);
+                    }
+                    scratch
+                        .out_tile
+                        .extend_from_slice(&scratch.tile_out.out_tile);
+                }
+                stats.match_wall += t1.elapsed();
+            }
+        }
+    }
+
+    // Host merge of out-tile fragments (§III-C2).
+    let t2 = Instant::now();
+    stats.counts.out_tile = scratch.out_tile.len();
+    let global = global_merge(
+        reference,
+        query,
+        std::mem::take(&mut scratch.out_tile),
+        config.min_len,
+    );
+    stats.counts.from_global = global.len();
+    if !global.is_empty() {
+        sink.mems(MemStage::Global, &global);
+    }
+    stats.match_wall += t2.elapsed();
+    stats.counts.total = stats.counts.in_block + stats.counts.in_tile + stats.counts.from_global;
+
+    stats
+}
+
 /// The GPUMEM tool: a configuration bound to a (simulated) device.
 pub struct Gpumem {
     config: GpumemConfig,
@@ -130,71 +421,29 @@ impl Gpumem {
         &self.device
     }
 
-    /// Estimated device bytes for one tile row: the partial index
-    /// (`ptrs` + `locs`), the packed tile of reference bases, and
-    /// working triplet buffers. This is the quantity the paper sizes
-    /// the tiling against ("to fit the problem to GPU memory", §III).
+    /// Estimated device bytes for one tile row (see
+    /// [`device_memory_estimate`]).
     pub fn device_memory_estimate(&self) -> u64 {
-        let n_locs = (self.config.tile_len() / self.config.step + 1) as u64;
-        let directory = match self.config.index_kind {
-            // Dense: the full 4^ℓs ptrs table.
-            crate::config::IndexKind::DenseTable => ((1u64 << (2 * self.config.seed_len)) + 1) * 4,
-            // Compact: entries + offsets, both ≤ n_locs.
-            crate::config::IndexKind::CompactDirectory => 2 * (n_locs + 1) * 4,
-        };
-        let locs = n_locs * 4;
-        let tile_bases = (self.config.tile_len() as u64).div_ceil(4); // 2-bit packed
-                                                                      // Triplet working set: generously assume every sampled location
-                                                                      // anchors one 12-byte triplet, twice (block + tile stage).
-        let triplets = n_locs * 12 * 2;
-        directory + locs + 2 * tile_bases + triplets
+        device_memory_estimate(&self.config)
     }
 
     /// `true` if a tile row's working set fits the device's global
-    /// memory. [`Gpumem::run`] asserts this.
+    /// memory. [`Gpumem::run`] refuses to start otherwise.
     pub fn fits_device(&self) -> bool {
         self.device_memory_estimate() <= self.device.spec().global_mem_bytes
     }
 
-    /// Build the configured index layout for one reference region.
-    fn build_row_index(
-        &self,
-        reference: &PackedSeq,
-        region: Region,
-    ) -> (Box<dyn SeedLookup>, LaunchStats) {
-        match self.config.index_kind {
-            crate::config::IndexKind::DenseTable => {
-                let (index, stats) = build_gpu(
-                    &self.device,
-                    reference,
-                    region,
-                    self.config.seed_len,
-                    self.config.step,
-                );
-                (Box::new(index), stats)
-            }
-            crate::config::IndexKind::CompactDirectory => {
-                let (index, stats) = build_compact_gpu(
-                    &self.device,
-                    reference,
-                    region,
-                    self.config.seed_len,
-                    self.config.step,
-                );
-                (Box::new(index), stats)
-            }
-        }
-    }
-
     /// Build all per-row partial indexes without matching — the Table
     /// III measurement (index generation time).
-    pub fn build_index_only(&self, reference: &PackedSeq) -> (LaunchStats, Duration) {
+    pub fn build_index_only(&self, reference: &PackedSeq) -> IndexBuildReport {
         let tiling = Tiling::new(self.config.tile_len(), reference.len(), usize::MAX);
         let mut stats = LaunchStats::default();
         let start = Instant::now();
         for row in 0..tiling.n_rows() {
             let range = tiling.row_range(row);
-            let (_, s) = self.build_row_index(
+            let (_, s) = build_row_index(
+                &self.device,
+                &self.config,
                 reference,
                 Region {
                     start: range.start,
@@ -203,137 +452,39 @@ impl Gpumem {
             );
             stats += s;
         }
-        (stats, start.elapsed())
+        IndexBuildReport {
+            stats,
+            wall: start.elapsed(),
+            rows: tiling.n_rows(),
+        }
     }
 
     /// Extract all MEMs of length ≥ L between `reference` and `query`.
-    pub fn run(&self, reference: &PackedSeq, query: &PackedSeq) -> GpumemResult {
-        assert!(
-            reference.len() < (1 << 30) && query.len() < (1 << 30),
-            "sequences must be under 1 Gbp (sort-key packing)"
+    pub fn run(&self, reference: &PackedSeq, query: &PackedSeq) -> Result<GpumemResult, RunError> {
+        ensure_sort_key(reference)?;
+        ensure_sort_key(query)?;
+        ensure_fits(&self.config, self.device.spec())?;
+
+        let mut scratch = RunScratch::new(self.config.threads_per_block);
+        let mut collector = MemCollector::default();
+        let mut provider = |device: &Device, _row: usize, region: Region| {
+            build_row_index(device, &self.config, reference, region)
+        };
+        let mut stats = run_tiles(
+            &self.device,
+            &self.config,
+            reference,
+            query,
+            &mut provider,
+            &mut scratch,
+            &mut collector,
         );
-        assert!(
-            self.fits_device(),
-            "tile working set (~{} bytes) exceeds device memory ({} bytes); \
-             reduce blocks_per_tile or seed_len",
-            self.device_memory_estimate(),
-            self.device.spec().global_mem_bytes
-        );
-        let config = &self.config;
-        let mut stats = GpumemStats::default();
-        let mut reported: Vec<Mem> = Vec::new();
-        let mut out_tile_all: Vec<Mem> = Vec::new();
 
-        if reference.len() >= config.seed_len && !query.is_empty() {
-            let tiling = Tiling::new(config.tile_len(), reference.len(), query.len());
-            stats.rows = tiling.n_rows();
-            stats.cols = tiling.n_cols();
-
-            // Working storage hoisted across every tile of the run:
-            // blocks execute sequentially (see the `gpu_sim::exec`
-            // docs), so one scratch/accumulator set behind a Mutex
-            // serves the whole grid without per-tile allocation.
-            let mut scratch = crate::block::BlockScratch::new(config.threads_per_block);
-            let mut tile_blocks = crate::block::BlockOutput::default();
-            let mut tile_out = crate::tile_run::TileOutput::default();
-
-            for row in 0..tiling.n_rows() {
-                let row_range = tiling.row_range(row);
-
-                // Partial index of this row (Algorithm 1, on device).
-                let t0 = Instant::now();
-                let (index, istats) = self.build_row_index(
-                    reference,
-                    Region {
-                        start: row_range.start,
-                        len: row_range.len(),
-                    },
-                );
-                stats.index += istats;
-                stats.index_wall += t0.elapsed();
-
-                for col in 0..tiling.n_cols() {
-                    let t1 = Instant::now();
-
-                    // One GPU block per ℓ_tile × ℓ_block slice; every
-                    // block appends into the reused accumulator.
-                    tile_blocks.in_block.clear();
-                    tile_blocks.out_block.clear();
-                    let cell = Mutex::new((&mut tile_blocks, &mut scratch));
-                    let launch = self.device.launch_fn_named(
-                        LaunchConfig::new(config.blocks_per_tile, config.threads_per_block),
-                        "match.blocks",
-                        |ctx| {
-                            let block_q =
-                                tiling.block_range(col, ctx.block_id, config.block_width());
-                            let guard = &mut *cell.lock();
-                            let (output, scratch) = guard;
-                            process_block(
-                                ctx,
-                                reference,
-                                query,
-                                index.as_ref(),
-                                config,
-                                row_range.clone(),
-                                block_q,
-                                scratch,
-                                output,
-                            );
-                        },
-                    );
-                    stats.matching += launch;
-
-                    stats.counts.in_block += tile_blocks.in_block.len();
-                    reported.extend_from_slice(&tile_blocks.in_block);
-                    stats.counts.out_block += tile_blocks.out_block.len();
-
-                    // Tile merge (§III-C1) as its own kernel.
-                    if !tile_blocks.out_block.is_empty() {
-                        let tile_bounds = Bounds {
-                            r: row_range.clone(),
-                            q: tiling.col_range(col),
-                        };
-                        tile_out.in_tile.clear();
-                        tile_out.out_tile.clear();
-                        let cell = Mutex::new((&mut tile_blocks.out_block, &mut tile_out));
-                        let launch = self.device.launch_fn_named(
-                            LaunchConfig::new(1, config.threads_per_block),
-                            "match.tile_merge",
-                            |ctx| {
-                                let guard = &mut *cell.lock();
-                                let (fragments, output) = guard;
-                                merge_tile(
-                                    ctx,
-                                    reference,
-                                    query,
-                                    fragments,
-                                    &tile_bounds,
-                                    config.min_len,
-                                    output,
-                                );
-                            },
-                        );
-                        stats.matching += launch;
-                        stats.counts.in_tile += tile_out.in_tile.len();
-                        reported.extend_from_slice(&tile_out.in_tile);
-                        out_tile_all.extend_from_slice(&tile_out.out_tile);
-                    }
-                    stats.match_wall += t1.elapsed();
-                }
-            }
-        }
-
-        // Host merge of out-tile fragments (§III-C2).
-        let t2 = Instant::now();
-        stats.counts.out_tile = out_tile_all.len();
-        let global = global_merge(reference, query, out_tile_all, config.min_len);
-        stats.counts.from_global = global.len();
-        reported.extend(global);
-        let mems = canonicalize(reported);
-        stats.match_wall += t2.elapsed();
+        let t = Instant::now();
+        let mems = collector.into_canonical();
+        stats.match_wall += t.elapsed();
         stats.counts.total = mems.len();
-
-        GpumemResult { mems, stats }
+        Ok(GpumemResult { mems, stats })
     }
 }
 
@@ -360,7 +511,7 @@ mod tests {
         // tile_len = 2 * 8 * w.
         let gpumem = small_gpumem(16, 8, 8, 2);
         assert!(gpumem.config().tile_len() < pair.reference.len());
-        let result = gpumem.run(&pair.reference, &pair.query);
+        let result = gpumem.run(&pair.reference, &pair.query).unwrap();
         let expect = naive_mems(&pair.reference, &pair.query, 16);
         assert_eq!(result.mems, expect);
         assert!(result.stats.rows > 1 && result.stats.cols > 1);
@@ -372,7 +523,7 @@ mod tests {
         // tile — the hardest boundary case.
         let text = GenomeModel::mammalian().generate(3_000, 401);
         let gpumem = small_gpumem(20, 8, 8, 2);
-        let result = gpumem.run(&text, &text);
+        let result = gpumem.run(&text, &text).unwrap();
         let expect = naive_mems(&text, &text, 20);
         assert_eq!(result.mems, expect);
         assert!(result.mems.contains(&Mem {
@@ -388,7 +539,7 @@ mod tests {
         let pair = spec.realize(43);
         for min_len in [10u32, 14, 20, 31] {
             let gpumem = small_gpumem(min_len, 7, 8, 2);
-            let result = gpumem.run(&pair.reference, &pair.query);
+            let result = gpumem.run(&pair.reference, &pair.query).unwrap();
             let expect = naive_mems(&pair.reference, &pair.query, min_len);
             assert_eq!(result.mems, expect, "L = {min_len}");
         }
@@ -409,8 +560,8 @@ mod tests {
                 .unwrap();
             Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()))
         };
-        let a = on.run(&pair.reference, &pair.query);
-        let b = off.run(&pair.reference, &pair.query);
+        let a = on.run(&pair.reference, &pair.query).unwrap();
+        let b = off.run(&pair.reference, &pair.query).unwrap();
         assert_eq!(a.mems, b.mems, "output must be identical");
         assert!(
             b.stats.matching.warp_efficiency(32) <= a.stats.matching.warp_efficiency(32) + 1e-9,
@@ -423,7 +574,7 @@ mod tests {
         let reference = GenomeModel::mammalian().generate(4_000, 402);
         let query = GenomeModel::mammalian().generate(2_500, 403);
         let gpumem = small_gpumem(12, 6, 8, 2);
-        let result = gpumem.run(&reference, &query);
+        let result = gpumem.run(&reference, &query).unwrap();
         for &mem in &result.mems {
             assert!(is_maximal_exact(&reference, &query, mem, 12), "{mem:?}");
         }
@@ -435,9 +586,12 @@ mod tests {
         let empty = PackedSeq::from_codes(&[]);
         let short: PackedSeq = "ACG".parse().unwrap();
         let normal = GenomeModel::uniform().generate(200, 404);
-        assert!(gpumem.run(&empty, &normal).mems.is_empty());
-        assert!(gpumem.run(&normal, &empty).mems.is_empty());
-        assert!(gpumem.run(&short, &normal).mems.is_empty(), "ref < seed");
+        assert!(gpumem.run(&empty, &normal).unwrap().mems.is_empty());
+        assert!(gpumem.run(&normal, &empty).unwrap().mems.is_empty());
+        assert!(
+            gpumem.run(&short, &normal).unwrap().mems.is_empty(),
+            "ref < seed"
+        );
     }
 
     #[test]
@@ -445,9 +599,10 @@ mod tests {
         let reference = GenomeModel::uniform().generate(5_000, 405);
         let gpumem = small_gpumem(20, 10, 8, 2);
         let rows = reference.len().div_ceil(gpumem.config().tile_len());
-        let (stats, wall) = gpumem.build_index_only(&reference);
-        assert!(stats.launches >= 4 * rows as u64);
-        assert!(wall > Duration::ZERO);
+        let report = gpumem.build_index_only(&reference);
+        assert!(report.stats.launches >= 4 * rows as u64);
+        assert!(report.wall > Duration::ZERO);
+        assert_eq!(report.rows, rows);
     }
 
     #[test]
@@ -464,9 +619,12 @@ mod tests {
                 .unwrap();
             Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()))
         };
-        let dense = build(crate::config::IndexKind::DenseTable).run(&pair.reference, &pair.query);
-        let compact =
-            build(crate::config::IndexKind::CompactDirectory).run(&pair.reference, &pair.query);
+        let dense = build(crate::config::IndexKind::DenseTable)
+            .run(&pair.reference, &pair.query)
+            .unwrap();
+        let compact = build(crate::config::IndexKind::CompactDirectory)
+            .run(&pair.reference, &pair.query)
+            .unwrap();
         assert_eq!(
             dense.mems, compact.mems,
             "index layout must not change results"
@@ -497,7 +655,7 @@ mod tests {
     fn stats_display_is_informative() {
         let text = GenomeModel::mammalian().generate(1_000, 407);
         let gpumem = small_gpumem(20, 8, 8, 2);
-        let result = gpumem.run(&text, &text);
+        let result = gpumem.run(&text, &text).unwrap();
         let rendered = result.stats.to_string();
         assert!(rendered.contains("tiles:"));
         assert!(rendered.contains("warp efficiency"));
@@ -523,7 +681,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds device memory")]
     fn run_rejects_oversized_working_set() {
         let mut spec = DeviceSpec::test_tiny();
         spec.global_mem_bytes = 1 << 16; // 64 KiB device
@@ -534,14 +691,36 @@ mod tests {
             .build()
             .unwrap();
         let text = GenomeModel::uniform().generate(1_000, 500);
-        Gpumem::with_device(config, Device::new(spec)).run(&text, &text);
+        let err = Gpumem::with_device(config, Device::new(spec))
+            .run(&text, &text)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::DeviceMemoryExceeded { estimate, capacity }
+                if estimate > capacity && capacity == 1 << 16
+        ));
+        assert!(err.to_string().contains("exceeds device memory"));
+    }
+
+    #[test]
+    fn run_errors_display_cleanly() {
+        let long = RunError::SequenceTooLong {
+            len: SORT_KEY_LIMIT,
+            limit: SORT_KEY_LIMIT,
+        };
+        assert!(long.to_string().contains("sort-key limit"));
+        let oom = RunError::DeviceMemoryExceeded {
+            estimate: 2,
+            capacity: 1,
+        };
+        assert!(oom.to_string().contains("reduce blocks_per_tile"));
     }
 
     #[test]
     fn stage_counts_are_plausible() {
         let text = GenomeModel::mammalian().generate(2_000, 406);
         let gpumem = small_gpumem(20, 8, 8, 2);
-        let result = gpumem.run(&text, &text);
+        let result = gpumem.run(&text, &text).unwrap();
         let c = result.stats.counts;
         assert!(c.out_block > 0, "the main diagonal crosses blocks");
         assert!(c.out_tile > 0, "and tiles");
@@ -579,7 +758,7 @@ mod proptests {
                 .build()
                 .unwrap();
             let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
-            let got = gpumem.run(&reference, &query).mems;
+            let got = gpumem.run(&reference, &query).unwrap().mems;
             prop_assert_eq!(got, naive_mems(&reference, &query, min_len));
         }
     }

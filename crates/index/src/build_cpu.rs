@@ -258,7 +258,7 @@ mod proptests {
             let len = (len_frac * (codes.len() - start) as f64) as usize;
             let region = Region { start, len };
             let sequential = build_sequential(&seq, region, seed_len, step);
-            sequential.validate(&seq).map_err(|e| TestCaseError::fail(e))?;
+            sequential.validate(&seq).map_err(TestCaseError::fail)?;
             let parallel = build_parallel(&seq, region, seed_len, step);
             prop_assert_eq!(sequential, parallel);
         }

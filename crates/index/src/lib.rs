@@ -38,6 +38,6 @@ pub use build_cpu::{build_parallel, build_sequential};
 pub use build_gpu::build_gpu;
 pub use compact::{build_compact_gpu, build_compact_sequential, CompactSeedIndex};
 pub use index::{Region, SeedIndex};
-pub use lookup::SeedLookup;
+pub use lookup::{SeedLookup, SharedSeedLookup};
 pub use seed::SeedCodec;
 pub use sparsify::{check_step, max_step, IndexError};

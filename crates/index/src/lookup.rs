@@ -7,8 +7,14 @@
 //! compact sorted directory ([`crate::CompactSeedIndex`], the §V
 //! "novel indexing techniques" extension).
 
+/// A shareable handle to a built row index. The serving engine caches
+/// one of these per tile row inside a `RefSession` and hands clones to
+/// concurrent query workers, so the trait requires `Send + Sync`
+/// (both concrete layouts are plain immutable arrays).
+pub type SharedSeedLookup = std::sync::Arc<dyn SeedLookup>;
+
 /// Seed-to-locations lookup.
-pub trait SeedLookup: Sync {
+pub trait SeedLookup: Send + Sync {
     /// The seed length `ℓs`.
     fn seed_len(&self) -> usize;
 

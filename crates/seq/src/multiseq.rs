@@ -80,6 +80,19 @@ impl SeqSet {
         self.seq.is_empty()
     }
 
+    /// Extract record `idx` as its own [`PackedSeq`] (the batch engine
+    /// runs each query record independently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn record_seq(&self, idx: usize) -> PackedSeq {
+        let span = &self.records[idx];
+        self.seq
+            .subseq(span.start, span.len)
+            .expect("record span lies within the concatenation")
+    }
+
     /// The record containing concatenated position `pos`.
     pub fn resolve(&self, pos: usize) -> Option<RecordPos<'_>> {
         let idx = self.records.partition_point(|span| span.end() <= pos);
@@ -186,6 +199,14 @@ mod tests {
             })
         );
         assert_eq!(set.resolve(22), None);
+    }
+
+    #[test]
+    fn record_seq_round_trips_each_record() {
+        let set = set();
+        assert_eq!(set.record_seq(0).to_ascii(), b"ACGTACGTAC".to_vec());
+        assert_eq!(set.record_seq(1).to_ascii(), b"GGGG".to_vec());
+        assert_eq!(set.record_seq(2).to_ascii(), b"TTTTTTTT".to_vec());
     }
 
     #[test]

@@ -413,7 +413,7 @@ mod tests {
 
     #[test]
     fn debug_preview_truncates() {
-        let long: Vec<u8> = std::iter::repeat(b'A').take(100).collect();
+        let long: Vec<u8> = std::iter::repeat_n(b'A', 100).collect();
         let ps = PackedSeq::from_ascii(&long).unwrap();
         let dbg = format!("{ps:?}");
         assert!(dbg.contains("len=100"));

@@ -34,7 +34,9 @@ fn main() {
         .blocks_per_tile(16)
         .build()
         .expect("valid config");
-    let result = Gpumem::new(config).run(&pair.reference, &pair.query);
+    let result = Gpumem::new(config)
+        .run(&pair.reference, &pair.query)
+        .expect("the K20c fits this dataset");
     println!(
         "GPUMEM: {} anchors, modeled device time {:.2} ms",
         result.mems.len(),

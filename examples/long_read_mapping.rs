@@ -52,7 +52,9 @@ fn main() {
         .blocks_per_tile(16)
         .build()
         .expect("valid config");
-    let result = Gpumem::new(config).run(&reference, &batch);
+    let result = Gpumem::new(config)
+        .run(&reference, &batch)
+        .expect("the K20c fits this dataset");
     println!(
         "{} MEM seeds in {:.2} ms modeled device time",
         result.mems.len(),

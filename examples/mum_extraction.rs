@@ -30,7 +30,10 @@ fn main() {
         .blocks_per_tile(8)
         .build()
         .expect("valid config");
-    let mems = Gpumem::new(config).run(&pair.reference, &pair.query).mems;
+    let mems = Gpumem::new(config)
+        .run(&pair.reference, &pair.query)
+        .unwrap()
+        .mems;
     println!("{} MEMs", mems.len());
 
     let filter = VariantFilter::new(&pair.reference, &pair.query);

@@ -36,7 +36,9 @@ fn main() {
     );
 
     let gpumem = Gpumem::new(config);
-    let result = gpumem.run(&reference, &query);
+    let result = gpumem
+        .run(&reference, &query)
+        .expect("the K20c fits this dataset");
 
     println!(
         "found {} MEMs over a {} x {} search space ({} tile rows x {} cols)",

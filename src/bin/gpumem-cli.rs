@@ -9,6 +9,8 @@
 //!   --seed-len <ls>      GPUMEM seed length (default min(13, L))
 //!   --sparseness <K>     sparse-SA sparseness for essamem/sparsemem (default 4)
 //!   --threads <t>        CPU finder threads (default 1)
+//!   --query-threads <n>  GPUMEM query workers for multi-record query
+//!                        FASTA (default 1)
 //!   --both-strands       also match the reverse complement of the query
 //!   --mum                report only maximal unique matches
 //!   --rare <t>           report matches occurring ≤ t times in each sequence
@@ -17,8 +19,13 @@
 //!                        sanitizer; report to stderr, fail on hazards
 //! ```
 //!
-//! Output: one `ref_pos  query_pos  length  strand` line per match,
-//! 1-based coordinates as in `mummer -maxmatch`.
+//! The query FASTA may hold many records; each is matched independently
+//! (GPUMEM serves them all from one cached reference session, in
+//! parallel across `--query-threads` workers). Output: one
+//! `ref_pos  query_pos  length  strand` line per match, 1-based
+//! coordinates as in `mummer -maxmatch`, grouped by query record in
+//! input order; with more than one query record, each line gains the
+//! record name as a final column.
 
 use std::fs::File;
 use std::io::BufReader;
@@ -27,8 +34,11 @@ use std::process::ExitCode;
 use gpumem::baselines::{
     find_mems_both_strands, EssaMem, MemFinder, Mummer, SlaMem, SparseMem, VariantFilter,
 };
-use gpumem::core::{Gpumem, GpumemConfig};
-use gpumem::seq::{read_fasta, AmbigPolicy, Mem, PackedSeq, Strand, StrandMem};
+use gpumem::seq::{
+    read_fasta, AmbigPolicy, FastaRecord, Mem, PackedSeq, SeqSet, Strand, StrandMem,
+};
+use gpumem::sim::{DeviceSpec, LaunchStats};
+use gpumem::{Engine, GpumemConfig, GpumemResult, RunError};
 
 struct Options {
     tool: String,
@@ -36,6 +46,7 @@ struct Options {
     seed_len: Option<usize>,
     sparseness: usize,
     threads: usize,
+    query_threads: usize,
     both_strands: bool,
     mum: bool,
     rare: Option<usize>,
@@ -53,6 +64,7 @@ fn parse_args() -> Result<Options, String> {
         seed_len: None,
         sparseness: 4,
         threads: 1,
+        query_threads: 1,
         both_strands: false,
         mum: false,
         rare: None,
@@ -91,6 +103,14 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?
             }
+            "--query-threads" => {
+                opts.query_threads = value("--query-threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --query-threads: {e}"))?;
+                if opts.query_threads == 0 {
+                    return Err("bad --query-threads: must be positive".into());
+                }
+            }
             "--both-strands" => opts.both_strands = true,
             "--mum" => opts.mum = true,
             "--rare" => {
@@ -119,89 +139,156 @@ fn parse_args() -> Result<Options, String> {
     }
 }
 
-fn load_first_record(path: &str) -> Result<PackedSeq, String> {
+fn load_records(path: &str) -> Result<Vec<FastaRecord>, String> {
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let records = read_fasta(BufReader::new(file), AmbigPolicy::Randomize(0))
         .map_err(|e| format!("{path}: {e}"))?;
-    records
+    if records.is_empty() {
+        return Err(format!("{path}: no FASTA records"));
+    }
+    Ok(records)
+}
+
+fn load_first_record(path: &str) -> Result<PackedSeq, String> {
+    Ok(load_records(path)?.remove(0).seq)
+}
+
+/// One query record's matches, in that record's coordinates.
+struct RecordHits {
+    name: String,
+    hits: Vec<StrandMem>,
+}
+
+/// Turn a batch result into per-record results, surfacing the first
+/// failed query as the CLI error.
+fn collect_batch(
+    queries: &SeqSet,
+    results: Vec<Result<GpumemResult, RunError>>,
+) -> Result<Vec<GpumemResult>, String> {
+    results
         .into_iter()
-        .next()
-        .map(|r| r.seq)
-        .ok_or_else(|| format!("{path}: no FASTA records"))
+        .zip(&queries.records)
+        .map(|(result, span)| result.map_err(|e| format!("query {}: {e}", span.name)))
+        .collect()
+}
+
+fn run_gpumem(
+    opts: &Options,
+    reference: &PackedSeq,
+    queries: &SeqSet,
+) -> Result<Vec<RecordHits>, String> {
+    let mut builder = GpumemConfig::builder(opts.min_len)
+        .threads_per_block(128)
+        .blocks_per_tile(16);
+    if let Some(seed_len) = opts.seed_len {
+        builder = builder.seed_len(seed_len);
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
+    let engine = Engine::with_spec(
+        reference.clone(),
+        config,
+        DeviceSpec::tesla_k20c(),
+        opts.query_threads,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let forward = collect_batch(queries, engine.run_batch(queries))?;
+    let reverse = if opts.both_strands {
+        // Reverse-complement each record independently; coordinates map
+        // back per record.
+        let rc_records: Vec<FastaRecord> = queries
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, span)| FastaRecord {
+                header: span.name.clone(),
+                seq: queries.record_seq(i).reverse_complement(),
+            })
+            .collect();
+        let rc_set = SeqSet::from_records(&rc_records);
+        Some(collect_batch(queries, engine.run_batch(&rc_set))?)
+    } else {
+        None
+    };
+
+    if opts.stats {
+        let tiles: usize = forward.iter().map(|r| r.stats.rows * r.stats.cols).sum();
+        let index: LaunchStats = forward.iter().map(|r| r.stats.index.clone()).sum();
+        let matching: LaunchStats = forward.iter().map(|r| r.stats.matching.clone()).sum();
+        eprintln!(
+            "gpumem: {} tiles, modeled index {:.3} ms + match {:.3} ms, warp efficiency {:.2}",
+            tiles,
+            index.modeled_secs() * 1e3,
+            matching.modeled_secs() * 1e3,
+            matching.warp_efficiency(32)
+        );
+    }
+
+    let mut out = Vec::with_capacity(queries.records.len());
+    for (i, span) in queries.records.iter().enumerate() {
+        let mut hits: Vec<StrandMem> = forward[i]
+            .mems
+            .iter()
+            .map(|&mem| StrandMem {
+                mem,
+                strand: Strand::Forward,
+            })
+            .collect();
+        if let Some(reverse) = &reverse {
+            hits.extend(reverse[i].mems.iter().map(|&mem| StrandMem {
+                mem: gpumem::seq::map_reverse_mem(mem, span.len),
+                strand: Strand::Reverse,
+            }));
+        }
+        hits.sort_unstable();
+        out.push(RecordHits {
+            name: span.name.clone(),
+            hits,
+        });
+    }
+    Ok(out)
 }
 
 fn run_finder(
     opts: &Options,
     reference: &PackedSeq,
-    query: &PackedSeq,
-) -> Result<Vec<StrandMem>, String> {
+    queries: &SeqSet,
+) -> Result<Vec<RecordHits>, String> {
     let finder: Box<dyn MemFinder> = match opts.tool.as_str() {
         "mummer" => Box::new(Mummer::build(reference)),
         "essamem" => Box::new(EssaMem::build(reference, opts.sparseness)),
         "sparsemem" => Box::new(SparseMem::build(reference, opts.sparseness)),
         "slamem" => Box::new(SlaMem::build(reference)),
-        "gpumem" => {
-            // GPUMEM path handled separately (simulated device).
-            let mut builder = GpumemConfig::builder(opts.min_len)
-                .threads_per_block(128)
-                .blocks_per_tile(16);
-            if let Some(seed_len) = opts.seed_len {
-                builder = builder.seed_len(seed_len);
-            }
-            let config = builder.build().map_err(|e| e.to_string())?;
-            let gpumem = Gpumem::new(config);
-            let run_one = |q: &PackedSeq| gpumem.run(reference, q);
-            let forward = run_one(query);
-            if opts.stats {
-                eprintln!(
-                    "gpumem: {} tiles, modeled index {:.3} ms + match {:.3} ms, warp efficiency {:.2}",
-                    forward.stats.rows * forward.stats.cols,
-                    forward.stats.index.modeled_secs() * 1e3,
-                    forward.stats.matching.modeled_secs() * 1e3,
-                    forward.stats.matching.warp_efficiency(32)
-                );
-            }
-            let mut hits: Vec<StrandMem> = forward
-                .mems
-                .into_iter()
-                .map(|mem| StrandMem {
-                    mem,
-                    strand: Strand::Forward,
-                })
-                .collect();
-            if opts.both_strands {
-                let rc = query.reverse_complement();
-                hits.extend(run_one(&rc).mems.into_iter().map(|mem| StrandMem {
-                    mem: gpumem::seq::map_reverse_mem(mem, query.len()),
-                    strand: Strand::Reverse,
-                }));
-            }
-            hits.sort_unstable();
-            return Ok(hits);
-        }
+        // GPUMEM path handled separately (simulated device, batch
+        // engine).
+        "gpumem" => return run_gpumem(opts, reference, queries),
         other => return Err(format!("unknown tool {other}")),
     };
-    if opts.both_strands {
-        Ok(find_mems_both_strands(
-            finder.as_ref(),
-            query,
-            opts.min_len,
-            opts.threads,
-        ))
-    } else {
-        Ok(gpumem::baselines::find_mems_parallel(
-            finder.as_ref(),
-            query,
-            opts.min_len,
-            opts.threads,
-        )
-        .into_iter()
-        .map(|mem| StrandMem {
-            mem,
-            strand: Strand::Forward,
-        })
-        .collect())
+    let mut out = Vec::with_capacity(queries.records.len());
+    for (i, span) in queries.records.iter().enumerate() {
+        let query = queries.record_seq(i);
+        let hits = if opts.both_strands {
+            find_mems_both_strands(finder.as_ref(), &query, opts.min_len, opts.threads)
+        } else {
+            gpumem::baselines::find_mems_parallel(
+                finder.as_ref(),
+                &query,
+                opts.min_len,
+                opts.threads,
+            )
+            .into_iter()
+            .map(|mem| StrandMem {
+                mem,
+                strand: Strand::Forward,
+            })
+            .collect()
+        };
+        out.push(RecordHits {
+            name: span.name.clone(),
+            hits,
+        });
     }
+    Ok(out)
 }
 
 fn main() -> ExitCode {
@@ -211,7 +298,7 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: gpumem-cli [--tool T] [--min-len L] [--seed-len ls] [--sparseness K] [--threads t] [--both-strands] [--mum] [--rare t] [--stats] [--sanitize] <reference.fa> <query.fa>");
+            eprintln!("usage: gpumem-cli [--tool T] [--min-len L] [--seed-len ls] [--sparseness K] [--threads t] [--query-threads n] [--both-strands] [--mum] [--rare t] [--stats] [--sanitize] <reference.fa> <query.fa>");
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {
@@ -222,13 +309,13 @@ fn main() -> ExitCode {
 
     let run = || -> Result<(), String> {
         let reference = load_first_record(&opts.reference)?;
-        let query = load_first_record(&opts.query)?;
+        let queries = SeqSet::from_records(&load_records(&opts.query)?);
 
         // Under --sanitize every simulated kernel launch between here
         // and finish() is hazard-checked (only the gpumem tool launches
         // kernels; for CPU baselines the report is trivially clean).
         let session = opts.sanitize.then(gpumem::sim::sanitizer::Session::start);
-        let mut hits = run_finder(&opts, &reference, &query)?;
+        let mut by_record = run_finder(&opts, &reference, &queries)?;
         if let Some(session) = session {
             let report = session.finish();
             eprint!("{report}");
@@ -240,34 +327,45 @@ fn main() -> ExitCode {
             }
         }
 
-        // Variant filtering (forward-strand coordinates only; reverse
-        // hits are filtered against the reverse complement implicitly
-        // via their reference interval).
+        // Variant filtering, per query record (forward-strand
+        // coordinates only; reverse hits are filtered against the
+        // reverse complement implicitly via their reference interval).
         if opts.mum || opts.rare.is_some() {
             let max_occ = if opts.mum { 1 } else { opts.rare.unwrap() };
-            let filter = VariantFilter::new(&reference, &query);
-            let mems: Vec<Mem> = hits.iter().map(|h| h.mem).collect();
-            let keep: std::collections::HashSet<Mem> =
-                filter.rare_matches(&mems, max_occ).into_iter().collect();
-            hits.retain(|h| keep.contains(&h.mem));
+            for (i, record) in by_record.iter_mut().enumerate() {
+                let filter = VariantFilter::new(&reference, &queries.record_seq(i));
+                let mems: Vec<Mem> = record.hits.iter().map(|h| h.mem).collect();
+                let keep: std::collections::HashSet<Mem> =
+                    filter.rare_matches(&mems, max_occ).into_iter().collect();
+                record.hits.retain(|h| keep.contains(&h.mem));
+            }
         }
 
         if opts.stats {
-            eprintln!("{} matches (L >= {})", hits.len(), opts.min_len);
+            let total: usize = by_record.iter().map(|r| r.hits.len()).sum();
+            eprintln!("{} matches (L >= {})", total, opts.min_len);
         }
+        let name_column = by_record.len() > 1;
         let mut out = String::new();
-        for hit in &hits {
-            let strand = match hit.strand {
-                Strand::Forward => '+',
-                Strand::Reverse => '-',
-            };
-            out.push_str(&format!(
-                "{:>10} {:>10} {:>8} {}\n",
-                hit.mem.r + 1,
-                hit.mem.q + 1,
-                hit.mem.len,
-                strand
-            ));
+        for record in &by_record {
+            for hit in &record.hits {
+                let strand = match hit.strand {
+                    Strand::Forward => '+',
+                    Strand::Reverse => '-',
+                };
+                out.push_str(&format!(
+                    "{:>10} {:>10} {:>8} {}",
+                    hit.mem.r + 1,
+                    hit.mem.q + 1,
+                    hit.mem.len,
+                    strand
+                ));
+                if name_column {
+                    out.push(' ');
+                    out.push_str(&record.name);
+                }
+                out.push('\n');
+            }
         }
         print!("{out}");
         Ok(())

@@ -24,8 +24,31 @@
 //! let reference = PackedSeq::from_ascii(b"ACGTACGTACGTGGGGACGTACGTACGT").unwrap();
 //! let query     = PackedSeq::from_ascii(b"TTTTACGTACGTACGTCCCC").unwrap();
 //! let config = GpumemConfig::builder(8).seed_len(4).build().unwrap();
-//! let mems = Gpumem::new(config).run(&reference, &query).mems;
+//! let mems = Gpumem::new(config).run(&reference, &query).unwrap().mems;
 //! assert!(mems.iter().all(|m| m.len >= 8));
+//! ```
+//!
+//! ## Serving many queries
+//!
+//! For query streams against one reference, the serving engine caches
+//! the per-row partial indexes in a session and runs batches in
+//! parallel — everything needed is re-exported at the crate root:
+//!
+//! ```
+//! use gpumem::{Engine, GpumemConfig, RunError};
+//! use gpumem::seq::{FastaRecord, PackedSeq, SeqSet};
+//!
+//! let reference = PackedSeq::from_ascii(b"ACGTACGTACGTGGGGACGTACGTACGT").unwrap();
+//! let queries = SeqSet::from_records(&[
+//!     FastaRecord { header: "q0".into(), seq: "TTTTACGTACGTACGTCCCC".parse().unwrap() },
+//!     FastaRecord { header: "q1".into(), seq: "GGGGACGTACGTAAAA".parse().unwrap() },
+//! ]);
+//! let config = GpumemConfig::builder(8).seed_len(4).build().unwrap();
+//! let engine = Engine::new(reference, config)?;
+//! for result in engine.run_batch(&queries) {
+//!     assert!(result?.mems.iter().all(|m| m.len >= 8));
+//! }
+//! # Ok::<(), RunError>(())
 //! ```
 
 pub use gpu_sim as sim;
@@ -33,3 +56,9 @@ pub use gpumem_baselines as baselines;
 pub use gpumem_core as core;
 pub use gpumem_index as index;
 pub use gpumem_seq as seq;
+
+// The serving/session API at the root, so batch users need one `use`.
+pub use gpumem_core::{
+    Engine, Gpumem, GpumemConfig, GpumemResult, GpumemStats, IndexBuildReport, MemCollector,
+    MemSink, MemStage, RefSession, RunError,
+};

@@ -58,7 +58,7 @@ fn planted_mems_across_boundaries_are_found_exactly() {
             "planted segment at ({r},{q}) missing from ground truth"
         );
     }
-    let got = gpumem.run(&reference, &query).mems;
+    let got = gpumem.run(&reference, &query).unwrap().mems;
     assert_eq!(got, expect);
 }
 
@@ -66,10 +66,14 @@ fn planted_mems_across_boundaries_are_found_exactly() {
 fn output_is_invariant_to_launch_geometry() {
     let reference = GenomeModel::mammalian().generate(4_000, 91);
     let query = GenomeModel::mammalian().generate(3_000, 92);
-    let reference_result = tiny_gpumem(14, 7, 8, 2).run(&reference, &query).mems;
+    let reference_result = tiny_gpumem(14, 7, 8, 2)
+        .run(&reference, &query)
+        .unwrap()
+        .mems;
     for (tau, n_block) in [(4usize, 1usize), (16, 4), (32, 8), (64, 1)] {
         let got = tiny_gpumem(14, 7, tau, n_block)
             .run(&reference, &query)
+            .unwrap()
             .mems;
         assert_eq!(got, reference_result, "τ={tau}, n_block={n_block}");
     }
@@ -90,7 +94,11 @@ fn output_is_invariant_to_step_choice() {
             .build()
             .unwrap();
         let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
-        assert_eq!(gpumem.run(&reference, &query).mems, expect, "Δs = {step}");
+        assert_eq!(
+            gpumem.run(&reference, &query).unwrap().mems,
+            expect,
+            "Δs = {step}"
+        );
     }
 }
 
@@ -100,9 +108,9 @@ fn repeated_runs_are_bit_identical() {
     let reference = GenomeModel::mammalian().generate(5_000, 95);
     let query = GenomeModel::mammalian().generate(4_000, 96);
     let gpumem = tiny_gpumem(12, 6, 16, 2);
-    let first = gpumem.run(&reference, &query);
+    let first = gpumem.run(&reference, &query).unwrap();
     for _ in 0..3 {
-        let again = gpumem.run(&reference, &query);
+        let again = gpumem.run(&reference, &query).unwrap();
         assert_eq!(again.mems, first.mems);
         assert_eq!(
             again.stats.matching.warp_cycles, first.stats.matching.warp_cycles,
@@ -117,7 +125,7 @@ fn self_comparison_total_diagonal_survives_many_tiles() {
     let gpumem = tiny_gpumem(25, 8, 8, 2);
     let tiles = text.len().div_ceil(gpumem.config().tile_len());
     assert!(tiles >= 3, "want a multi-tile run, got {tiles}");
-    let mems = gpumem.run(&text, &text).mems;
+    let mems = gpumem.run(&text, &text).unwrap().mems;
     assert!(mems.contains(&Mem {
         r: 0,
         q: 0,
@@ -136,11 +144,14 @@ fn device_spec_does_not_change_results() {
         .build()
         .unwrap();
     let tiny = Gpumem::with_device(config.clone(), Device::new(DeviceSpec::test_tiny()))
-        .run(&reference, &query);
+        .run(&reference, &query)
+        .unwrap();
     let k20 = Gpumem::with_device(config.clone(), Device::new(DeviceSpec::tesla_k20c()))
-        .run(&reference, &query);
-    let k40 =
-        Gpumem::with_device(config, Device::new(DeviceSpec::tesla_k40())).run(&reference, &query);
+        .run(&reference, &query)
+        .unwrap();
+    let k40 = Gpumem::with_device(config, Device::new(DeviceSpec::tesla_k40()))
+        .run(&reference, &query)
+        .unwrap();
     assert_eq!(tiny.mems, k20.mems);
     assert_eq!(k20.mems, k40.mems);
     // The K40 (§V's "future work" card) models faster than the K20c.

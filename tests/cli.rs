@@ -163,6 +163,79 @@ fn bad_usage_fails_cleanly() {
 }
 
 #[test]
+fn multi_record_query_groups_hits_and_names_records() {
+    let dir = std::env::temp_dir().join("gpumem-cli-test-multi");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let reference = GenomeModel::mammalian().generate(8_000, 4321);
+    let model = MutationModel {
+        sub_rate: 0.03,
+        indel_rate: 0.003,
+    };
+    let records: Vec<FastaRecord> = (0..3)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(4400 + i);
+            FastaRecord {
+                header: format!("read{i}"),
+                seq: PackedSeq::from_codes(&model.apply(&reference.to_codes(), &mut rng)),
+            }
+        })
+        .collect();
+
+    let write = |name: &str, records: &[FastaRecord]| -> String {
+        let path = dir.join(name);
+        let mut file = std::fs::File::create(&path).unwrap();
+        write_fasta(&mut file, records).unwrap();
+        file.flush().unwrap();
+        path.to_str().unwrap().to_string()
+    };
+    let ref_fa = write(
+        "ref.fa",
+        &[FastaRecord {
+            header: "ref".into(),
+            seq: reference.clone(),
+        }],
+    );
+    let all_fa = write("queries.fa", &records);
+
+    let run = |tool: &str, query_fa: &str, extra: &[&str]| -> String {
+        let mut args = vec!["--tool", tool, "--min-len", "25"];
+        args.extend_from_slice(extra);
+        args.push(ref_fa.as_str());
+        args.push(query_fa);
+        let out = cli().args(&args).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{tool} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    let batched = run("gpumem", &all_fa, &["--query-threads", "2"]);
+    assert!(!batched.trim().is_empty(), "expected matches");
+
+    // The batched run must equal the concatenation of per-record runs,
+    // with the record name appended to every line, in input order.
+    let mut expect = String::new();
+    for (i, record) in records.iter().enumerate() {
+        let one_fa = write(&format!("q{i}.fa"), std::slice::from_ref(record));
+        for line in run("gpumem", &one_fa, &[]).lines() {
+            expect.push_str(line);
+            expect.push(' ');
+            expect.push_str(&record.header);
+            expect.push('\n');
+        }
+    }
+    assert_eq!(batched, expect);
+
+    // Worker count must not change the output, and the CPU baselines
+    // must agree with the engine on multi-record input too.
+    assert_eq!(run("gpumem", &all_fa, &["--query-threads", "4"]), batched);
+    assert_eq!(run("mummer", &all_fa, &[]), batched);
+}
+
+#[test]
 fn both_strands_superset_and_strand_column() {
     let dir = std::env::temp_dir().join("gpumem-cli-test-strands");
     std::fs::create_dir_all(&dir).unwrap();

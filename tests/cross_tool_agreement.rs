@@ -16,6 +16,7 @@ fn gpumem_run(reference: &PackedSeq, query: &PackedSeq, min_len: u32, seed_len: 
         .expect("valid config");
     Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()))
         .run(reference, query)
+        .expect("the tiny device fits these datasets")
         .mems
 }
 

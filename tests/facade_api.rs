@@ -12,7 +12,7 @@ fn end_to_end_through_the_facade() {
     let reference: PackedSeq = "ACGTACGTACGTGGGGACGTACGTACGT".parse().unwrap();
     let query: PackedSeq = "TTTTACGTACGTACGTCCCC".parse().unwrap();
     let config = GpumemConfig::builder(8).seed_len(4).build().unwrap();
-    let result = Gpumem::new(config).run(&reference, &query);
+    let result = Gpumem::new(config).run(&reference, &query).unwrap();
     assert!(!result.mems.is_empty());
     for &mem in &result.mems {
         assert!(is_maximal_exact(&reference, &query, mem, 8));
@@ -43,6 +43,58 @@ fn index_and_eq1_are_exposed() {
     let index = build_sequential(&seq, Region::whole(&seq), 2, 1);
     index.validate(&seq).unwrap();
     assert_eq!(index.occurrences(0b01_00), 5, "AC occurs five times");
+}
+
+#[test]
+fn serving_api_is_exposed_at_the_root() {
+    use gpumem::seq::{FastaRecord, SeqSet};
+    use gpumem::{Engine, GpumemConfig, IndexBuildReport, MemCollector, MemSink, MemStage};
+
+    let reference: PackedSeq = "ACGTACGTACGTGGGGACGTACGTACGT".parse().unwrap();
+    let config = GpumemConfig::builder(8).seed_len(4).build().unwrap();
+    let engine = Engine::new(reference, config).unwrap();
+
+    let report: IndexBuildReport = engine.warm();
+    assert_eq!(report.rows, engine.session().rows());
+
+    let queries = SeqSet::from_records(&[
+        FastaRecord {
+            header: "q0".into(),
+            seq: "TTTTACGTACGTACGTCCCC".parse().unwrap(),
+        },
+        FastaRecord {
+            header: "q1".into(),
+            seq: "GGGGACGTACGTAAAA".parse().unwrap(),
+        },
+    ]);
+    let results = engine.run_batch(&queries);
+    assert_eq!(results.len(), 2);
+    for (i, result) in results.into_iter().enumerate() {
+        let result = result.unwrap();
+        assert_eq!(
+            result.mems,
+            engine.run(&queries.record_seq(i)).unwrap().mems
+        );
+        // Streaming into a collector reproduces the collected run.
+        let mut sink = MemCollector::default();
+        engine
+            .run_with_sink(&queries.record_seq(i), &mut sink)
+            .unwrap();
+        assert_eq!(sink.into_canonical(), result.mems);
+    }
+
+    // MemSink is object-safe and implementable downstream.
+    struct Count(usize);
+    impl MemSink for Count {
+        fn mems(&mut self, _stage: MemStage, mems: &[gpumem::seq::Mem]) {
+            self.0 += mems.len();
+        }
+    }
+    let mut count = Count(0);
+    engine
+        .run_with_sink(&queries.record_seq(0), &mut count)
+        .unwrap();
+    assert!(count.0 > 0);
 }
 
 #[test]

@@ -52,7 +52,7 @@ fn eq1_guarantee_holds_at_every_sampling_phase() {
                 .any(|m| m.q <= 200 && m.q_end() >= 200 + min_len),
             "phase {phase}: planted MEM missing from ground truth"
         );
-        let got = tool.run(&reference, &query).mems;
+        let got = tool.run(&reference, &query).unwrap().mems;
         assert_eq!(got, expect, "phase {phase}");
     }
 }
@@ -79,7 +79,7 @@ fn length_threshold_is_exact() {
     for len in [15usize, 16, 17] {
         let (reference, query) = plant(len);
         let expect = naive_mems(&reference, &query, min_len);
-        let got = tool.run(&reference, &query).mems;
+        let got = tool.run(&reference, &query).unwrap().mems;
         assert_eq!(got, expect, "len {len}");
         let planted_found = got
             .iter()
@@ -136,7 +136,7 @@ fn corner_matches_survive() {
             "corner {corner:?} missing from ground truth"
         );
     }
-    assert_eq!(tool.run(&reference, &query).mems, expect);
+    assert_eq!(tool.run(&reference, &query).unwrap().mems, expect);
 }
 
 /// The paper's §III-B3 note "in practice GPUMEM just sets λ′ to zero":
@@ -146,7 +146,7 @@ fn corner_matches_survive() {
 fn no_zero_length_or_duplicate_output() {
     let text = GenomeModel::mammalian().generate(5_000, 3003);
     let tool = gpumem(18, 8);
-    let mems = tool.run(&text, &text).mems;
+    let mems = tool.run(&text, &text).unwrap().mems;
     assert!(mems.iter().all(|m| m.len >= 18));
     let mut dedup = mems.clone();
     dedup.dedup();

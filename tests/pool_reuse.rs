@@ -61,7 +61,7 @@ fn second_pipeline_run_allocates_nothing_from_the_pool() {
         .unwrap();
     let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
 
-    let warm = gpumem.run(&reference, &query);
+    let warm = gpumem.run(&reference, &query).unwrap();
     let cold_allocs = warm.stats.index.pool_allocs + warm.stats.matching.pool_allocs;
     assert!(
         cold_allocs > 0,
@@ -71,7 +71,7 @@ fn second_pipeline_run_allocates_nothing_from_the_pool() {
     // Multi-row grid, so rows after the first already reuse in-run.
     assert!(warm.stats.rows > 1, "test geometry must span rows");
 
-    let rerun = gpumem.run(&reference, &query);
+    let rerun = gpumem.run(&reference, &query).unwrap();
     assert_eq!(
         rerun.stats.index.pool_allocs + rerun.stats.matching.pool_allocs,
         0,

@@ -39,10 +39,10 @@ fn full_pipeline_is_hazard_free_under_sanitizer() {
 
     // Unsanitized reference run first: the sanitizer must not change
     // results (suppressed accesses only happen on hazards).
-    let baseline = gpumem.run(&reference, &query);
+    let baseline = gpumem.run(&reference, &query).unwrap();
 
     let session = Session::start();
-    let sanitized = gpumem.run(&reference, &query);
+    let sanitized = gpumem.run(&reference, &query).unwrap();
     let report = session.finish();
 
     assert!(report.is_clean(), "pipeline hazards:\n{report}");

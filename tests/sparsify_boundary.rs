@@ -72,7 +72,7 @@ fn run_at_max_step(
         "default step must be the Eq. 1 maximum"
     );
     let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
-    gpumem.run(reference, query).mems
+    gpumem.run(reference, query).unwrap().mems
 }
 
 /// Sweep the planted MEM across every alignment class relative to the

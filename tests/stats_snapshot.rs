@@ -76,7 +76,7 @@ fn render_stats(tag: &str, s: &LaunchStats) -> String {
 
 fn snapshot(kind: IndexKind) -> String {
     let (reference, query) = smoke_pair();
-    let result = gpumem(kind).run(&reference, &query);
+    let result = gpumem(kind).run(&reference, &query).unwrap();
     let s = &result.stats;
     let c = &s.counts;
     format!(

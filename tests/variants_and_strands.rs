@@ -20,7 +20,7 @@ fn gpumem_mems_feed_the_variant_filter() {
         .blocks_per_tile(2)
         .build()
         .unwrap();
-    let mems = tiny(config).run(&pair.reference, &pair.query).mems;
+    let mems = tiny(config).run(&pair.reference, &pair.query).unwrap().mems;
     assert!(!mems.is_empty());
 
     let filter = VariantFilter::new(&pair.reference, &pair.query);
@@ -68,10 +68,11 @@ fn gpumem_both_strand_runs_match_baseline_both_strand_runs() {
         .build()
         .unwrap();
     let gpumem = tiny(config);
-    let forward = gpumem.run(&pair.reference, &pair.query).mems;
+    let forward = gpumem.run(&pair.reference, &pair.query).unwrap().mems;
     let rc = pair.query.reverse_complement();
     let reverse: Vec<_> = gpumem
         .run(&pair.reference, &rc)
+        .unwrap()
         .mems
         .into_iter()
         .map(|m| gpumem::seq::map_reverse_mem(m, pair.query.len()))
@@ -105,7 +106,7 @@ fn compact_index_agrees_end_to_end() {
             .index_kind(kind)
             .build()
             .unwrap();
-        tiny(config).run(&pair.reference, &pair.query)
+        tiny(config).run(&pair.reference, &pair.query).unwrap()
     };
     let dense = run(IndexKind::DenseTable);
     let compact = run(IndexKind::CompactDirectory);

@@ -22,6 +22,11 @@
 //! `batch` object records queries/sec for both paths plus the
 //! index-launch counts that explain the amortization.
 //!
+//! After the timed iterations, one traced rerun of the pipeline
+//! scenario writes `BENCH_pipeline_trace.json` (Chrome Trace Event
+//! format, openable in Perfetto) next to the benchmark JSON, and
+//! asserts that tracing did not move modeled device time.
+//!
 //! With `GPUMEM_BENCH_CHECK=1`, compares the fresh wall-clock against
 //! the committed `current.wall_s` (and the fresh batch queries/sec
 //! against the committed `batch.qps_batch`) and exits non-zero when
@@ -325,6 +330,26 @@ fn main() {
     let batch_best = batch_best.expect("at least one iteration");
 
     let path = out_path();
+
+    // One traced run of the same pipeline workload, after the timed
+    // iterations so the recorder can't perturb them. The Chrome trace
+    // lands next to the benchmark JSON (open in Perfetto /
+    // chrome://tracing); tracing must never move modeled device time.
+    let (traced, trace) = gpumem
+        .run_traced(&reference, &query)
+        .expect("quick workload fits");
+    assert_eq!(
+        traced.stats.index.device_cycles, best.stats.index.device_cycles,
+        "tracing changed modeled index cycles"
+    );
+    assert_eq!(
+        traced.stats.matching.device_cycles, best.stats.matching.device_cycles,
+        "tracing changed modeled matching cycles"
+    );
+    let trace_path = path.with_file_name("BENCH_pipeline_trace.json");
+    std::fs::write(&trace_path, trace.to_chrome_json()).expect("write pipeline trace");
+    eprintln!("pipeline trace → {}", trace_path.display());
+
     let committed = std::fs::read_to_string(&path).ok();
     let current = render(&best);
     let before = committed

@@ -107,6 +107,7 @@ pub fn process_block(
     for round in 0..w {
         // Slot k's query location for this round; the seed may read past
         // the block edge but must fit the query.
+        ctx.phase("seed_lookup");
         ctx.simt(|lane| {
             lane.charge(Op::Alu, 3);
             let q = block_q.start + round + lane.tid * w;
@@ -124,6 +125,7 @@ pub fn process_block(
         }
 
         // Step 1: proactive load balancing (Algorithm 2).
+        ctx.phase("balance");
         balance_into(
             ctx,
             loads,
@@ -136,6 +138,7 @@ pub fn process_block(
         }
 
         // Step 2: generate + right-extend triplets.
+        ctx.phase("generate");
         for slot in triplets.iter_mut() {
             slot.clear();
         }
@@ -144,11 +147,13 @@ pub fn process_block(
         );
 
         // Step 3: tree combine (Algorithm 3).
+        ctx.phase("combine");
         tree_combine_scheduled(ctx, assignment, schedule, triplets);
 
         // Step 4: expand survivors per base and classify. Threads of a
         // group split its surviving triplets as in generation; charges
         // accumulate into locals and post in one batch per lane.
+        ctx.phase("expand");
         ctx.simt(|lane| {
             let g = assignment.group_of_thread[lane.tid];
             if lane.branch(g == crate::balance::IDLE) {

@@ -28,6 +28,7 @@
 //! re-expansion), so a sink that needs the canonical set must dedup
 //! (as [`MemCollector::into_canonical`] does).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,6 +45,7 @@ use crate::pipeline::{
     IndexBuildReport, RunError, RunScratch,
 };
 use crate::tile::Tiling;
+use crate::trace::{SpanCat, Trace, TraceRecorder};
 
 /// Which pipeline stage produced a batch of MEMs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,6 +117,8 @@ pub struct RefSession {
     row_regions: Vec<Region>,
     rows: Vec<Mutex<Option<SharedSeedLookup>>>,
     build: Mutex<BuildAccum>,
+    /// Row-index lookups served from cache (misses = rows built).
+    hits: AtomicU64,
 }
 
 impl RefSession {
@@ -144,6 +148,7 @@ impl RefSession {
             row_regions,
             rows,
             build: Mutex::new(BuildAccum::default()),
+            hits: AtomicU64::new(0),
         })
     }
 
@@ -167,6 +172,12 @@ impl RefSession {
         self.build.lock().built
     }
 
+    /// Row-index lookups served from the cache so far (the cache-miss
+    /// count is [`RefSession::built_rows`]).
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
     /// This row's index: the cached handle (with zero launch stats), or
     /// a fresh build on `device`, cached for everyone after. Holding
     /// the slot lock across the build means concurrent queries touching
@@ -174,6 +185,7 @@ impl RefSession {
     pub(crate) fn row_index(&self, device: &Device, row: usize) -> (SharedSeedLookup, LaunchStats) {
         let mut slot = self.rows[row].lock();
         if let Some(index) = slot.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return (Arc::clone(index), LaunchStats::default());
         }
         let t0 = Instant::now();
@@ -209,10 +221,148 @@ impl RefSession {
     }
 }
 
-/// One query worker: a simulated device plus reusable run scratch.
+/// One query worker: a simulated device plus reusable run scratch and
+/// its share of the serving metrics.
 struct Worker {
     device: Device,
     scratch: RunScratch,
+    /// Wall time this worker spent executing queries.
+    busy: Duration,
+    /// Queries this worker completed.
+    queries: u64,
+}
+
+/// Log-bucketed query-latency histogram: bucket `i` counts queries
+/// with latency in `(2^(i-1), 2^i]` microseconds.
+struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKETS],
+    count: u64,
+    total: Duration,
+    max: Duration,
+}
+
+/// 2^39 µs ≈ 6.4 days — far beyond any query latency.
+const LATENCY_BUCKETS: usize = 40;
+
+impl LatencyHistogram {
+    fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: [0; LATENCY_BUCKETS],
+            count: 0,
+            total: Duration::ZERO,
+            max: Duration::ZERO,
+        }
+    }
+
+    fn bucket_of(latency: Duration) -> usize {
+        let us = latency.as_micros().max(1) as u64;
+        let idx = 64 - (us - 1).leading_zeros() as usize; // ceil(log2)
+        idx.min(LATENCY_BUCKETS - 1)
+    }
+
+    fn record(&mut self, latency: Duration) {
+        self.counts[LatencyHistogram::bucket_of(latency)] += 1;
+        self.count += 1;
+        self.total += latency;
+        self.max = self.max.max(latency);
+    }
+
+    /// The `q`-quantile latency's bucket upper bound, in milliseconds
+    /// (0 with no samples). Bucket resolution: a factor of 2.
+    fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return (1u64 << i) as f64 / 1e3;
+            }
+        }
+        self.max.as_secs_f64() * 1e3
+    }
+}
+
+/// One non-empty latency bucket: `count` queries took at most `le_us`
+/// (and more than `le_us / 2`) microseconds.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct LatencyBucket {
+    /// Inclusive upper bound of the bucket, in microseconds.
+    pub le_us: u64,
+    /// Queries that landed in this bucket.
+    pub count: u64,
+}
+
+/// Query-latency summary (log-bucketed; quantiles are bucket upper
+/// bounds, so they are accurate to a factor of 2).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct LatencySummary {
+    /// Queries measured.
+    pub count: u64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median latency (bucket upper bound), milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile latency (bucket upper bound), milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile latency (bucket upper bound), milliseconds.
+    pub p99_ms: f64,
+    /// Largest observed latency, milliseconds.
+    pub max_ms: f64,
+    /// The non-empty histogram buckets, ascending.
+    pub buckets: Vec<LatencyBucket>,
+}
+
+/// Session index-cache counters.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct IndexCacheStats {
+    /// Tile rows (cache slots) of the session.
+    pub rows: u64,
+    /// Rows built so far (= cache misses).
+    pub built: u64,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build (identical to `built`).
+    pub misses: u64,
+    /// Total wall time queries spent inside row-index acquisition —
+    /// building, or waiting on another query's in-flight build.
+    pub build_wait_s: f64,
+}
+
+/// One worker's share of the serving load.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct WorkerUtilization {
+    /// Queries this worker completed.
+    pub queries: u64,
+    /// Wall time spent executing queries, seconds.
+    pub busy_s: f64,
+    /// `busy_s / engine uptime` — 1.0 means always busy.
+    pub utilization: f64,
+}
+
+/// A point-in-time export of the engine's serving metrics, obtained
+/// from [`Engine::metrics`]; serializes directly to JSON.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct MetricsSnapshot {
+    /// Seconds since the engine was created.
+    pub uptime_s: f64,
+    /// Queries completed across all workers.
+    pub queries: u64,
+    /// Per-query latency distribution.
+    pub latency: LatencySummary,
+    /// Session index-cache behavior.
+    pub index_cache: IndexCacheStats,
+    /// Per-worker load split.
+    pub workers: Vec<WorkerUtilization>,
+}
+
+impl MetricsSnapshot {
+    /// Render the snapshot as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
 }
 
 /// The serving engine: a [`RefSession`] bound to a pool of query
@@ -220,6 +370,9 @@ struct Worker {
 pub struct Engine {
     session: Arc<RefSession>,
     workers: Vec<Mutex<Worker>>,
+    created: Instant,
+    latency: Mutex<LatencyHistogram>,
+    build_wait: Mutex<Duration>,
 }
 
 impl Engine {
@@ -254,10 +407,18 @@ impl Engine {
                 Mutex::new(Worker {
                     device: Device::new(spec.clone()),
                     scratch: RunScratch::new(tau),
+                    busy: Duration::ZERO,
+                    queries: 0,
                 })
             })
             .collect();
-        Engine { session, workers }
+        Engine {
+            session,
+            workers,
+            created: Instant::now(),
+            latency: Mutex::new(LatencyHistogram::new()),
+            build_wait: Mutex::new(Duration::ZERO),
+        }
     }
 
     /// The underlying session (shareable with other engines).
@@ -282,11 +443,19 @@ impl Engine {
         worker: &mut Worker,
         query: &PackedSeq,
         sink: &mut dyn MemSink,
+        trace: Option<&TraceRecorder>,
     ) -> GpumemStats {
         let session = &self.session;
-        let mut provider =
-            |device: &Device, row: usize, _region: Region| session.row_index(device, row);
-        run_tiles(
+        // Time every row-index acquisition: building a cold row, or
+        // waiting on another query's in-flight build of the same row.
+        let mut build_wait = Duration::ZERO;
+        let mut provider = |device: &Device, row: usize, _region: Region| {
+            let t = Instant::now();
+            let out = session.row_index(device, row);
+            build_wait += t.elapsed();
+            out
+        };
+        let stats = run_tiles(
             &worker.device,
             session.config(),
             session.reference(),
@@ -294,17 +463,30 @@ impl Engine {
             &mut provider,
             &mut worker.scratch,
             sink,
-        )
+            trace,
+        );
+        *self.build_wait.lock() += build_wait;
+        stats
     }
 
     fn collect_on_worker(&self, worker: &mut Worker, query: &PackedSeq) -> GpumemResult {
+        let t0 = Instant::now();
         let mut collector = MemCollector::default();
-        let mut stats = self.run_on_worker(worker, query, &mut collector);
+        let mut stats = self.run_on_worker(worker, query, &mut collector, None);
         let t = Instant::now();
         let mems = collector.into_canonical();
         stats.match_wall += t.elapsed();
         stats.counts.total = mems.len();
+        self.record_query(worker, t0.elapsed());
         GpumemResult { mems, stats }
+    }
+
+    /// Account one completed query to the latency histogram and the
+    /// executing worker.
+    fn record_query(&self, worker: &mut Worker, latency: Duration) {
+        worker.busy += latency;
+        worker.queries += 1;
+        self.latency.lock().record(latency);
     }
 
     /// Stream one query's MEMs into `sink` as stages complete (see the
@@ -316,8 +498,11 @@ impl Engine {
         sink: &mut dyn MemSink,
     ) -> Result<GpumemStats, RunError> {
         ensure_sort_key(query)?;
+        let t0 = Instant::now();
         let mut worker = self.workers[0].lock();
-        Ok(self.run_on_worker(&mut worker, query, sink))
+        let stats = self.run_on_worker(&mut worker, query, sink, None);
+        self.record_query(&mut worker, t0.elapsed());
+        Ok(stats)
     }
 
     /// Run one query, collecting the canonical MEM set — the thin
@@ -326,6 +511,93 @@ impl Engine {
         ensure_sort_key(query)?;
         let mut worker = self.workers[0].lock();
         Ok(self.collect_on_worker(&mut worker, query))
+    }
+
+    /// [`Engine::run`] with structured tracing: also returns the
+    /// query's [`Trace`] (see [`crate::trace`]). Runs on worker 0 with
+    /// the recorder installed as that device's launch observer for the
+    /// duration of the call.
+    pub fn run_traced(&self, query: &PackedSeq) -> Result<(GpumemResult, Trace), RunError> {
+        ensure_sort_key(query)?;
+        let mut worker = self.workers[0].lock();
+        let recorder = Arc::new(TraceRecorder::new(worker.device.spec().warp_size));
+        worker
+            .device
+            .set_observer(Some(crate::trace::as_observer(&recorder)));
+        let query_span = recorder.begin("query", SpanCat::Run);
+        let t0 = Instant::now();
+        let mut collector = MemCollector::default();
+        let mut stats = self.run_on_worker(&mut worker, query, &mut collector, Some(&recorder));
+        let mems = collector.into_canonical();
+        stats.counts.total = mems.len();
+        recorder.end(query_span);
+        worker.device.set_observer(None);
+        self.record_query(&mut worker, t0.elapsed());
+        Ok((GpumemResult { mems, stats }, recorder.snapshot()))
+    }
+
+    /// Export the engine's serving metrics: query-latency histogram,
+    /// index-cache behavior (including build-wait time), and
+    /// per-worker utilization. Cheap enough to poll.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let uptime = self.created.elapsed().as_secs_f64();
+        let latency = self.latency.lock();
+        let mean_ms = if latency.count == 0 {
+            0.0
+        } else {
+            latency.total.as_secs_f64() * 1e3 / latency.count as f64
+        };
+        let buckets = latency
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| LatencyBucket {
+                le_us: 1u64 << i,
+                count: n,
+            })
+            .collect();
+        let summary = LatencySummary {
+            count: latency.count,
+            mean_ms,
+            p50_ms: latency.quantile_ms(0.50),
+            p90_ms: latency.quantile_ms(0.90),
+            p99_ms: latency.quantile_ms(0.99),
+            max_ms: latency.max.as_secs_f64() * 1e3,
+            buckets,
+        };
+        drop(latency);
+        let built = self.session.built_rows() as u64;
+        let index_cache = IndexCacheStats {
+            rows: self.session.rows() as u64,
+            built,
+            hits: self.session.cache_hits(),
+            misses: built,
+            build_wait_s: self.build_wait.lock().as_secs_f64(),
+        };
+        let workers = self
+            .workers
+            .iter()
+            .map(|w| {
+                let w = w.lock();
+                WorkerUtilization {
+                    queries: w.queries,
+                    busy_s: w.busy.as_secs_f64(),
+                    utilization: if uptime > 0.0 {
+                        w.busy.as_secs_f64() / uptime
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            uptime_s: uptime,
+            queries: summary.count,
+            latency: summary,
+            index_cache,
+            workers,
+        }
     }
 
     /// Run every record of `queries` as an independent query, in
@@ -557,5 +829,82 @@ mod tests {
         let results = engine.run_batch(&empty_record);
         assert_eq!(results.len(), 1);
         assert!(results[0].as_ref().unwrap().mems.is_empty());
+    }
+
+    #[test]
+    fn metrics_account_queries_cache_and_workers() {
+        let reference = GenomeModel::mammalian().generate(2_000, 811);
+        let engine =
+            Engine::with_spec(reference.clone(), config(16), DeviceSpec::test_tiny(), 2).unwrap();
+        let q = GenomeModel::mammalian().generate(1_000, 812);
+        engine.run(&q).unwrap();
+        engine.run(&q).unwrap();
+        engine.run(&q).unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.queries, 3);
+        assert_eq!(m.latency.count, 3);
+        let bucketed: u64 = m.latency.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(bucketed, 3, "every query lands in exactly one bucket");
+        assert!(m.latency.mean_ms > 0.0);
+        assert!(m.latency.p50_ms <= m.latency.p99_ms);
+        // Cold query builds every row once; warm queries only hit.
+        assert_eq!(m.index_cache.rows, engine.session().rows() as u64);
+        assert_eq!(m.index_cache.built, m.index_cache.rows);
+        assert_eq!(m.index_cache.misses, m.index_cache.built);
+        assert_eq!(
+            m.index_cache.hits,
+            2 * m.index_cache.rows,
+            "two warm queries re-read each row index from cache"
+        );
+        assert!(m.index_cache.build_wait_s > 0.0);
+        // run() always uses worker 0; worker 1 sat idle.
+        assert_eq!(m.workers.len(), 2);
+        assert_eq!(m.workers[0].queries, 3);
+        assert_eq!(m.workers[1].queries, 0);
+        assert!(m.workers[0].utilization > 0.0 && m.workers[0].utilization <= 1.0);
+        assert_eq!(m.workers[1].busy_s, 0.0);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_are_powers_of_two() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 2, 3, 4, 1000, 1024, 1025] {
+            h.record(Duration::from_micros(us));
+        }
+        // (0,1] ← 1; (1,2] ← 2; (2,4] ← 3,4; (512,1024] ← 1000,1024;
+        // (1024,2048] ← 1025.
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[2], 2);
+        assert_eq!(h.counts[10], 2);
+        assert_eq!(h.counts[11], 1);
+        assert_eq!(h.count, 7);
+        assert_eq!(h.max, Duration::from_micros(1025));
+        // Quantiles report the bucket's upper bound in milliseconds.
+        assert_eq!(h.quantile_ms(1.0), 2.048);
+    }
+
+    #[test]
+    fn engine_run_traced_matches_untraced_and_reconciles() {
+        let reference = GenomeModel::mammalian().generate(2_000, 813);
+        let engine =
+            Engine::with_spec(reference.clone(), config(16), DeviceSpec::test_tiny(), 1).unwrap();
+        let q = GenomeModel::mammalian().generate(1_200, 814);
+        let plain = engine.run(&q).unwrap();
+        let (traced, trace) = engine.run_traced(&q).unwrap();
+        assert_eq!(traced.mems, plain.mems);
+        // The warm traced run launches no index builds, so its stage
+        // totals are exactly the matching-side stats.
+        let mut expected = traced.stats.index.clone();
+        expected += traced.stats.matching.clone();
+        assert_eq!(trace.stage_totals(), expected);
+        assert!(trace
+            .spans()
+            .iter()
+            .any(|s| s.cat == SpanCat::Run && s.name == "query"));
+        // The observer came off the device: a later plain run is clean.
+        let after = engine.run(&q).unwrap();
+        assert_eq!(after.mems, plain.mems);
+        assert_eq!(engine.metrics().queries, 3);
     }
 }

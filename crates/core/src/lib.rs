@@ -20,7 +20,10 @@
 //!   a [`gpu_sim::Device`];
 //! * [`engine`] — the serving layer: cached [`RefSession`] reference
 //!   indexes, the batch [`Engine`] with per-worker devices/scratch, and
-//!   the streaming [`MemSink`] result path.
+//!   the streaming [`MemSink`] result path;
+//! * [`trace`] — the observability layer: hierarchical run spans with
+//!   exact per-stage device statistics, Chrome Trace Event export, and
+//!   the human-readable profile report.
 //!
 //! The output is the exact canonical MEM set: property tests pin it to
 //! the ground-truth [`gpumem_seq::naive_mems`] and (in the workspace
@@ -48,12 +51,14 @@ pub mod global;
 pub mod pipeline;
 pub mod tile;
 pub mod tile_run;
+pub mod trace;
 
 pub use config::{ConfigError, GpumemConfig, GpumemConfigBuilder, IndexKind};
-pub use engine::{Engine, MemCollector, MemSink, MemStage, RefSession};
+pub use engine::{Engine, MemCollector, MemSink, MemStage, MetricsSnapshot, RefSession};
 pub use expand::Bounds;
 pub use pipeline::{
     Gpumem, GpumemResult, GpumemStats, IndexBuildReport, RunError, RunScratch, StageCounts,
     SORT_KEY_LIMIT,
 };
 pub use tile::Tiling;
+pub use trace::{Span, SpanCat, Trace, TraceRecorder};

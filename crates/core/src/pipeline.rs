@@ -30,6 +30,7 @@ use crate::expand::Bounds;
 use crate::global::global_merge;
 use crate::tile::Tiling;
 use crate::tile_run::{merge_tile, TileOutput};
+use crate::trace::{SpanCat, Trace, TraceRecorder};
 
 /// The sort-key packing in the device sort limits sequence coordinates
 /// to 30 bits, so each input sequence must stay under 1 Gbp.
@@ -270,6 +271,7 @@ pub(crate) fn run_tiles(
     row_index: &mut dyn FnMut(&Device, usize, Region) -> (SharedSeedLookup, LaunchStats),
     scratch: &mut RunScratch,
     sink: &mut dyn MemSink,
+    trace: Option<&TraceRecorder>,
 ) -> GpumemStats {
     let mut stats = GpumemStats::default();
     scratch.out_tile.clear();
@@ -281,9 +283,11 @@ pub(crate) fn run_tiles(
 
         for row in 0..tiling.n_rows() {
             let row_range = tiling.row_range(row);
+            let row_span = trace.map(|t| t.begin(format!("tile_row {row}"), SpanCat::TileRow));
 
             // Partial index of this row (Algorithm 1, on device).
             let t0 = Instant::now();
+            let index_span = trace.map(|t| t.begin("index_build", SpanCat::Stage));
             let (index, istats) = row_index(
                 device,
                 row,
@@ -292,16 +296,22 @@ pub(crate) fn run_tiles(
                     len: row_range.len(),
                 },
             );
+            if let (Some(t), Some(id)) = (trace, index_span) {
+                t.end_with_stats(id, istats.clone());
+            }
             stats.index += istats;
             stats.index_wall += t0.elapsed();
 
             for col in 0..tiling.n_cols() {
                 let t1 = Instant::now();
+                let tile_span =
+                    trace.map(|t| t.begin(format!("tile ({row},{col})"), SpanCat::Tile));
 
                 // One GPU block per ℓ_tile × ℓ_block slice; every
                 // block appends into the reused accumulator.
                 scratch.blocks_out.in_block.clear();
                 scratch.blocks_out.out_block.clear();
+                let batch_span = trace.map(|t| t.begin("block_batch", SpanCat::Stage));
                 let cell = Mutex::new((&mut scratch.blocks_out, &mut scratch.block));
                 let launch = device.launch_fn_named(
                     LaunchConfig::new(config.blocks_per_tile, config.threads_per_block),
@@ -323,6 +333,9 @@ pub(crate) fn run_tiles(
                         );
                     },
                 );
+                if let (Some(t), Some(id)) = (trace, batch_span) {
+                    t.end_with_stats(id, launch.clone());
+                }
                 stats.matching += launch;
 
                 stats.counts.in_block += scratch.blocks_out.in_block.len();
@@ -339,6 +352,7 @@ pub(crate) fn run_tiles(
                     };
                     scratch.tile_out.in_tile.clear();
                     scratch.tile_out.out_tile.clear();
+                    let merge_span = trace.map(|t| t.begin("tile_merge", SpanCat::Stage));
                     let cell =
                         Mutex::new((&mut scratch.blocks_out.out_block, &mut scratch.tile_out));
                     let launch = device.launch_fn_named(
@@ -358,6 +372,9 @@ pub(crate) fn run_tiles(
                             );
                         },
                     );
+                    if let (Some(t), Some(id)) = (trace, merge_span) {
+                        t.end_with_stats(id, launch.clone());
+                    }
                     stats.matching += launch;
                     stats.counts.in_tile += scratch.tile_out.in_tile.len();
                     if !scratch.tile_out.in_tile.is_empty() {
@@ -368,12 +385,21 @@ pub(crate) fn run_tiles(
                         .extend_from_slice(&scratch.tile_out.out_tile);
                 }
                 stats.match_wall += t1.elapsed();
+                if let (Some(t), Some(id)) = (trace, tile_span) {
+                    t.end(id);
+                }
+            }
+            if let (Some(t), Some(id)) = (trace, row_span) {
+                t.end(id);
             }
         }
     }
 
-    // Host merge of out-tile fragments (§III-C2).
+    // Host merge of out-tile fragments (§III-C2). A stage span with
+    // zero device stats: it runs on the host, so it contributes wall
+    // time but nothing to the launch-stat reconciliation.
     let t2 = Instant::now();
+    let global_span = trace.map(|t| t.begin("global_merge", SpanCat::Stage));
     stats.counts.out_tile = scratch.out_tile.len();
     let global = global_merge(
         reference,
@@ -384,6 +410,9 @@ pub(crate) fn run_tiles(
     stats.counts.from_global = global.len();
     if !global.is_empty() {
         sink.mems(MemStage::Global, &global);
+    }
+    if let (Some(t), Some(id)) = (trace, global_span) {
+        t.end_with_stats(id, LaunchStats::default());
     }
     stats.match_wall += t2.elapsed();
     stats.counts.total = stats.counts.in_block + stats.counts.in_tile + stats.counts.from_global;
@@ -461,6 +490,34 @@ impl Gpumem {
 
     /// Extract all MEMs of length ≥ L between `reference` and `query`.
     pub fn run(&self, reference: &PackedSeq, query: &PackedSeq) -> Result<GpumemResult, RunError> {
+        self.run_inner(reference, query, None)
+    }
+
+    /// [`Gpumem::run`] with structured tracing: also returns the run's
+    /// [`Trace`] (span tree + per-stage device statistics; see
+    /// [`crate::trace`]). Tracing changes no result and no modeled
+    /// statistic — only wall time, by the cost of recording.
+    pub fn run_traced(
+        &self,
+        reference: &PackedSeq,
+        query: &PackedSeq,
+    ) -> Result<(GpumemResult, Trace), RunError> {
+        let recorder = Arc::new(TraceRecorder::new(self.device.spec().warp_size));
+        self.device
+            .set_observer(Some(crate::trace::as_observer(&recorder)));
+        let run_span = recorder.begin("run", SpanCat::Run);
+        let result = self.run_inner(reference, query, Some(&recorder));
+        recorder.end(run_span);
+        self.device.set_observer(None);
+        result.map(|r| (r, recorder.snapshot()))
+    }
+
+    fn run_inner(
+        &self,
+        reference: &PackedSeq,
+        query: &PackedSeq,
+        trace: Option<&TraceRecorder>,
+    ) -> Result<GpumemResult, RunError> {
         ensure_sort_key(reference)?;
         ensure_sort_key(query)?;
         ensure_fits(&self.config, self.device.spec())?;
@@ -478,6 +535,7 @@ impl Gpumem {
             &mut provider,
             &mut scratch,
             &mut collector,
+            trace,
         );
 
         let t = Instant::now();

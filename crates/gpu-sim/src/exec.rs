@@ -11,12 +11,15 @@
 //! over lane costs plus a divergence serialization charge.
 
 use std::ops::Range;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use rayon::prelude::*;
 
 use crate::cost::{CostModel, Op};
 use crate::memory::{GpuU32, GpuU64};
+use crate::observe::{LaunchObserver, LaunchRecord, PhaseStats};
 use crate::pool::{BufferPool, Init, PooledU32, PooledU64};
 use crate::spec::DeviceSpec;
 use crate::stats::LaunchStats;
@@ -78,6 +81,10 @@ pub struct Device {
     spec: DeviceSpec,
     cost: CostModel,
     pool: BufferPool,
+    /// Tracing hook, called after every launch when installed (see
+    /// [`crate::observe`]). Behind a mutex so the device stays `Sync`;
+    /// the lock is taken once per launch, never per warp.
+    observer: Mutex<Option<Arc<dyn LaunchObserver>>>,
 }
 
 impl Device {
@@ -87,6 +94,7 @@ impl Device {
             spec,
             cost: CostModel::default(),
             pool: BufferPool::default(),
+            observer: Mutex::new(None),
         }
     }
 
@@ -96,7 +104,17 @@ impl Device {
             spec,
             cost,
             pool: BufferPool::default(),
+            observer: Mutex::new(None),
         }
+    }
+
+    /// Install (or with `None`, remove) the launch observer. While an
+    /// observer is installed, kernels' [`BlockCtx::phase`] markers are
+    /// recorded and every launch ends with an
+    /// [`LaunchObserver::on_launch`] callback; without one, both are
+    /// free (see [`crate::observe`]).
+    pub fn set_observer(&self, observer: Option<Arc<dyn LaunchObserver>>) {
+        *self.observer.lock() = observer;
     }
 
     /// Pool-backed [`GpuU32::named`]: `len` zeroed elements, reusing
@@ -157,13 +175,21 @@ impl Device {
         );
         #[cfg(feature = "sanitize")]
         crate::sanitizer::begin_launch(name, self.spec.warp_size as u32);
-        #[cfg(not(feature = "sanitize"))]
-        let _ = name;
+        // One lock per launch; the Arc clone keeps the observer alive
+        // even if it is swapped out mid-launch.
+        let observer = self.observer.lock().clone();
+        let phases_enabled = observer.is_some();
         let start = Instant::now();
-        let outs: Vec<BlockOut> = (0..cfg.grid_dim)
+        let results: Vec<(BlockOut, Vec<PhaseStats>)> = (0..cfg.grid_dim)
             .into_par_iter()
             .map(|block_id| {
-                let mut ctx = BlockCtx::new(block_id, cfg, &self.cost, self.spec.warp_size);
+                let mut ctx = BlockCtx::new(
+                    block_id,
+                    cfg,
+                    &self.cost,
+                    self.spec.warp_size,
+                    phases_enabled,
+                );
                 kernel.block(&mut ctx);
                 ctx.finish()
             })
@@ -171,7 +197,28 @@ impl Device {
         let wall = start.elapsed();
         #[cfg(feature = "sanitize")]
         crate::sanitizer::end_launch();
-        self.aggregate(outs, wall)
+        let mut outs = Vec::with_capacity(results.len());
+        let mut phases: Vec<PhaseStats> = Vec::new();
+        for (out, block_phases) in results {
+            outs.push(out);
+            // Merge per-block phase rows by name, keeping the order in
+            // which phases were first marked.
+            for p in block_phases {
+                match phases.iter_mut().find(|q| q.name == p.name) {
+                    Some(q) => q.merge(&p),
+                    None => phases.push(p),
+                }
+            }
+        }
+        let stats = self.aggregate(outs, wall);
+        if let Some(observer) = observer {
+            observer.on_launch(LaunchRecord {
+                name,
+                stats: &stats,
+                phases: &phases,
+            });
+        }
+        stats
     }
 
     /// Convenience: launch a closure kernel.
@@ -215,8 +262,10 @@ impl Device {
             modeled_time: modeled,
             wall_time: wall,
             // Host-side bookkeeping: fresh (pool-missing) buffer
-            // allocations since the previous launch on this device.
+            // allocations since the previous launch on this device,
+            // and the pool's byte footprint gauge.
             pool_allocs: self.pool.take_fresh(),
+            pool_peak_bytes: self.pool.peak_bytes(),
             ..LaunchStats::default()
         };
         for o in outs {
@@ -243,6 +292,21 @@ struct BlockOut {
     comparisons: u64,
 }
 
+impl BlockOut {
+    /// Counter snapshot, in the field order phase attribution diffs.
+    fn snapshot(&self) -> [u64; 7] {
+        [
+            self.warps,
+            self.warp_cycles,
+            self.lane_cycles,
+            self.divergence_events,
+            self.atomic_ops,
+            self.global_ops,
+            self.comparisons,
+        ]
+    }
+}
+
 /// Execution context of one simulated block.
 pub struct BlockCtx<'c> {
     /// This block's index in the grid.
@@ -262,6 +326,14 @@ pub struct BlockCtx<'c> {
     /// block instead of one per warp).
     signatures: Vec<u64>,
     out: BlockOut,
+    /// Whether an observer is installed on the launching device. When
+    /// false, [`BlockCtx::phase`] is a no-op and `simt_range` does no
+    /// attribution bookkeeping — the zero-cost-when-disabled contract.
+    phases_enabled: bool,
+    /// Per-phase counter attribution, in first-marked order.
+    phases: Vec<PhaseStats>,
+    /// Index into `phases` that subsequent SIMT regions attribute to.
+    current_phase: Option<usize>,
 }
 
 impl<'c> BlockCtx<'c> {
@@ -270,6 +342,7 @@ impl<'c> BlockCtx<'c> {
         cfg: LaunchConfig,
         cost: &'c CostModel,
         warp_size: usize,
+        phases_enabled: bool,
     ) -> BlockCtx<'c> {
         BlockCtx {
             block_id,
@@ -289,7 +362,35 @@ impl<'c> BlockCtx<'c> {
                 global_ops: 0,
                 comparisons: 0,
             },
+            phases_enabled,
+            phases: Vec::new(),
+            current_phase: None,
         }
+    }
+
+    /// Mark the start of a named phase: all SIMT regions until the next
+    /// `phase` call are attributed to `name` in the launch's observer
+    /// record. Re-marking a name resumes its accumulation (kernels that
+    /// loop over stages get one row per stage, not one per round).
+    ///
+    /// Pure attribution: charges nothing, and with no observer
+    /// installed on the device it is a no-op, so modeled statistics are
+    /// identical whether or not a kernel is phase-annotated.
+    pub fn phase(&mut self, name: &'static str) {
+        if !self.phases_enabled {
+            return;
+        }
+        let idx = match self.phases.iter().position(|p| p.name == name) {
+            Some(idx) => idx,
+            None => {
+                self.phases.push(PhaseStats {
+                    name: name.to_string(),
+                    ..PhaseStats::default()
+                });
+                self.phases.len() - 1
+            }
+        };
+        self.current_phase = Some(idx);
     }
 
     /// One barrier-delimited SIMT region over all `block_dim` threads.
@@ -314,6 +415,15 @@ impl<'c> BlockCtx<'c> {
             self.region += 1;
             r
         };
+        // Snapshot the block counters so the region's delta can be
+        // attributed to the current phase. Skipped entirely (not even
+        // the copies) when no observer is installed.
+        let tracked_phase = if self.phases_enabled {
+            self.current_phase
+        } else {
+            None
+        };
+        let before = tracked_phase.map(|_| self.out.snapshot());
         let end = threads.end.min(self.block_dim);
         let mut warp_start = threads.start;
         while warp_start < end {
@@ -352,6 +462,17 @@ impl<'c> BlockCtx<'c> {
                 warp_max + self.cost.sync + (distinct_paths - 1) * self.cost.divergence_penalty;
             warp_start = warp_end;
         }
+        if let (Some(idx), Some(before)) = (tracked_phase, before) {
+            let after = self.out.snapshot();
+            let p = &mut self.phases[idx];
+            p.warps += after[0] - before[0];
+            p.warp_cycles += after[1] - before[1];
+            p.lane_cycles += after[2] - before[2];
+            p.divergence_events += after[3] - before[3];
+            p.atomic_ops += after[4] - before[4];
+            p.global_mem_ops += after[5] - before[5];
+            p.comparisons += after[6] - before[6];
+        }
     }
 
     /// The device's warp size.
@@ -359,8 +480,8 @@ impl<'c> BlockCtx<'c> {
         self.warp_size
     }
 
-    fn finish(self) -> BlockOut {
-        self.out
+    fn finish(self) -> (BlockOut, Vec<PhaseStats>) {
+        (self.out, self.phases)
     }
 }
 
@@ -984,6 +1105,130 @@ mod tests {
         });
         assert_eq!(b.to_vec(), src);
         assert_eq!(stats.global_mem_ops, 64);
+    }
+
+    /// Test observer that clones every record into a list.
+    #[derive(Default)]
+    struct Recorder {
+        records: Mutex<Vec<(String, LaunchStats, Vec<PhaseStats>)>>,
+    }
+
+    impl LaunchObserver for Recorder {
+        fn on_launch(&self, record: LaunchRecord<'_>) {
+            self.records.lock().push((
+                record.name.to_string(),
+                record.stats.clone(),
+                record.phases.to_vec(),
+            ));
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_launch_with_name_and_stats() {
+        let device = tiny();
+        let recorder = Arc::new(Recorder::default());
+        device.set_observer(Some(recorder.clone()));
+        let counter = GpuU32::new(1);
+        let stats = device.launch_fn_named(LaunchConfig::new(2, 32), "count", |ctx| {
+            ctx.simt(|lane| {
+                lane.atomic_add32(&counter, 0, 1);
+            });
+        });
+        device.set_observer(None);
+        device.launch_fn_named(LaunchConfig::new(1, 32), "silent", |ctx| {
+            ctx.simt(|_| {});
+        });
+        let records = recorder.records.lock();
+        assert_eq!(records.len(), 1, "removed observer sees nothing");
+        let (name, recorded, phases) = &records[0];
+        assert_eq!(name, "count");
+        assert_eq!(recorded, &stats, "record carries the returned stats");
+        assert!(phases.is_empty(), "no phase markers ⇒ no phase rows");
+    }
+
+    #[test]
+    fn phases_partition_region_counters_and_merge_across_blocks() {
+        let device = tiny();
+        let recorder = Arc::new(Recorder::default());
+        device.set_observer(Some(recorder.clone()));
+        let sink = GpuU32::new(1);
+        let stats = device.launch_fn(LaunchConfig::new(3, 32), |ctx| {
+            ctx.simt(|lane| lane.compare(5)); // before any phase marker
+            ctx.phase("gather");
+            ctx.simt(|lane| lane.compare(2));
+            ctx.phase("scatter");
+            ctx.simt(|lane| {
+                lane.atomic_add32(&sink, 0, 1);
+            });
+            ctx.phase("gather"); // resumes the existing row
+            ctx.simt(|lane| lane.compare(1));
+        });
+        let records = recorder.records.lock();
+        let (_, _, phases) = &records[0];
+        assert_eq!(
+            phases.iter().map(|p| p.name.as_str()).collect::<Vec<_>>(),
+            vec!["gather", "scatter"],
+            "rows are in first-marked order, merged across 3 blocks"
+        );
+        let gather = &phases[0];
+        let scatter = &phases[1];
+        assert_eq!(gather.comparisons, 3 * 32 * (2 + 1));
+        assert_eq!(gather.atomic_ops, 0);
+        assert_eq!(scatter.atomic_ops, 3 * 32);
+        assert_eq!(scatter.comparisons, 0);
+        // The pre-marker region is in the totals but in no phase.
+        assert_eq!(stats.comparisons, 3 * 32 * (5 + 2 + 1));
+        let phase_warp_cycles: u64 = phases.iter().map(|p| p.warp_cycles).sum();
+        assert!(phase_warp_cycles < stats.warp_cycles);
+        assert_eq!(
+            phases.iter().map(|p| p.warps).sum::<u64>(),
+            3 * 3,
+            "three marked regions × one warp × three blocks"
+        );
+    }
+
+    #[test]
+    fn observed_launch_models_identically_to_unobserved() {
+        // The zero-cost contract from the observe module docs: phase
+        // markers and the observer change no modeled statistic.
+        let run = |device: &Device| {
+            let sink = GpuU32::new(1);
+            device.launch_fn(LaunchConfig::new(2, 64), |ctx| {
+                ctx.phase("a");
+                ctx.simt(|lane| {
+                    if lane.branch(lane.tid % 2 == 0) {
+                        lane.compare(3);
+                    }
+                });
+                ctx.phase("b");
+                ctx.simt(|lane| {
+                    lane.atomic_add32(&sink, 0, 1);
+                });
+            })
+        };
+        let plain = tiny();
+        let observed = tiny();
+        observed.set_observer(Some(Arc::new(Recorder::default())));
+        let a = run(&plain);
+        let b = run(&observed);
+        assert_eq!(a.warp_cycles, b.warp_cycles);
+        assert_eq!(a.lane_cycles, b.lane_cycles);
+        assert_eq!(a.device_cycles, b.device_cycles);
+        assert_eq!(a.modeled_time, b.modeled_time);
+        assert_eq!(a.divergence_events, b.divergence_events);
+        assert_eq!(a.comparisons, b.comparisons);
+    }
+
+    #[test]
+    fn pool_peak_bytes_gauge_reports_footprint() {
+        let device = tiny();
+        let buf = device.alloc_u32(100, "a"); // class 128 → 512 bytes
+        let stats = device.launch_fn(LaunchConfig::new(1, 32), |ctx| {
+            ctx.simt(|lane| {
+                lane.st32(&buf, lane.tid, 1);
+            });
+        });
+        assert_eq!(stats.pool_peak_bytes, 512);
     }
 
     #[test]

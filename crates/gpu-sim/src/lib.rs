@@ -39,6 +39,7 @@
 pub mod cost;
 pub mod exec;
 pub mod memory;
+pub mod observe;
 pub mod pool;
 pub mod primitives;
 #[cfg(feature = "sanitize")]
@@ -49,6 +50,7 @@ pub mod stats;
 pub use cost::{CostModel, Op};
 pub use exec::{BlockCtx, BlockKernel, Device, Lane, LaunchConfig};
 pub use memory::{GpuU32, GpuU64};
+pub use observe::{LaunchObserver, LaunchRecord, PhaseStats};
 pub use pool::{PooledU32, PooledU64};
 pub use spec::DeviceSpec;
 pub use stats::LaunchStats;

@@ -38,6 +38,13 @@ pub(crate) struct BufferPool {
     free_u64: Mutex<HashMap<usize, Vec<Vec<AtomicU64>>>>,
     /// Fresh heap allocations (pool misses) since the last drain.
     fresh: AtomicU64,
+    /// Total bytes of pooled storage, counted at class capacity. The
+    /// pool never returns storage to the heap (freed buffers sit on
+    /// the free lists), so this is simultaneously the current device
+    /// footprint and its high-water mark — the memory-admission
+    /// headroom gauge reported as
+    /// [`LaunchStats::pool_peak_bytes`](crate::stats::LaunchStats).
+    bytes: AtomicU64,
 }
 
 /// Whether an acquired buffer must come back zeroed (the `named`
@@ -54,6 +61,11 @@ impl BufferPool {
     /// into `LaunchStats::pool_allocs`).
     pub(crate) fn take_fresh(&self) -> u64 {
         self.fresh.swap(0, Ordering::Relaxed)
+    }
+
+    /// Peak bytes of pooled buffer storage (see the `bytes` field).
+    pub(crate) fn peak_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
     }
 
     fn acquire_u32(&self, len: usize, init: Init) -> (Vec<AtomicU32>, usize) {
@@ -73,6 +85,7 @@ impl BufferPool {
             }
             None => {
                 self.fresh.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(class as u64 * 4, Ordering::Relaxed);
                 let mut data = Vec::with_capacity(class);
                 data.resize_with(len, || AtomicU32::new(0));
                 (data, class)
@@ -96,6 +109,7 @@ impl BufferPool {
             }
             None => {
                 self.fresh.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(class as u64 * 8, Ordering::Relaxed);
                 let mut data = Vec::with_capacity(class);
                 data.resize_with(len, || AtomicU64::new(0));
                 (data, class)
@@ -231,6 +245,17 @@ mod tests {
         let b = pool.get_u64(64, "b", Init::Zeroed);
         assert_eq!(b.len(), 64, "recycled 64-class grows to the request");
         assert_eq!(pool.take_fresh(), 0);
+    }
+
+    #[test]
+    fn peak_bytes_counts_class_capacity_and_is_reuse_invariant() {
+        let pool = BufferPool::default();
+        drop(pool.get_u32(100, "a", Init::Zeroed)); // class 128 → 512 B
+        assert_eq!(pool.peak_bytes(), 512);
+        drop(pool.get_u32(120, "b", Init::Zeroed)); // reuses the 128 class
+        assert_eq!(pool.peak_bytes(), 512, "reuse does not grow the pool");
+        drop(pool.get_u64(10, "c", Init::Zeroed)); // class 16 → 128 B
+        assert_eq!(pool.peak_bytes(), 512 + 128);
     }
 
     #[test]

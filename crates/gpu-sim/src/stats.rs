@@ -4,7 +4,13 @@ use std::ops::{Add, AddAssign};
 use std::time::Duration;
 
 /// Aggregate statistics for one kernel launch (or a sum of launches).
+///
+/// Every field except [`pool_peak_bytes`](LaunchStats::pool_peak_bytes)
+/// is a counter and sums under `+`; `pool_peak_bytes` is a gauge and
+/// merges by `max` (the peak of a union of launches is the largest
+/// peak, not the sum).
 #[derive(Clone, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct LaunchStats {
     /// Number of kernel launches folded into this value.
     pub launches: u64,
@@ -37,16 +43,41 @@ pub struct LaunchStats {
     /// pool since the previous launch (host-side bookkeeping; no cycle
     /// cost). Steady-state launches should report 0.
     pub pool_allocs: u64,
+    /// Bytes of pooled device-buffer storage on the launching device at
+    /// the end of the launch, counted at size-class capacity. The pool
+    /// never returns storage to the heap, so this is both the current
+    /// footprint and its high-water mark. **Gauge, not counter**: it
+    /// merges by `max` under `+`, never sums.
+    pub pool_peak_bytes: u64,
 }
 
 impl LaunchStats {
     /// Warp occupancy efficiency in `(0, 1]`: 1.0 means every lane of
     /// every warp was busy for the warp's whole duration.
+    ///
+    /// **Empty-launch convention:** when `warp_cycles == 0` (a
+    /// zero-block grid, or statistics that never ran a SIMT region)
+    /// there is no occupancy to be inefficient about, so the result is
+    /// defined as `1.0` — not `NaN` and not `0.0`. Dashboards and the
+    /// profile report rely on this: an idle stage reads as "perfectly
+    /// efficient at doing nothing" rather than as an outlier.
     pub fn warp_efficiency(&self, warp_size: usize) -> f64 {
         if self.warp_cycles == 0 {
             return 1.0;
         }
         self.lane_cycles as f64 / (self.warp_cycles as f64 * warp_size as f64)
+    }
+
+    /// Divergence events per executed warp (`divergence_events /
+    /// warps`), `0.0` when no warps ran. A warp contributes at most one
+    /// event per SIMT region, so with one region per warp the rate is
+    /// bounded by 1.0; kernels that run many regions per warp can
+    /// exceed it.
+    pub fn divergence_rate(&self) -> f64 {
+        if self.warps == 0 {
+            return 0.0;
+        }
+        self.divergence_events as f64 / self.warps as f64
     }
 
     /// Modeled device time in seconds.
@@ -88,6 +119,8 @@ impl AddAssign for LaunchStats {
         self.global_mem_ops += rhs.global_mem_ops;
         self.comparisons += rhs.comparisons;
         self.pool_allocs += rhs.pool_allocs;
+        // Gauge: the peak of merged launches is the larger peak.
+        self.pool_peak_bytes = self.pool_peak_bytes.max(rhs.pool_peak_bytes);
     }
 }
 
@@ -111,6 +144,7 @@ mod tests {
             global_mem_ops: 7,
             comparisons: 8,
             pool_allocs: 9,
+            pool_peak_bytes: 1024,
         };
         let sum = a.clone() + a.clone();
         assert_eq!(sum.launches, 2);
@@ -120,6 +154,32 @@ mod tests {
         assert_eq!(sum.modeled_time, Duration::from_millis(2));
         assert_eq!(sum.comparisons, 16);
         assert_eq!(sum.pool_allocs, 18);
+        assert_eq!(sum.pool_peak_bytes, 1024, "gauge merges by max, not sum");
+    }
+
+    #[test]
+    fn pool_peak_bytes_merges_by_max() {
+        let small = LaunchStats {
+            pool_peak_bytes: 100,
+            ..LaunchStats::default()
+        };
+        let big = LaunchStats {
+            pool_peak_bytes: 700,
+            ..LaunchStats::default()
+        };
+        assert_eq!((small.clone() + big.clone()).pool_peak_bytes, 700);
+        assert_eq!((big + small).pool_peak_bytes, 700);
+    }
+
+    #[test]
+    fn divergence_rate_is_events_per_warp_and_zero_when_idle() {
+        let stats = LaunchStats {
+            warps: 8,
+            divergence_events: 2,
+            ..LaunchStats::default()
+        };
+        assert!((stats.divergence_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(LaunchStats::default().divergence_rate(), 0.0);
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //!   --stats              print run statistics to stderr
 //!   --sanitize           run kernels under the shadow-memory hazard
 //!                        sanitizer; report to stderr, fail on hazards
+//!   --trace <path>       write a Chrome Trace Event JSON of the run
+//!                        (open in Perfetto / chrome://tracing);
+//!                        gpumem only
+//!   --metrics <path>     write the serving engine's metrics snapshot
+//!                        (latency histogram, index-cache, workers) as
+//!                        JSON; gpumem only
+//!   --profile            print a per-stage/per-phase profile table to
+//!                        stderr; gpumem only
 //! ```
 //!
 //! The query FASTA may hold many records; each is matched independently
@@ -38,7 +46,7 @@ use gpumem::seq::{
     read_fasta, AmbigPolicy, FastaRecord, Mem, PackedSeq, SeqSet, Strand, StrandMem,
 };
 use gpumem::sim::{DeviceSpec, LaunchStats};
-use gpumem::{Engine, GpumemConfig, GpumemResult, RunError};
+use gpumem::{Engine, GpumemConfig, GpumemResult, RunError, Trace};
 
 struct Options {
     tool: String,
@@ -52,6 +60,9 @@ struct Options {
     rare: Option<usize>,
     stats: bool,
     sanitize: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
+    profile: bool,
     reference: String,
     query: String,
 }
@@ -70,6 +81,9 @@ fn parse_args() -> Result<Options, String> {
         rare: None,
         stats: false,
         sanitize: false,
+        trace: None,
+        metrics: None,
+        profile: false,
         reference: String::new(),
         query: String::new(),
     };
@@ -122,6 +136,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--stats" => opts.stats = true,
             "--sanitize" => opts.sanitize = true,
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--metrics" => opts.metrics = Some(value("--metrics")?),
+            "--profile" => opts.profile = true,
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
@@ -192,7 +209,23 @@ fn run_gpumem(
     )
     .map_err(|e| e.to_string())?;
 
-    let forward = collect_batch(queries, engine.run_batch(queries))?;
+    // Tracing serializes queries onto worker 0 so each gets its own
+    // span tree; the merged trace lays the queries out one per track.
+    let tracing = opts.trace.is_some() || opts.profile;
+    let mut traces = Vec::new();
+    let forward = if tracing {
+        let mut results = Vec::with_capacity(queries.records.len());
+        for (i, span) in queries.records.iter().enumerate() {
+            let (result, trace) = engine
+                .run_traced(&queries.record_seq(i))
+                .map_err(|e| format!("query {}: {e}", span.name))?;
+            results.push(result);
+            traces.push(trace);
+        }
+        results
+    } else {
+        collect_batch(queries, engine.run_batch(queries))?
+    };
     let reverse = if opts.both_strands {
         // Reverse-complement each record independently; coordinates map
         // back per record.
@@ -222,6 +255,19 @@ fn run_gpumem(
             matching.modeled_secs() * 1e3,
             matching.warp_efficiency(32)
         );
+    }
+
+    if tracing {
+        let trace = Trace::merge(traces);
+        if let Some(path) = &opts.trace {
+            std::fs::write(path, trace.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+        }
+        if opts.profile {
+            eprint!("{}", trace.profile_report());
+        }
+    }
+    if let Some(path) = &opts.metrics {
+        std::fs::write(path, engine.metrics().to_json()).map_err(|e| format!("{path}: {e}"))?;
     }
 
     let mut out = Vec::with_capacity(queries.records.len());
@@ -254,6 +300,12 @@ fn run_finder(
     reference: &PackedSeq,
     queries: &SeqSet,
 ) -> Result<Vec<RecordHits>, String> {
+    if opts.tool != "gpumem" && (opts.trace.is_some() || opts.metrics.is_some() || opts.profile) {
+        return Err(format!(
+            "--trace/--metrics/--profile require --tool gpumem (got {})",
+            opts.tool
+        ));
+    }
     let finder: Box<dyn MemFinder> = match opts.tool.as_str() {
         "mummer" => Box::new(Mummer::build(reference)),
         "essamem" => Box::new(EssaMem::build(reference, opts.sparseness)),
@@ -298,7 +350,7 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: gpumem-cli [--tool T] [--min-len L] [--seed-len ls] [--sparseness K] [--threads t] [--query-threads n] [--both-strands] [--mum] [--rare t] [--stats] [--sanitize] <reference.fa> <query.fa>");
+            eprintln!("usage: gpumem-cli [--tool T] [--min-len L] [--seed-len ls] [--sparseness K] [--threads t] [--query-threads n] [--both-strands] [--mum] [--rare t] [--stats] [--sanitize] [--trace out.json] [--metrics out.json] [--profile] <reference.fa> <query.fa>");
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {

@@ -60,5 +60,5 @@ pub use gpumem_seq as seq;
 // The serving/session API at the root, so batch users need one `use`.
 pub use gpumem_core::{
     Engine, Gpumem, GpumemConfig, GpumemResult, GpumemStats, IndexBuildReport, MemCollector,
-    MemSink, MemStage, RefSession, RunError,
+    MemSink, MemStage, MetricsSnapshot, RefSession, RunError, Trace, TraceRecorder,
 };

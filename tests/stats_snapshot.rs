@@ -126,3 +126,35 @@ mems: n=155 fnv=0x7f5fd4641554ede1";
         "\nmodeled execution drifted.\nactual:\n{actual}\n"
     );
 }
+
+/// Observability is pure bookkeeping: running with a trace recorder
+/// installed must leave the output and every modeled counter exactly
+/// where the untraced (pinned) run has them, and the trace's Stage
+/// spans must partition the run — their stats summing to the run
+/// totals counter for counter, with no gap and no double count.
+#[test]
+fn traced_run_changes_nothing_and_stage_spans_reconcile_exactly() {
+    let (reference, query) = smoke_pair();
+    for kind in [IndexKind::DenseTable, IndexKind::CompactDirectory] {
+        let plain = gpumem(kind).run(&reference, &query).unwrap();
+        let (traced, trace) = gpumem(kind).run_traced(&reference, &query).unwrap();
+        assert_eq!(traced.mems, plain.mems, "{kind:?}: output drifted");
+        assert_eq!(
+            render_stats("index", &traced.stats.index),
+            render_stats("index", &plain.stats.index),
+            "{kind:?}: modeled index stats drifted under tracing"
+        );
+        assert_eq!(
+            render_stats("matching", &traced.stats.matching),
+            render_stats("matching", &plain.stats.matching),
+            "{kind:?}: modeled matching stats drifted under tracing"
+        );
+        let mut run_total = traced.stats.index.clone();
+        run_total += traced.stats.matching.clone();
+        assert_eq!(
+            trace.stage_totals(),
+            run_total,
+            "{kind:?}: stage spans do not reconcile with run totals"
+        );
+    }
+}

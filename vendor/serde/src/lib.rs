@@ -1,0 +1,377 @@
+//! Offline stand-in for [serde](https://crates.io/crates/serde) +
+//! [serde_json](https://crates.io/crates/serde_json).
+//!
+//! The real serde separates data model (`Serialize`) from format
+//! (`serde_json`); this workspace only ever serializes to JSON, so the
+//! stand-in collapses both into one crate:
+//!
+//! * [`Serialize`] — implemented by hand or via the re-exported
+//!   `#[derive(Serialize)]` (named-field structs and unit-variant
+//!   enums, the only shapes the workspace uses);
+//! * [`Serializer`] — an append-only JSON writer the trait drives;
+//! * [`json::to_string`] / [`json::to_string_pretty`] — the
+//!   `serde_json` entry points;
+//! * [`json::parse`] / [`json::Value`] — a strict parser, used by the
+//!   schema-validation tests (`serde_json::Value` stand-in).
+//!
+//! Divergences from real serde: no `Deserialize` derive (only the
+//! dynamic [`json::Value`]), no field attributes (`rename`, `skip`,
+//! …), and `Duration` serializes as `{"secs": u64, "nanos": u32}`,
+//! matching serde's default struct encoding of `std::time::Duration`.
+
+// The derive macro emits paths through `::serde`; alias ourselves so
+// the in-crate tests can use the derive too.
+extern crate self as serde;
+
+use std::time::Duration;
+
+pub mod json;
+
+pub use serde_derive::Serialize;
+
+/// A value that can write itself as JSON through a [`Serializer`].
+pub trait Serialize {
+    /// Append this value's JSON encoding to `s`.
+    fn serialize(&self, s: &mut Serializer);
+}
+
+/// An append-only JSON writer with optional pretty printing.
+///
+/// Nesting and comma placement are tracked internally: composite
+/// values call [`Serializer::begin_object`]/[`Serializer::field`]/
+/// [`Serializer::end_object`] (or the array equivalents) and scalars
+/// call one `write_*` method exactly once.
+pub struct Serializer {
+    out: String,
+    pretty: bool,
+    /// Extra spaces prefixed to every pretty-printed line after the
+    /// first, so a value can be embedded inside hand-built JSON.
+    base_indent: usize,
+    depth: usize,
+    /// Whether the next entry at each open nesting level needs a
+    /// leading comma.
+    needs_comma: Vec<bool>,
+}
+
+impl Serializer {
+    fn new(pretty: bool, base_indent: usize) -> Serializer {
+        Serializer {
+            out: String::new(),
+            pretty,
+            base_indent,
+            depth: 0,
+            needs_comma: Vec::new(),
+        }
+    }
+
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.base_indent + 2 * self.depth {
+            self.out.push(' ');
+        }
+    }
+
+    /// Comma/newline bookkeeping before an entry of the innermost
+    /// composite.
+    fn pre_entry(&mut self) {
+        if let Some(needs) = self.needs_comma.last_mut() {
+            if *needs {
+                self.out.push(',');
+            }
+            *needs = true;
+        }
+        if self.pretty && !self.needs_comma.is_empty() {
+            self.newline_indent();
+        }
+    }
+
+    fn close(&mut self, delim: char, had_entries: bool) {
+        self.depth -= 1;
+        if self.pretty && had_entries {
+            self.newline_indent();
+        }
+        self.out.push(delim);
+    }
+
+    /// Open a JSON object.
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.depth += 1;
+        self.needs_comma.push(false);
+    }
+
+    /// Write one `"name": value` member.
+    pub fn field<T: Serialize + ?Sized>(&mut self, name: &str, value: &T) {
+        self.pre_entry();
+        write_json_string(&mut self.out, name);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        value.serialize(self);
+    }
+
+    /// Close the innermost object.
+    pub fn end_object(&mut self) {
+        let had = self.needs_comma.pop().unwrap_or(false);
+        self.close('}', had);
+    }
+
+    /// Open a JSON array.
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.depth += 1;
+        self.needs_comma.push(false);
+    }
+
+    /// Write one array element.
+    pub fn element<T: Serialize + ?Sized>(&mut self, value: &T) {
+        self.pre_entry();
+        value.serialize(self);
+    }
+
+    /// Close the innermost array.
+    pub fn end_array(&mut self) {
+        let had = self.needs_comma.pop().unwrap_or(false);
+        self.close(']', had);
+    }
+
+    /// Write an unsigned integer scalar.
+    pub fn write_u64(&mut self, v: u64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Write a signed integer scalar.
+    pub fn write_i64(&mut self, v: i64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Write a float scalar. JSON has no NaN/Infinity, so non-finite
+    /// values become `null` (as serde_json does for `arbitrary` floats).
+    pub fn write_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            // `{:?}` is Rust's shortest round-trip form and always
+            // includes a decimal point or exponent — valid JSON.
+            self.out.push_str(&format!("{v:?}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Write a boolean scalar.
+    pub fn write_bool(&mut self, v: bool) {
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Write an escaped string scalar.
+    pub fn write_str(&mut self, v: &str) {
+        write_json_string(&mut self.out, v);
+    }
+
+    /// Write a JSON `null`.
+    pub fn write_null(&mut self) {
+        self.out.push_str("null");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+pub(crate) fn serialize_with<T: Serialize + ?Sized>(
+    value: &T,
+    pretty: bool,
+    base_indent: usize,
+) -> String {
+    let mut s = Serializer::new(pretty, base_indent);
+    value.serialize(&mut s);
+    s.out
+}
+
+// ---- Serialize impls for the primitives the workspace uses ----
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.write_u64(*self as u64);
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.write_i64(*self as i64);
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_f64(f64::from(*self));
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_f64(*self);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_bool(*self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_str(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.write_null(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_array();
+        for v in self {
+            s.element(v);
+        }
+        s.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl Serialize for Duration {
+    /// serde's default encoding of `std::time::Duration`.
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_object();
+        s.field("secs", &self.as_secs());
+        s.field("nanos", &self.subsec_nanos());
+        s.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Point {
+        x: u32,
+        y: i32,
+        label: String,
+    }
+
+    impl Serialize for Point {
+        fn serialize(&self, s: &mut Serializer) {
+            s.begin_object();
+            s.field("x", &self.x);
+            s.field("y", &self.y);
+            s.field("label", &self.label);
+            s.end_object();
+        }
+    }
+
+    #[test]
+    fn compact_object() {
+        let p = Point {
+            x: 3,
+            y: -4,
+            label: "a \"b\"\n".into(),
+        };
+        assert_eq!(json::to_string(&p), r#"{"x":3,"y":-4,"label":"a \"b\"\n"}"#);
+    }
+
+    #[test]
+    fn pretty_object_nests_with_two_space_indent() {
+        let p = Point {
+            x: 1,
+            y: 2,
+            label: "z".into(),
+        };
+        assert_eq!(
+            json::to_string_pretty(&p),
+            "{\n  \"x\": 1,\n  \"y\": 2,\n  \"label\": \"z\"\n}"
+        );
+    }
+
+    #[test]
+    fn arrays_options_floats_and_durations() {
+        assert_eq!(json::to_string(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(json::to_string(&Option::<u32>::None), "null");
+        assert_eq!(json::to_string(&Some(7u32)), "7");
+        assert_eq!(json::to_string(&1.5f64), "1.5");
+        assert_eq!(json::to_string(&2.0f64), "2.0");
+        assert_eq!(json::to_string(&f64::NAN), "null");
+        assert_eq!(
+            json::to_string(&Duration::new(3, 500)),
+            r#"{"secs":3,"nanos":500}"#
+        );
+    }
+
+    #[test]
+    fn empty_composites() {
+        assert_eq!(json::to_string(&Vec::<u32>::new()), "[]");
+        let mut s = Serializer::new(true, 0);
+        s.begin_object();
+        s.end_object();
+        assert_eq!(s.out, "{}");
+    }
+
+    #[test]
+    fn base_indent_offsets_nested_lines_only() {
+        let p = Point {
+            x: 1,
+            y: 2,
+            label: "z".into(),
+        };
+        let nested = json::to_string_pretty_indented(&p, 2);
+        assert_eq!(
+            nested,
+            "{\n    \"x\": 1,\n    \"y\": 2,\n    \"label\": \"z\"\n  }"
+        );
+    }
+}

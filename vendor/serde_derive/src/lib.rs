@@ -1,0 +1,188 @@
+//! Offline stand-in for [serde_derive](https://crates.io/crates/serde_derive).
+//!
+//! `#[derive(Serialize)]` implemented directly on `proc_macro` token
+//! streams (no syn/quote — the hermetic workspace has neither) for the
+//! two shapes the workspace serializes:
+//!
+//! * structs with named fields — every field becomes an object member
+//!   in declaration order;
+//! * enums whose variants are all unit variants — serialized as the
+//!   variant name string.
+//!
+//! Tuple structs, generics, and field attributes are rejected with a
+//! compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (see the crate docs for supported shapes).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`) and visibility before the keyword.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(word)) => {
+                let word = word.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Optional `(crate)` / `(super)` restriction.
+                        if matches!(
+                            tokens.peek(),
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                        ) {
+                            tokens.next();
+                        }
+                    }
+                    "struct" | "enum" => break word,
+                    _ => return Err(format!("derive(Serialize): unexpected `{word}`")),
+                }
+            }
+            other => return Err(format!("derive(Serialize): unexpected {other:?}")),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => return Err(format!("derive(Serialize): expected a name, got {other:?}")),
+    };
+
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "derive(Serialize): generic type `{name}` is not supported by the offline stub"
+            ));
+        }
+        other => {
+            return Err(format!(
+                "derive(Serialize): `{name}` must have a braced body, got {other:?}"
+            ));
+        }
+    };
+
+    if kind == "struct" {
+        let fields = named_fields(body, &name)?;
+        let mut members = String::new();
+        for field in &fields {
+            members.push_str(&format!("s.field({field:?}, &self.{field});\n"));
+        }
+        Ok(format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, s: &mut ::serde::Serializer) {{\n\
+             s.begin_object();\n{members}s.end_object();\n}}\n}}"
+        ))
+    } else {
+        let variants = unit_variants(body, &name)?;
+        let mut arms = String::new();
+        for v in &variants {
+            arms.push_str(&format!("{name}::{v} => {v:?},\n"));
+        }
+        Ok(format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, s: &mut ::serde::Serializer) {{\n\
+             s.write_str(match self {{\n{arms}}});\n}}\n}}"
+        ))
+    }
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn named_fields(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        let field = loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(word)) if word.to_string() == "pub" => {
+                    if matches!(
+                        tokens.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        tokens.next();
+                    }
+                }
+                Some(TokenTree::Ident(field)) => break field.to_string(),
+                other => {
+                    return Err(format!(
+                        "derive(Serialize): `{name}` has unsupported fields (got {other:?}); \
+                         only named-field structs are supported"
+                    ));
+                }
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "derive(Serialize): expected `:` after field `{field}` of `{name}`, \
+                     got {other:?}"
+                ));
+            }
+        }
+        fields.push(field);
+        // Consume the type: everything until a comma outside angle
+        // brackets. `<`/`>` arrive as single-char puncts, so a plain
+        // depth counter handles nested generics like Vec<Vec<u32>>.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn unit_variants(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            Some(TokenTree::Ident(variant)) => {
+                match tokens.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        tokens.next();
+                    }
+                    other => {
+                        return Err(format!(
+                            "derive(Serialize): enum `{name}` variant `{variant}` is not a \
+                             unit variant (got {other:?}); only unit enums are supported"
+                        ));
+                    }
+                }
+                variants.push(variant.to_string());
+            }
+            other => {
+                return Err(format!(
+                    "derive(Serialize): unexpected token in enum `{name}`: {other:?}"
+                ));
+            }
+        }
+    }
+}

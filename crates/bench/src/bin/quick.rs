@@ -24,20 +24,33 @@
 //!
 //! After the timed iterations, one traced rerun of the pipeline
 //! scenario writes `BENCH_pipeline_trace.json` (Chrome Trace Event
-//! format, openable in Perfetto) next to the benchmark JSON, and
-//! asserts that tracing did not move modeled device time.
+//! format, openable in Perfetto) next to the benchmark JSON, asserts
+//! that tracing did not move modeled device time, and splits
+//! `current.modeled_match_s` into `modeled_generate_s` /
+//! `modeled_extend_s` / `modeled_combine_s` by each in-kernel phase's
+//! share of warp cycles — so candidate-stream reductions are
+//! attributable to the stage they shrink.
+//!
+//! A `seedmode` ablation then compares `SeedMode::RefOnly` against
+//! copMEM-style `SeedMode::DualSampled` (auto co-prime steps) at
+//! L ∈ {25, 100, 300} on a lightly mutated 40 kb pair, asserting both
+//! modes produce identical MEM sets and recording
+//! `seedmode_l{25,100,300}` objects whose `modeled_ratio` is the
+//! ref/dual modeled-match-time quotient.
 //!
 //! With `GPUMEM_BENCH_CHECK=1`, compares the fresh wall-clock against
-//! the committed `current.wall_s` (and the fresh batch queries/sec
-//! against the committed `batch.qps_batch`) and exits non-zero when
-//! either regresses by more than `GPUMEM_BENCH_MAX_REGRESS` (default
+//! the committed `current.wall_s` (plus the fresh batch queries/sec
+//! against the committed `batch.qps_batch`, and the fresh L = 300
+//! `modeled_ratio` against its committed value) and exits non-zero
+//! when any regresses by more than `GPUMEM_BENCH_MAX_REGRESS` (default
 //! 0.20) — the CI bench-smoke gate.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use gpu_sim::DeviceSpec;
-use gpumem_core::{Engine, Gpumem, GpumemConfig, GpumemStats};
+use gpumem_core::{Engine, Gpumem, GpumemConfig, GpumemStats, SeedMode};
+use gpumem_index::max_coprime_steps;
 use gpumem_seq::{FastaRecord, GenomeModel, MutationModel, PackedSeq, SeqSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,6 +69,13 @@ const DATA_SEED: u64 = 2024;
 /// cache has something to amortize (the serving workload of ISSUE 4).
 const BATCH_QUERIES: usize = 16;
 const BATCH_QUERY_LEN: usize = 2_000;
+
+/// Seed-mode ablation: RefOnly vs copMEM-style dual sampling at
+/// small/medium/large `L` on a lightly mutated pair (low rates so
+/// length-300 MEMs actually occur). The dual win is the shrinking
+/// query-probe count, so it grows with `L`.
+const SEEDMODE_LS: &[u32] = &[25, 100, 300];
+const SEEDMODE_REF_LEN: usize = 40_000;
 
 fn dataset() -> (PackedSeq, PackedSeq) {
     let reference = GenomeModel::mammalian().generate(REF_LEN, DATA_SEED);
@@ -161,6 +181,80 @@ fn measure_batch(reference: &PackedSeq, queries: &SeqSet, config: &GpumemConfig)
     }
 }
 
+/// One `L` point of the seed-mode ablation.
+struct SeedModeSample {
+    l: u32,
+    k1: usize,
+    k2: usize,
+    ref_wall_s: f64,
+    dual_wall_s: f64,
+    ref_modeled_match_s: f64,
+    dual_modeled_match_s: f64,
+    mems: usize,
+}
+
+fn measure_seedmode(l: u32, reference: &PackedSeq, query: &PackedSeq) -> SeedModeSample {
+    let (k1, k2) = max_coprime_steps(l, SEED_LEN).expect("valid ablation steps");
+    let config = |mode: SeedMode| {
+        GpumemConfig::builder(l)
+            .seed_len(SEED_LEN)
+            .threads_per_block(THREADS_PER_BLOCK)
+            .blocks_per_tile(BLOCKS_PER_TILE)
+            .seed_mode(mode)
+            .build()
+            .expect("valid ablation config")
+    };
+    let run = |mode: SeedMode| {
+        let gpumem = Gpumem::new(config(mode));
+        let start = Instant::now();
+        let result = gpumem.run(reference, query).expect("ablation fits");
+        (start.elapsed().as_secs_f64(), result)
+    };
+    let (ref_wall_s, ref_result) = run(SeedMode::RefOnly);
+    let (dual_wall_s, dual_result) = run(SeedMode::DualSampled { k1, k2 });
+    assert_eq!(
+        ref_result.mems, dual_result.mems,
+        "seed modes must produce identical MEM sets (L = {l})"
+    );
+    SeedModeSample {
+        l,
+        k1,
+        k2,
+        ref_wall_s,
+        dual_wall_s,
+        ref_modeled_match_s: ref_result.stats.matching.modeled_secs(),
+        dual_modeled_match_s: dual_result.stats.matching.modeled_secs(),
+        mems: ref_result.mems.len(),
+    }
+}
+
+fn render_seedmode(sample: &SeedModeSample) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"l\": {},\n",
+            "    \"k1\": {},\n",
+            "    \"k2\": {},\n",
+            "    \"ref_wall_s\": {:.4},\n",
+            "    \"dual_wall_s\": {:.4},\n",
+            "    \"ref_modeled_match_s\": {:.6},\n",
+            "    \"dual_modeled_match_s\": {:.6},\n",
+            "    \"modeled_ratio\": {:.2},\n",
+            "    \"mems\": {}\n",
+            "  }}"
+        ),
+        sample.l,
+        sample.k1,
+        sample.k2,
+        sample.ref_wall_s,
+        sample.dual_wall_s,
+        sample.ref_modeled_match_s,
+        sample.dual_modeled_match_s,
+        sample.ref_modeled_match_s / sample.dual_modeled_match_s,
+        sample.mems,
+    )
+}
+
 fn render_batch(sample: &BatchSample) -> String {
     let n = BATCH_QUERIES as f64;
     format!(
@@ -191,7 +285,38 @@ fn render_batch(sample: &BatchSample) -> String {
     )
 }
 
-fn render(sample: &Sample) -> String {
+/// Modeled match time split by in-kernel phase (warp-cycle
+/// attribution from the traced rerun): `generate` is the candidate
+/// stream — seed lookups, load balancing, and triplet generation —
+/// `extend` the per-base expansion (`expand` phase), `combine` the
+/// tree combine.
+struct ModeledBreakdown {
+    generate_s: f64,
+    extend_s: f64,
+    combine_s: f64,
+}
+
+impl ModeledBreakdown {
+    /// Attribute `matching.modeled_secs()` to phases by their share of
+    /// the matching kernels' warp cycles.
+    fn from_trace(trace: &gpumem_core::Trace, matching: &gpu_sim::LaunchStats) -> ModeledBreakdown {
+        let phases = trace.phase_totals();
+        let modeled = matching.modeled_secs();
+        let share = |name: &str| {
+            phases
+                .iter()
+                .find(|p| p.name == name)
+                .map_or(0.0, |p| p.warp_cycles as f64 / matching.warp_cycles as f64)
+        };
+        ModeledBreakdown {
+            generate_s: modeled * (share("seed_lookup") + share("balance") + share("generate")),
+            extend_s: modeled * share("expand"),
+            combine_s: modeled * share("combine"),
+        }
+    }
+}
+
+fn render(sample: &Sample, breakdown: &ModeledBreakdown) -> String {
     let s = &sample.stats;
     format!(
         concat!(
@@ -201,6 +326,9 @@ fn render(sample: &Sample) -> String {
             "    \"match_wall_s\": {:.4},\n",
             "    \"modeled_index_s\": {:.6},\n",
             "    \"modeled_match_s\": {:.6},\n",
+            "    \"modeled_generate_s\": {:.6},\n",
+            "    \"modeled_extend_s\": {:.6},\n",
+            "    \"modeled_combine_s\": {:.6},\n",
             "    \"pool_allocs\": {},\n",
             "    \"launches\": {},\n",
             "    \"mems\": {}\n",
@@ -211,6 +339,9 @@ fn render(sample: &Sample) -> String {
         s.match_wall.as_secs_f64(),
         s.index.modeled_secs(),
         s.matching.modeled_secs(),
+        breakdown.generate_s,
+        breakdown.extend_s,
+        breakdown.combine_s,
         s.index.pool_allocs + s.matching.pool_allocs,
         s.index.launches + s.matching.launches,
         sample.mems,
@@ -349,9 +480,48 @@ fn main() {
     let trace_path = path.with_file_name("BENCH_pipeline_trace.json");
     std::fs::write(&trace_path, trace.to_chrome_json()).expect("write pipeline trace");
     eprintln!("pipeline trace → {}", trace_path.display());
+    let breakdown = ModeledBreakdown::from_trace(&trace, &best.stats.matching);
+    eprintln!(
+        "modeled match breakdown: generate {:.3} ms, extend {:.3} ms, combine {:.3} ms",
+        breakdown.generate_s * 1e3,
+        breakdown.extend_s * 1e3,
+        breakdown.combine_s * 1e3,
+    );
+
+    // Seed-mode ablation: one run per (L, mode) — modeled time is
+    // deterministic, and modeled_ratio is what the gate tracks.
+    let (abl_ref, abl_query) = {
+        let reference = GenomeModel::mammalian().generate(SEEDMODE_REF_LEN, DATA_SEED + 2);
+        let model = MutationModel {
+            sub_rate: 0.001,
+            indel_rate: 0.0001,
+        };
+        let mut rng = StdRng::seed_from_u64(DATA_SEED + 3);
+        let query = PackedSeq::from_codes(&model.apply(&reference.to_codes(), &mut rng));
+        (reference, query)
+    };
+    let seedmode: Vec<SeedModeSample> = SEEDMODE_LS
+        .iter()
+        .map(|&l| {
+            let sample = measure_seedmode(l, &abl_ref, &abl_query);
+            eprintln!(
+                "seedmode L={}: dual ({}, {}) modeled match {:.3} ms vs ref {:.3} ms ({:.1}x), wall {:.3} s vs {:.3} s, {} MEMs",
+                l,
+                sample.k1,
+                sample.k2,
+                sample.dual_modeled_match_s * 1e3,
+                sample.ref_modeled_match_s * 1e3,
+                sample.ref_modeled_match_s / sample.dual_modeled_match_s,
+                sample.dual_wall_s,
+                sample.ref_wall_s,
+                sample.mems,
+            );
+            sample
+        })
+        .collect();
 
     let committed = std::fs::read_to_string(&path).ok();
-    let current = render(&best);
+    let current = render(&best, &breakdown);
     let before = committed
         .as_deref()
         .and_then(|json| extract_object(json, "before"))
@@ -408,6 +578,35 @@ fn main() {
             ),
             None => eprintln!("batch check skipped: no committed batch scenario"),
         }
+        // The dual-sampling win at large L must not erode: gate the
+        // L = 300 modeled ratio the same way.
+        let fresh_ratio = seedmode
+            .iter()
+            .find(|s| s.l == 300)
+            .map(|s| s.ref_modeled_match_s / s.dual_modeled_match_s)
+            .expect("L = 300 is in the ablation");
+        let committed_ratio = committed
+            .as_deref()
+            .and_then(|json| extract_object(json, "seedmode_l300"))
+            .and_then(|object| extract_number(&object, "modeled_ratio"));
+        match committed_ratio {
+            Some(committed_ratio) if fresh_ratio < committed_ratio * (1.0 - max_regress) => {
+                eprintln!(
+                    "FAIL: seedmode L=300 modeled ratio {:.2}x regressed more than {:.0}% under committed {:.2}x",
+                    fresh_ratio,
+                    max_regress * 100.0,
+                    committed_ratio
+                );
+                std::process::exit(1);
+            }
+            Some(committed_ratio) => eprintln!(
+                "seedmode check ok: {:.2}x vs committed {:.2}x (max regression {:.0}%)",
+                fresh_ratio,
+                committed_ratio,
+                max_regress * 100.0
+            ),
+            None => eprintln!("seedmode check skipped: no committed seedmode scenario"),
+        }
     }
 
     let json = format!(
@@ -422,6 +621,9 @@ fn main() {
             "  \"before\": {},\n",
             "  \"current\": {},\n",
             "  \"batch\": {},\n",
+            "  \"seedmode_l25\": {},\n",
+            "  \"seedmode_l100\": {},\n",
+            "  \"seedmode_l300\": {},\n",
             "  \"speedup_wall\": {:.2}\n",
             "}}\n"
         ),
@@ -438,6 +640,9 @@ fn main() {
         before,
         current,
         render_batch(&batch_best),
+        render_seedmode(&seedmode[0]),
+        render_seedmode(&seedmode[1]),
+        render_seedmode(&seedmode[2]),
         before_wall / best.wall_s,
     );
     std::fs::write(&path, &json).expect("write BENCH_pipeline.json");

@@ -1,13 +1,17 @@
 //! Per-block MEM extraction (§III-B): the work of one GPU block over
 //! one `ℓ_tile × ℓ_block` region.
 //!
-//! The block sweeps `w` rounds; round `i` assigns the `τ` query
+//! The block sweeps the `w` rounds; round `i` assigns the `τ` query
 //! locations `block_start + i + k·w` (k = 0..τ) to threads (all of a
 //! MEM's anchors share one round, because anchors are spaced exactly
-//! `w = Δs` along the diagonal). Each round runs the four steps of
-//! §III-B: load balancing, triplet generation with right extension,
-//! the tree combine, and per-base expansion with in-/out-block
-//! classification.
+//! `w` along the diagonal — `Δs` in `RefOnly`, `k1·k2` in
+//! `DualSampled`). Under dual sampling only rounds whose query
+//! locations are global multiples of `k2` are executed — the query side
+//! of the copMEM co-prime pair — so a block runs `k1` of its `w`
+//! rounds instead of all of them. Each executed round runs the four
+//! steps of §III-B: load balancing, triplet generation with right
+//! extension, the tree combine, and per-base expansion with
+//! in-/out-block classification.
 
 use std::ops::Range;
 
@@ -104,7 +108,15 @@ pub fn process_block(
         ..
     } = scratch;
 
-    for round in 0..w {
+    // Round r probes query locations ≡ block_q.start + r (mod w). Dual
+    // sampling only probes global multiples of k2, so start from the
+    // first round on that grid and advance k2 at a time (w is a
+    // multiple of k2, so every slot of a kept round stays on the grid).
+    // RefOnly has q_step = 1: every round, exactly the paper's sweep.
+    let q_step = config.query_step();
+    debug_assert_eq!(w % q_step, 0);
+    let first_round = (q_step - block_q.start % q_step) % q_step;
+    for round in (first_round..w).step_by(q_step) {
         // Slot k's query location for this round; the seed may read past
         // the block edge but must fit the query.
         ctx.phase("seed_lookup");
@@ -275,6 +287,42 @@ mod tests {
         for &mem in &output.in_block {
             assert!(is_maximal_exact(&reference, &query, mem, 8), "{mem:?}");
         }
+    }
+
+    #[test]
+    fn dual_sampling_block_equals_ref_only_block() {
+        // L = 12, ℓs = 6 → coverage bound 7; (2, 3) is a valid co-prime
+        // pair. τ = 128 keeps the whole query in one block for both
+        // geometries.
+        let spec = gpumem_seq::PairSpec {
+            name: "block-dual".into(),
+            reference_name: "r".into(),
+            query_name: "q".into(),
+            ref_len: 700,
+            query_len: 400,
+            relatedness: 0.7,
+            divergence: (0.01, 0.05),
+            l_values: vec![12],
+            seed_len: 6,
+            model: GenomeModel::mammalian(),
+        };
+        let pair = spec.realize(9);
+        let (reference, query) = (pair.reference, pair.query);
+        let ref_only = config(12, 6, 128);
+        let dual = GpumemConfig::builder(12)
+            .seed_len(6)
+            .threads_per_block(128)
+            .blocks_per_tile(1)
+            .seed_mode(gpumem_index::SeedMode::DualSampled { k1: 2, k2: 3 })
+            .build()
+            .unwrap();
+        assert!(dual.block_width() >= query.len() && ref_only.block_width() >= query.len());
+        let a = run_single_block(&reference, &query, &ref_only);
+        let b = run_single_block(&reference, &query, &dual);
+        let b_in = canonicalize(b.in_block);
+        assert_eq!(canonicalize(a.in_block), b_in);
+        assert_eq!(canonicalize(b.out_block), canonicalize(a.out_block));
+        assert_eq!(b_in, naive_mems(&reference, &query, 12));
     }
 
     #[test]

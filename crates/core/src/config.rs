@@ -4,17 +4,18 @@
 //! |---|---|---|
 //! | `L` | `min_len` | user input |
 //! | `ℓs` | `seed_len` | default `min(13, L)` |
-//! | `Δs` | `step` | default `L − ℓs + 1` (Eq. 1 maximum) |
-//! | `w` | `w()` | `= Δs` (§III-B2: "GPUMEM uses w = Δs") |
+//! | `Δs` | `step` | reference sampling step: default `L − ℓs + 1` (Eq. 1 maximum); `k1` under [`SeedMode::DualSampled`] |
+//! | — | `query_step()` | query probing step: 1 (`RefOnly`) or `k2` (`DualSampled`) |
+//! | `w` | `w()` | `= step · query_step()` — `= Δs` in `RefOnly` (§III-B2: "GPUMEM uses w = Δs"), `= k1·k2` in dual mode, so `w` is the anchor spacing along a diagonal in both |
 //! | `τ` | `threads_per_block` | power of two (Algorithm 3 needs `log₂ τ`) |
 //! | `ℓ_block` | `block_width()` | `= τ · w` |
 //! | `n_block` | `blocks_per_tile` | user input |
-//! | `ℓ_tile` | `tile_len()` | `= n_block · ℓ_block` — automatically a multiple of `Δs`, which keeps the reference sampling phase continuous across tile rows (required for the Eq. 1 guarantee to hold globally) |
+//! | `ℓ_tile` | `tile_len()` | `= n_block · ℓ_block` — automatically a multiple of both `step` and `query_step()`, which keeps the reference *and* query sampling phases continuous across tile rows/columns (required for the Eq. 1 / CRT coverage guarantee to hold globally) |
 
-use gpumem_index::{check_step, max_step, IndexError};
+use gpumem_index::{check_dual_steps, check_step, max_step, IndexError, SeedMode};
 
 /// Which index layout the pipeline builds per tile row.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum IndexKind {
     /// The paper's dense `ptrs`/`locs` table (Algorithm 1).
     #[default]
@@ -25,14 +26,19 @@ pub enum IndexKind {
 }
 
 /// Validated GPUMEM configuration.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct GpumemConfig {
     /// Minimum MEM length `L`.
     pub min_len: u32,
     /// Indexing seed length `ℓs`.
     pub seed_len: usize,
-    /// Indexing step `Δs` (= `w`, the query locations per thread).
+    /// Reference sampling step: `Δs` under [`SeedMode::RefOnly`], `k1`
+    /// under [`SeedMode::DualSampled`] (the builder keeps them in
+    /// sync).
     pub step: usize,
+    /// How seeds are sampled and probed (reference-only vs copMEM-style
+    /// dual sampling).
+    pub seed_mode: SeedMode,
     /// Threads per GPU block `τ` (power of two).
     pub threads_per_block: usize,
     /// Blocks per tile `n_block`.
@@ -56,6 +62,15 @@ pub enum ConfigError {
     NoBlocks,
     /// `L` must be positive.
     ZeroMinLen,
+    /// An explicit `step` was combined with [`SeedMode::DualSampled`]
+    /// and disagrees with its `k1` — in dual mode the reference step
+    /// *is* `k1`, so there is nothing independent to override.
+    StepConflictsWithSeedMode {
+        /// The explicit step.
+        step: usize,
+        /// The dual mode's reference step.
+        k1: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -70,6 +85,10 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::NoBlocks => write!(f, "blocks_per_tile must be positive"),
             ConfigError::ZeroMinLen => write!(f, "minimum MEM length L must be positive"),
+            ConfigError::StepConflictsWithSeedMode { step, k1 } => write!(
+                f,
+                "explicit step {step} conflicts with DualSampled k1 = {k1}; in dual mode the reference step is k1"
+            ),
         }
     }
 }
@@ -89,6 +108,7 @@ impl GpumemConfig {
             min_len,
             seed_len: None,
             step: None,
+            seed_mode: SeedMode::RefOnly,
             threads_per_block: 64,
             blocks_per_tile: 16,
             load_balancing: true,
@@ -96,10 +116,22 @@ impl GpumemConfig {
         }
     }
 
-    /// `w`, the number of query locations per thread (`= Δs`).
+    /// The query probing step: every `query_step()`-th query position is
+    /// looked up in the index (1 in [`SeedMode::RefOnly`], `k2` in
+    /// [`SeedMode::DualSampled`]).
+    #[inline(always)]
+    pub fn query_step(&self) -> usize {
+        self.seed_mode.query_step()
+    }
+
+    /// `w`, the query locations per thread per block sweep: `= Δs`
+    /// under [`SeedMode::RefOnly`], `= k1·k2` under
+    /// [`SeedMode::DualSampled`]. Either way it is the spacing of
+    /// consecutive anchors along one diagonal, which is what the round
+    /// structure and the tree combine rely on.
     #[inline(always)]
     pub fn w(&self) -> usize {
-        self.step
+        self.step * self.query_step()
     }
 
     /// `ℓ_block = τ · w`.
@@ -129,6 +161,7 @@ pub struct GpumemConfigBuilder {
     min_len: u32,
     seed_len: Option<usize>,
     step: Option<usize>,
+    seed_mode: SeedMode,
     threads_per_block: usize,
     blocks_per_tile: usize,
     load_balancing: bool,
@@ -143,8 +176,19 @@ impl GpumemConfigBuilder {
     }
 
     /// Override `Δs` (default: the Eq. 1 maximum `L − ℓs + 1`).
+    /// Incompatible with [`SeedMode::DualSampled`], whose reference
+    /// step is its `k1`.
     pub fn step(mut self, step: usize) -> Self {
         self.step = Some(step);
+        self
+    }
+
+    /// Choose the seed sampling scheme (default
+    /// [`SeedMode::RefOnly`]). [`SeedMode::DualSampled`] steps are
+    /// validated by `build()` via
+    /// [`check_dual_steps`](gpumem_index::check_dual_steps).
+    pub fn seed_mode(mut self, mode: SeedMode) -> Self {
+        self.seed_mode = mode;
         self
     }
 
@@ -188,10 +232,24 @@ impl GpumemConfigBuilder {
             }
             .into());
         }
-        let step = self
-            .step
-            .unwrap_or_else(|| max_step(self.min_len, seed_len));
-        check_step(step, self.min_len, seed_len)?;
+        let step = match self.seed_mode {
+            SeedMode::RefOnly => {
+                let step = self
+                    .step
+                    .unwrap_or_else(|| max_step(self.min_len, seed_len));
+                check_step(step, self.min_len, seed_len)?;
+                step
+            }
+            SeedMode::DualSampled { k1, k2 } => {
+                if let Some(step) = self.step {
+                    if step != k1 {
+                        return Err(ConfigError::StepConflictsWithSeedMode { step, k1 });
+                    }
+                }
+                check_dual_steps(k1, k2, self.min_len, seed_len)?;
+                k1
+            }
+        };
         if self.threads_per_block < 2 || !self.threads_per_block.is_power_of_two() {
             return Err(ConfigError::TauNotPowerOfTwo(self.threads_per_block));
         }
@@ -202,6 +260,7 @@ impl GpumemConfigBuilder {
             min_len: self.min_len,
             seed_len,
             step,
+            seed_mode: self.seed_mode,
             threads_per_block: self.threads_per_block,
             blocks_per_tile: self.blocks_per_tile,
             load_balancing: self.load_balancing,
@@ -303,5 +362,100 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn dual_mode_derives_the_table_i_quantities() {
+        let config = GpumemConfig::builder(25)
+            .seed_len(8)
+            .seed_mode(SeedMode::DualSampled { k1: 4, k2: 3 })
+            .build()
+            .unwrap();
+        assert_eq!(config.step, 4, "reference step is k1");
+        assert_eq!(config.query_step(), 3);
+        assert_eq!(config.w(), 12, "w = k1·k2 = anchor spacing");
+        assert_eq!(config.block_width(), 64 * 12);
+        assert_eq!(config.tile_len(), 16 * 64 * 12);
+        assert_eq!(config.generation_cap(), 12, "cap = max(w, ls)");
+        // Phase continuity: tile rows/cols start on multiples of both
+        // sampling grids.
+        assert_eq!(config.tile_len() % config.step, 0);
+        assert_eq!(config.tile_len() % config.query_step(), 0);
+    }
+
+    #[test]
+    fn ref_only_mode_is_the_default_and_unchanged() {
+        let config = GpumemConfig::builder(50).build().unwrap();
+        assert_eq!(config.seed_mode, SeedMode::RefOnly);
+        assert_eq!(config.query_step(), 1);
+        assert_eq!(config.w(), config.step, "w = Δs exactly as before");
+    }
+
+    #[test]
+    fn dual_mode_with_unit_query_step_degenerates_to_ref_only_geometry() {
+        let dual = GpumemConfig::builder(25)
+            .seed_len(8)
+            .seed_mode(SeedMode::DualSampled { k1: 5, k2: 1 })
+            .build()
+            .unwrap();
+        let explicit = GpumemConfig::builder(25)
+            .seed_len(8)
+            .step(5)
+            .build()
+            .unwrap();
+        assert_eq!(dual.w(), explicit.w());
+        assert_eq!(dual.step, explicit.step);
+        assert_eq!(dual.tile_len(), explicit.tile_len());
+    }
+
+    #[test]
+    fn dual_mode_rejects_invalid_steps() {
+        assert!(matches!(
+            GpumemConfig::builder(25)
+                .seed_len(8)
+                .seed_mode(SeedMode::DualSampled { k1: 4, k2: 6 })
+                .build(),
+            Err(ConfigError::Index(IndexError::StepsNotCoprime {
+                gcd: 2,
+                ..
+            }))
+        ));
+        assert!(matches!(
+            GpumemConfig::builder(25)
+                .seed_len(8)
+                .seed_mode(SeedMode::DualSampled { k1: 5, k2: 4 })
+                .build(),
+            Err(ConfigError::Index(IndexError::DualProductTooLarge { .. }))
+        ));
+        assert!(matches!(
+            GpumemConfig::builder(25)
+                .seed_len(8)
+                .seed_mode(SeedMode::DualSampled { k1: 0, k2: 3 })
+                .build(),
+            Err(ConfigError::Index(IndexError::StepZero))
+        ));
+    }
+
+    #[test]
+    fn dual_mode_rejects_a_conflicting_explicit_step() {
+        let err = GpumemConfig::builder(25)
+            .seed_len(8)
+            .step(7)
+            .seed_mode(SeedMode::DualSampled { k1: 4, k2: 3 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::StepConflictsWithSeedMode { step: 7, k1: 4 }
+        ));
+        assert!(err.to_string().contains("k1"));
+        // An agreeing explicit step is tolerated.
+        let ok = GpumemConfig::builder(25)
+            .seed_len(8)
+            .step(4)
+            .seed_mode(SeedMode::DualSampled { k1: 4, k2: 3 })
+            .build()
+            .unwrap();
+        assert_eq!(ok.step, 4);
     }
 }

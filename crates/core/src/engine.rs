@@ -28,6 +28,7 @@
 //! re-expansion), so a sink that needs the canonical set must dedup
 //! (as [`MemCollector::into_canonical`] does).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -218,6 +219,60 @@ impl RefSession {
             wall: accum.wall,
             rows: accum.built,
         }
+    }
+}
+
+/// A cache of [`RefSession`]s keyed by *reference identity* (the
+/// `Arc` pointer) and the **full** [`GpumemConfig`].
+///
+/// Keying on the whole config — not just `(tile_len, seed_len)` or
+/// whatever subset happens to affect today's index layout — is what
+/// keeps seed-parameter variants apart: two configs that differ only
+/// in `step`, `seed_mode`, or `index_kind` produce different partial
+/// indexes (or different probe contracts against the same index) and
+/// must never share cached rows. The pointer half of the key is sound
+/// because every cached session holds its reference `Arc` alive, so
+/// the address cannot be recycled by a different sequence while the
+/// entry exists.
+pub struct SessionCache {
+    spec: DeviceSpec,
+    sessions: Mutex<HashMap<(usize, GpumemConfig), Arc<RefSession>>>,
+}
+
+impl SessionCache {
+    /// An empty cache whose sessions validate against `spec`.
+    pub fn new(spec: DeviceSpec) -> SessionCache {
+        SessionCache {
+            spec,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The session for `(reference, config)` — cached, or freshly
+    /// created (cold, unwarmed) and cached for everyone after.
+    pub fn session(
+        &self,
+        reference: &Arc<PackedSeq>,
+        config: GpumemConfig,
+    ) -> Result<Arc<RefSession>, RunError> {
+        let key = (Arc::as_ptr(reference) as usize, config.clone());
+        let mut sessions = self.sessions.lock();
+        if let Some(session) = sessions.get(&key) {
+            return Ok(Arc::clone(session));
+        }
+        let session = Arc::new(RefSession::new(Arc::clone(reference), config, &self.spec)?);
+        sessions.insert(key, Arc::clone(&session));
+        Ok(session)
+    }
+
+    /// Number of cached sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -882,6 +937,66 @@ mod tests {
         assert_eq!(h.max, Duration::from_micros(1025));
         // Quantiles report the bucket's upper bound in milliseconds.
         assert_eq!(h.quantile_ms(1.0), 2.048);
+    }
+
+    #[test]
+    fn session_cache_never_shares_across_seed_parameters() {
+        use gpumem_index::SeedMode;
+        // L = 25, ℓs = 8 → dual bound 18; (4, 3) is the auto pair.
+        let dual = GpumemConfig::builder(25)
+            .seed_len(8)
+            .threads_per_block(8)
+            .blocks_per_tile(2)
+            .seed_mode(SeedMode::DualSampled { k1: 4, k2: 3 })
+            .build()
+            .unwrap();
+        let ref_only = GpumemConfig::builder(25)
+            .seed_len(8)
+            .threads_per_block(8)
+            .blocks_per_tile(2)
+            .build()
+            .unwrap();
+        assert_ne!(dual, ref_only);
+
+        let reference = Arc::new(GenomeModel::mammalian().generate(4_000, 815));
+        let query = GenomeModel::mammalian().generate(1_500, 816);
+        let cache = SessionCache::new(DeviceSpec::test_tiny());
+
+        // Warm RefOnly fully, then request the dual-mode session: it
+        // must be a distinct, still-cold session — not the warmed
+        // RefOnly rows (whose denser step-6 index would violate the
+        // dual probe contract).
+        let warm = cache.session(&reference, ref_only.clone()).unwrap();
+        let engine_warm = Engine::from_session(Arc::clone(&warm), DeviceSpec::test_tiny(), 1);
+        engine_warm.warm();
+        assert_eq!(warm.built_rows(), warm.rows());
+
+        let cold = cache.session(&reference, dual.clone()).unwrap();
+        assert!(
+            !Arc::ptr_eq(&warm, &cold),
+            "configs differing only in seed parameters shared a session"
+        );
+        assert_eq!(cold.built_rows(), 0, "dual session inherited warm rows");
+        assert_eq!(cache.len(), 2);
+
+        // And the dual session still answers correctly.
+        let engine_cold = Engine::from_session(cold, DeviceSpec::test_tiny(), 1);
+        let got = engine_cold.run(&query).unwrap();
+        assert_eq!(got.mems, naive_mems(&reference, &query, 25));
+
+        // Same reference + identical config → the cached Arc comes
+        // back.
+        let again = cache.session(&reference, ref_only).unwrap();
+        assert!(Arc::ptr_eq(&warm, &again));
+        assert_eq!(cache.len(), 2);
+
+        // A different reference never aliases, even with an equal
+        // config.
+        let other = Arc::new(GenomeModel::mammalian().generate(4_000, 817));
+        let third = cache.session(&other, dual).unwrap();
+        assert!(!Arc::ptr_eq(&third, &engine_cold.session().clone()));
+        assert_eq!(cache.len(), 3);
+        assert!(!cache.is_empty());
     }
 
     #[test]

@@ -4,9 +4,13 @@
 //! location `q`. The group's threads split the seed's indexed reference
 //! locations evenly; each location `r` yields an initial triplet
 //! `(r, q, ℓs)`, extended to the right until a mismatch or until the
-//! length reaches `w` (`= Δs`), so that consecutive anchors of one MEM
+//! length reaches `w` (`= Δs` under `SeedMode::RefOnly`, `= k1·k2`
+//! under dual sampling), so that consecutive anchors of one MEM
 //! (spaced exactly `w` on the diagonal) are guaranteed to overlap and
-//! chain in the combine step.
+//! chain in the combine step. Dual sampling changes nothing here: the
+//! block loop simply hands this stage fewer rounds (only `q ≡ 0
+//! (mod k2)` locations are probed), and every triplet still extends to
+//! the same capped length.
 
 use gpu_sim::Op;
 use gpumem_index::SeedLookup;

@@ -54,8 +54,11 @@ pub mod tile_run;
 pub mod trace;
 
 pub use config::{ConfigError, GpumemConfig, GpumemConfigBuilder, IndexKind};
-pub use engine::{Engine, MemCollector, MemSink, MemStage, MetricsSnapshot, RefSession};
+pub use engine::{
+    Engine, MemCollector, MemSink, MemStage, MetricsSnapshot, RefSession, SessionCache,
+};
 pub use expand::Bounds;
+pub use gpumem_index::SeedMode;
 pub use pipeline::{
     Gpumem, GpumemResult, GpumemStats, IndexBuildReport, RunError, RunScratch, StageCounts,
     SORT_KEY_LIMIT,

@@ -819,5 +819,36 @@ mod proptests {
             let got = gpumem.run(&reference, &query).unwrap().mems;
             prop_assert_eq!(got, naive_mems(&reference, &query, min_len));
         }
+
+        /// Dual sampling under arbitrary valid co-prime pairs and tile
+        /// geometries equals the ground truth too — the tile/block
+        /// decomposition must keep both sample grids phase-aligned
+        /// across every boundary.
+        #[test]
+        fn dual_pipeline_always_matches_naive(
+            r in proptest::collection::vec(0u8..4, 1..500),
+            q in proptest::collection::vec(0u8..4, 1..500),
+            seed_len in 2usize..7,
+            k1 in 1usize..5,
+            k2 in 1usize..6,
+            slack in 0u32..8,
+            tau_pow in 1u32..5,
+            n_block in 1usize..4,
+        ) {
+            prop_assume!(gpumem_index::gcd(k1, k2) == 1);
+            let min_len = (seed_len + k1 * k2 - 1) as u32 + slack;
+            let reference = PackedSeq::from_codes(&r);
+            let query = PackedSeq::from_codes(&q);
+            let config = GpumemConfig::builder(min_len)
+                .seed_len(seed_len)
+                .threads_per_block(1 << tau_pow)
+                .blocks_per_tile(n_block)
+                .seed_mode(gpumem_index::SeedMode::DualSampled { k1, k2 })
+                .build()
+                .unwrap();
+            let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
+            let got = gpumem.run(&reference, &query).unwrap().mems;
+            prop_assert_eq!(got, naive_mems(&reference, &query, min_len));
+        }
     }
 }

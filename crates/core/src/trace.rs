@@ -290,6 +290,35 @@ impl Trace {
         })
     }
 
+    /// Aggregate the in-kernel phase breakdown across every launch of
+    /// the trace, sorted by descending warp cycles. Phases are
+    /// informational children of launches (they never overlap within a
+    /// launch), so each phase's `warp_cycles` share of the matching
+    /// total is the modeled attribution of that stage of the kernel —
+    /// the bench uses this to split modeled match time into
+    /// generate/expand/combine.
+    pub fn phase_totals(&self) -> Vec<PhaseStats> {
+        let mut phases: Vec<PhaseStats> = Vec::new();
+        for span in &self.spans {
+            for p in &span.phases {
+                match phases.iter_mut().find(|q| q.name == p.name) {
+                    Some(q) => {
+                        q.warps += p.warps;
+                        q.warp_cycles += p.warp_cycles;
+                        q.lane_cycles += p.lane_cycles;
+                        q.divergence_events += p.divergence_events;
+                        q.atomic_ops += p.atomic_ops;
+                        q.global_mem_ops += p.global_mem_ops;
+                        q.comparisons += p.comparisons;
+                    }
+                    None => phases.push(p.clone()),
+                }
+            }
+        }
+        phases.sort_by_key(|p| std::cmp::Reverse(p.warp_cycles));
+        phases
+    }
+
     /// A human-readable top-stages table: per-stage call counts, wall
     /// and modeled time, warp efficiency, divergence rate, and share of
     /// run wall time, followed by the in-kernel phase breakdown.
@@ -320,24 +349,7 @@ impl Trace {
         }
         stages.sort_by(|a, b| b.wall.total_cmp(&a.wall));
 
-        let mut phases: Vec<PhaseStats> = Vec::new();
-        for span in &self.spans {
-            for p in &span.phases {
-                match phases.iter_mut().find(|q| q.name == p.name) {
-                    Some(q) => {
-                        q.warps += p.warps;
-                        q.warp_cycles += p.warp_cycles;
-                        q.lane_cycles += p.lane_cycles;
-                        q.divergence_events += p.divergence_events;
-                        q.atomic_ops += p.atomic_ops;
-                        q.global_mem_ops += p.global_mem_ops;
-                        q.comparisons += p.comparisons;
-                    }
-                    None => phases.push(p.clone()),
-                }
-            }
-        }
-        phases.sort_by_key(|p| std::cmp::Reverse(p.warp_cycles));
+        let phases = self.phase_totals();
         let phase_cycles: u64 = phases.iter().map(|p| p.warp_cycles).sum();
 
         let mut out = String::new();
@@ -532,6 +544,16 @@ mod tests {
         assert!(report.contains("balance"));
         assert!(report.contains("expand"));
         assert!(report.contains("share"));
+    }
+
+    #[test]
+    fn phase_totals_aggregate_and_sort_by_cycles() {
+        let totals = sample_trace().phase_totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].name, "balance");
+        assert_eq!(totals[0].warp_cycles, 30);
+        assert_eq!(totals[1].name, "expand");
+        assert_eq!(totals[1].warp_cycles, 10);
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! used both to cross-check the simulated-GPU build and as a fast host
 //! path. All three builders (including [`crate::build_gpu`]) produce
 //! bit-identical indexes.
+//!
+//! The builders are seed-mode agnostic: `step` is `Δs` under
+//! [`crate::SeedMode::RefOnly`] and `k1` under
+//! [`crate::SeedMode::DualSampled`] — the query-side step `k2` never
+//! reaches the index; it only thins the pipeline's probe schedule.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 

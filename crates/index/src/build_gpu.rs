@@ -11,6 +11,11 @@
 //!    stores the location. The parallel fill leaves buckets unsorted;
 //! 4. **sort** — one thread per *seed* sorts its bucket
 //!    ([`gpu_sim::primitives::lane_sort_bucket`]).
+//!
+//! Like the CPU builders, the kernels take the reference sampling
+//! `step` as an opaque stride: under [`crate::SeedMode::DualSampled`]
+//! the same four kernels run with `step = k1`, and the co-prime query
+//! step `k2` is applied by the pipeline when probing, not here.
 
 use gpu_sim::primitives::{device_exclusive_scan, lane_sort_bucket};
 use gpu_sim::{Device, LaunchConfig, LaunchStats, Op};

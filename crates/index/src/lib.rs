@@ -12,6 +12,11 @@
 //! Sampling every `Δs`-th reference position keeps the index small; the
 //! sparsification bound `Δs ≤ L − ℓs + 1` (Eq. 1, [`sparsify`])
 //! guarantees every MEM of length ≥ L still contains a sampled seed.
+//! Under copMEM-style dual sampling ([`SeedMode::DualSampled`]) the same
+//! builders are used with `step = k1`; the coverage guarantee then
+//! comes from the co-prime pair `(k1, k2)` jointly
+//! ([`sparsify::check_dual_steps`]), with the query side of the pair
+//! enforced by the pipeline's probe schedule rather than the index.
 //!
 //! Three builders produce bit-identical indexes:
 //!
@@ -40,4 +45,6 @@ pub use compact::{build_compact_gpu, build_compact_sequential, CompactSeedIndex}
 pub use index::{Region, SeedIndex};
 pub use lookup::{SeedLookup, SharedSeedLookup};
 pub use seed::SeedCodec;
-pub use sparsify::{check_step, max_step, IndexError};
+pub use sparsify::{
+    check_dual_steps, check_step, gcd, max_coprime_steps, max_step, IndexError, SeedMode,
+};

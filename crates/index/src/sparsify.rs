@@ -1,4 +1,4 @@
-//! Sparsification (Eq. 1).
+//! Sparsification (Eq. 1) and dual-genome sampling.
 //!
 //! The index samples a seed every `Δs` reference positions. A MEM of
 //! length exactly `L` aligned anywhere on its diagonal must still
@@ -7,8 +7,59 @@
 //! offsets, and any `Δs` consecutive positions contain a sample point.
 //! GPUMEM always uses the maximum step, minimizing index size and build
 //! time.
+//!
+//! copMEM-style dual sampling ([`SeedMode::DualSampled`]) generalizes
+//! Eq. 1: sample the *reference* every `k1` positions and probe the
+//! *query* only every `k2` positions, with `gcd(k1, k2) = 1`. For a MEM
+//! aligned at `(r, q)` a seed offset `i` is an anchor iff
+//! `r + i ≡ 0 (mod k1)` and `q + i ≡ 0 (mod k2)`; by the Chinese
+//! remainder theorem those congruences have exactly one solution in any
+//! `k1·k2` consecutive offsets, so every length-`L` window contains an
+//! anchor iff `k1·k2 ≤ L − ℓs + 1` ([`check_dual_steps`]). Reference-only
+//! sampling is the `k2 = 1` degenerate case. The win: the number of
+//! query probes drops by `k2×` while the coverage guarantee is intact,
+//! which shrinks the candidate-generation work dramatically at large
+//! `L` (the copMEM observation).
 
 use std::fmt;
+
+/// How seeds are sampled for the index and probed from the query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SeedMode {
+    /// The paper's scheme: sample only the reference (at the Eq. 1 step
+    /// `Δs`), probe every query position.
+    #[default]
+    RefOnly,
+    /// copMEM-style dual sampling: sample the reference every `k1`
+    /// positions, probe the query every `k2` positions, with
+    /// `gcd(k1, k2) = 1` and `k1·k2 ≤ L − ℓs + 1`.
+    DualSampled {
+        /// Reference sampling step.
+        k1: usize,
+        /// Query probing step (co-prime with `k1`).
+        k2: usize,
+    },
+}
+
+impl SeedMode {
+    /// The query probing step: 1 for [`SeedMode::RefOnly`], `k2` for
+    /// [`SeedMode::DualSampled`].
+    pub fn query_step(&self) -> usize {
+        match self {
+            SeedMode::RefOnly => 1,
+            SeedMode::DualSampled { k2, .. } => *k2,
+        }
+    }
+}
+
+impl fmt::Display for SeedMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeedMode::RefOnly => write!(f, "ref"),
+            SeedMode::DualSampled { k1, k2 } => write!(f, "dual:{k1},{k2}"),
+        }
+    }
+}
 
 /// Configuration errors for the index and pipeline.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,6 +82,29 @@ pub enum IndexError {
         /// Minimum MEM length.
         min_len: u32,
     },
+    /// Dual-sampling steps share a factor, so the CRT coverage argument
+    /// (one anchor per `k1·k2` consecutive offsets) does not apply.
+    StepsNotCoprime {
+        /// Reference sampling step.
+        k1: usize,
+        /// Query probing step.
+        k2: usize,
+        /// Their greatest common divisor (> 1).
+        gcd: usize,
+    },
+    /// `k1·k2` violates the dual-sampling coverage bound
+    /// `k1·k2 ≤ L − ℓs + 1`: some alignment of a length-`L` match would
+    /// contain no (ref-sample, query-sample) anchor.
+    DualProductTooLarge {
+        /// Reference sampling step.
+        k1: usize,
+        /// Query probing step.
+        k2: usize,
+        /// Minimum MEM length.
+        min_len: u32,
+        /// Seed length.
+        seed_len: usize,
+    },
 }
 
 impl fmt::Display for IndexError {
@@ -45,6 +119,16 @@ impl fmt::Display for IndexError {
             IndexError::SeedLongerThanL { seed_len, min_len } => write!(
                 f,
                 "seed length {seed_len} exceeds minimum MEM length {min_len}; no seed fits inside a MEM"
+            ),
+            IndexError::StepsNotCoprime { k1, k2, gcd } => write!(
+                f,
+                "dual-sampling steps k1 = {k1}, k2 = {k2} are not co-prime (gcd {gcd}); the coverage guarantee needs gcd(k1, k2) = 1"
+            ),
+            IndexError::DualProductTooLarge { k1, k2, min_len, seed_len } => write!(
+                f,
+                "dual-sampling product k1*k2 = {} violates the coverage bound: must be <= L - ls + 1 = {} for L = {min_len}, ls = {seed_len}",
+                k1 * k2,
+                max_step(*min_len, *seed_len)
             ),
         }
     }
@@ -79,6 +163,67 @@ pub fn check_step(step: usize, min_len: u32, seed_len: usize) -> Result<(), Inde
         });
     }
     Ok(())
+}
+
+/// Greatest common divisor (Euclid). `gcd(a, 0) = a`.
+pub fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Validate a dual-sampling `(k1, k2, L, ℓs)` combination: both steps
+/// positive, co-prime, and `k1·k2 ≤ L − ℓs + 1` (the CRT coverage
+/// bound — see the module docs).
+pub fn check_dual_steps(
+    k1: usize,
+    k2: usize,
+    min_len: u32,
+    seed_len: usize,
+) -> Result<(), IndexError> {
+    if seed_len as u32 > min_len {
+        return Err(IndexError::SeedLongerThanL { seed_len, min_len });
+    }
+    if k1 == 0 || k2 == 0 {
+        return Err(IndexError::StepZero);
+    }
+    let g = gcd(k1, k2);
+    if g != 1 {
+        return Err(IndexError::StepsNotCoprime { k1, k2, gcd: g });
+    }
+    if k1 * k2 > max_step(min_len, seed_len) {
+        return Err(IndexError::DualProductTooLarge {
+            k1,
+            k2,
+            min_len,
+            seed_len,
+        });
+    }
+    Ok(())
+}
+
+/// The default dual-sampling steps for `(L, ℓs)`: a balanced co-prime
+/// pair near `√(L − ℓs + 1)` each — `k1 = ⌊√bound⌋` (reference step,
+/// keeping the index roughly `√bound×` denser than Eq. 1's maximum, not
+/// `bound×`), `k2` the largest value `≤ bound / k1` co-prime with `k1`
+/// (query step, so probes shrink by the larger factor). Always
+/// satisfies [`check_dual_steps`]; `k2 ≥ k1 ≥ 1`.
+pub fn max_coprime_steps(min_len: u32, seed_len: usize) -> Result<(usize, usize), IndexError> {
+    if seed_len as u32 > min_len {
+        return Err(IndexError::SeedLongerThanL { seed_len, min_len });
+    }
+    let bound = max_step(min_len, seed_len);
+    let mut k1 = 1usize;
+    while (k1 + 1) * (k1 + 1) <= bound {
+        k1 += 1;
+    }
+    let mut k2 = bound / k1;
+    while gcd(k1, k2) != 1 {
+        k2 -= 1; // terminates: gcd(k1, 1) = 1
+    }
+    debug_assert!(check_dual_steps(k1, k2, min_len, seed_len).is_ok());
+    Ok((k1, k2))
 }
 
 #[cfg(test)]
@@ -128,6 +273,119 @@ mod tests {
     fn errors_display_actionably() {
         let msg = check_step(39, 50, 13).unwrap_err().to_string();
         assert!(msg.contains("38"), "mentions the allowed maximum: {msg}");
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 16), 1);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(1, 293), 1);
+    }
+
+    #[test]
+    fn check_dual_steps_accepts_valid_pairs() {
+        // L = 25, ls = 8 → bound 18.
+        assert_eq!(check_dual_steps(4, 3, 25, 8), Ok(()));
+        assert_eq!(check_dual_steps(2, 9, 25, 8), Ok(()), "product at bound");
+        assert_eq!(check_dual_steps(1, 18, 25, 8), Ok(()));
+        assert_eq!(check_dual_steps(18, 1, 25, 8), Ok(()));
+        // k2 = 1 is the ref-only degenerate case.
+        assert_eq!(check_dual_steps(5, 1, 25, 8), Ok(()));
+    }
+
+    #[test]
+    fn check_dual_steps_rejects_violations() {
+        assert_eq!(
+            check_dual_steps(4, 6, 25, 8),
+            Err(IndexError::StepsNotCoprime {
+                k1: 4,
+                k2: 6,
+                gcd: 2
+            })
+        );
+        assert_eq!(
+            check_dual_steps(5, 4, 25, 8),
+            Err(IndexError::DualProductTooLarge {
+                k1: 5,
+                k2: 4,
+                min_len: 25,
+                seed_len: 8
+            })
+        );
+        assert_eq!(check_dual_steps(0, 3, 25, 8), Err(IndexError::StepZero));
+        assert_eq!(check_dual_steps(3, 0, 25, 8), Err(IndexError::StepZero));
+        assert_eq!(
+            check_dual_steps(1, 1, 10, 13),
+            Err(IndexError::SeedLongerThanL {
+                seed_len: 13,
+                min_len: 10
+            })
+        );
+    }
+
+    #[test]
+    fn dual_errors_display_actionably() {
+        let msg = check_dual_steps(4, 6, 25, 8).unwrap_err().to_string();
+        assert!(msg.contains("co-prime"), "{msg}");
+        let msg = check_dual_steps(5, 4, 25, 8).unwrap_err().to_string();
+        assert!(msg.contains("18"), "mentions the coverage bound: {msg}");
+    }
+
+    #[test]
+    fn max_coprime_steps_picks_balanced_pairs() {
+        // bound 18: k1 = 4, 18/4 = 4 shares a factor → k2 = 3.
+        assert_eq!(max_coprime_steps(25, 8), Ok((4, 3)));
+        // bound 93: (9, 10) already co-prime.
+        assert_eq!(max_coprime_steps(100, 8), Ok((9, 10)));
+        // bound 293: 293/17 = 17 = k1 → k2 = 16.
+        assert_eq!(max_coprime_steps(300, 8), Ok((17, 16)));
+        // bound 1: the full-density degenerate pair.
+        assert_eq!(max_coprime_steps(10, 10), Ok((1, 1)));
+        assert_eq!(
+            max_coprime_steps(10, 13),
+            Err(IndexError::SeedLongerThanL {
+                seed_len: 13,
+                min_len: 10
+            })
+        );
+    }
+
+    #[test]
+    fn seed_mode_accessors_and_display() {
+        assert_eq!(SeedMode::default(), SeedMode::RefOnly);
+        assert_eq!(SeedMode::RefOnly.query_step(), 1);
+        let dual = SeedMode::DualSampled { k1: 4, k2: 3 };
+        assert_eq!(dual.query_step(), 3);
+        assert_eq!(SeedMode::RefOnly.to_string(), "ref");
+        assert_eq!(dual.to_string(), "dual:4,3");
+    }
+
+    /// The tightness construction for the dual bound: for co-prime
+    /// `(k1, k2)` with `k1·k2 = bound + 1`, the alignment whose unique
+    /// anchor residue (mod `k1·k2`) is exactly `bound` has no anchor
+    /// inside the window — the violation `check_dual_steps` rejects.
+    #[test]
+    fn one_past_dual_bound_misses_an_alignment() {
+        for (k1, k2) in [(2, 3), (3, 4), (4, 3), (5, 4), (7, 8), (16, 17), (17, 16)] {
+            assert_eq!(gcd(k1, k2), 1, "grid pair ({k1},{k2}) must be co-prime");
+            let seed_len = 5usize;
+            // bound = L − ℓs + 1 = k1·k2 − 1, one short of the product.
+            let min_len = (k1 * k2 - 1 + seed_len - 1) as u32;
+            assert!(check_dual_steps(k1, k2, min_len, seed_len).is_err());
+            // Alignment with anchor residue i0 = bound: r0 ≡ −i0 (mod k1),
+            // q0 ≡ −i0 (mod k2).
+            let i0 = k1 * k2 - 1;
+            let r0 = (k1 - i0 % k1) % k1;
+            let q0 = (k2 - i0 % k2) % k2;
+            let window = min_len as usize - seed_len; // inclusive last offset
+            let anchored = (0..=window).any(|i| (r0 + i) % k1 == 0 && (q0 + i) % k2 == 0);
+            assert!(
+                !anchored,
+                "({k1},{k2}): alignment ({r0},{q0}) should miss every anchor"
+            );
+        }
     }
 }
 
@@ -186,6 +444,54 @@ mod proptests {
                 !window_has_sampled_seed(1, min_len, seed_len, step + 1),
                 "L = {}, ls = {}: step {} should miss the offset-1 window",
                 min_len, seed_len, step + 1
+            );
+        }
+
+        /// The dual coverage lemma, numerically: with the default
+        /// co-prime pair ([`max_coprime_steps`]), *every* alignment
+        /// `(r0 mod k1, q0 mod k2)` of a MEM of length exactly `L`
+        /// contains a seed offset that is simultaneously a reference
+        /// sample and a query probe.
+        #[test]
+        fn coprime_steps_anchor_every_length_l_alignment(
+            min_len in 1u32..250,
+            seed_frac in 0.0f64..1.0,
+            r0 in 0usize..100_000,
+            q0 in 0usize..100_000,
+        ) {
+            let seed_len = 1 + (seed_frac * (min_len - 1) as f64) as usize;
+            let (k1, k2) = max_coprime_steps(min_len, seed_len).unwrap();
+            prop_assert_eq!(check_dual_steps(k1, k2, min_len, seed_len), Ok(()));
+            let window = min_len as usize - seed_len; // inclusive last offset
+            let anchored = (0..=window).any(|i| (r0 + i) % k1 == 0 && (q0 + i) % k2 == 0);
+            prop_assert!(
+                anchored,
+                "L = {}, ls = {}, (k1,k2) = ({},{}), alignment ({},{}) has no anchor",
+                min_len, seed_len, k1, k2, r0, q0
+            );
+        }
+
+        /// Any *valid* co-prime pair — not just the default — anchors
+        /// every alignment: the CRT argument needs only
+        /// `gcd(k1, k2) = 1` and `k1·k2 ≤ L − ℓs + 1`.
+        #[test]
+        fn any_valid_dual_pair_anchors_every_alignment(
+            k1 in 1usize..20,
+            k2 in 1usize..20,
+            seed_len in 1usize..14,
+            slack in 0usize..10,
+            r0 in 0usize..100_000,
+            q0 in 0usize..100_000,
+        ) {
+            prop_assume!(gcd(k1, k2) == 1);
+            let min_len = (k1 * k2 + seed_len - 1 + slack) as u32;
+            prop_assert_eq!(check_dual_steps(k1, k2, min_len, seed_len), Ok(()));
+            let window = min_len as usize - seed_len;
+            let anchored = (0..=window).any(|i| (r0 + i) % k1 == 0 && (q0 + i) % k2 == 0);
+            prop_assert!(
+                anchored,
+                "(k1,k2) = ({},{}), L = {}, ls = {}, alignment ({},{}) has no anchor",
+                k1, k2, min_len, seed_len, r0, q0
             );
         }
     }

@@ -7,6 +7,11 @@
 //!   --tool <gpumem|mummer|essamem|sparsemem|slamem>   finder (default gpumem)
 //!   --min-len <L>        minimum MEM length (default 20)
 //!   --seed-len <ls>      GPUMEM seed length (default min(13, L))
+//!   --seed-mode <m>      GPUMEM seed sampling: `ref` (reference-only,
+//!                        Eq. 1 sparsification, default) or
+//!                        `dual[:k1,k2]` (copMEM-style dual-genome
+//!                        sampling with co-prime steps; omitting k1,k2
+//!                        picks the largest valid pair automatically)
 //!   --sparseness <K>     sparse-SA sparseness for essamem/sparsemem (default 4)
 //!   --threads <t>        CPU finder threads (default 1)
 //!   --query-threads <n>  GPUMEM query workers for multi-record query
@@ -42,16 +47,18 @@ use std::process::ExitCode;
 use gpumem::baselines::{
     find_mems_both_strands, EssaMem, MemFinder, Mummer, SlaMem, SparseMem, VariantFilter,
 };
+use gpumem::index::{check_dual_steps, max_coprime_steps};
 use gpumem::seq::{
     read_fasta, AmbigPolicy, FastaRecord, Mem, PackedSeq, SeqSet, Strand, StrandMem,
 };
 use gpumem::sim::{DeviceSpec, LaunchStats};
-use gpumem::{Engine, GpumemConfig, GpumemResult, RunError, Trace};
+use gpumem::{Engine, GpumemConfig, GpumemResult, RunError, SeedMode, Trace};
 
 struct Options {
     tool: String,
     min_len: u32,
     seed_len: Option<usize>,
+    seed_mode: String,
     sparseness: usize,
     threads: usize,
     query_threads: usize,
@@ -73,6 +80,7 @@ fn parse_args() -> Result<Options, String> {
         tool: "gpumem".into(),
         min_len: 20,
         seed_len: None,
+        seed_mode: "ref".into(),
         sparseness: 4,
         threads: 1,
         query_threads: 1,
@@ -107,6 +115,7 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("bad --seed-len: {e}"))?,
                 )
             }
+            "--seed-mode" => opts.seed_mode = value("--seed-mode")?,
             "--sparseness" => {
                 opts.sparseness = value("--sparseness")?
                     .parse()
@@ -156,6 +165,39 @@ fn parse_args() -> Result<Options, String> {
     }
 }
 
+/// Resolve `--seed-mode ref|dual[:k1,k2]`. The auto `dual` form picks
+/// the largest valid co-prime pair for `(L, ℓs)`; explicit pairs are
+/// validated here so the structured [`gpumem::index::IndexError`]
+/// message (non-co-prime, product over the coverage bound) reaches the
+/// user before any index work starts.
+fn parse_seed_mode(spec: &str, min_len: u32, seed_len: usize) -> Result<SeedMode, String> {
+    if spec == "ref" {
+        return Ok(SeedMode::RefOnly);
+    }
+    let rest = spec
+        .strip_prefix("dual")
+        .ok_or_else(|| format!("bad --seed-mode {spec}: expected ref or dual[:k1,k2]"))?;
+    let (k1, k2) = if rest.is_empty() {
+        max_coprime_steps(min_len, seed_len).map_err(|e| format!("bad --seed-mode: {e}"))?
+    } else {
+        let body = rest
+            .strip_prefix(':')
+            .and_then(|body| body.split_once(','))
+            .ok_or_else(|| format!("bad --seed-mode {spec}: expected dual:<k1>,<k2>"))?;
+        let k1 = body
+            .0
+            .parse()
+            .map_err(|e| format!("bad --seed-mode k1: {e}"))?;
+        let k2 = body
+            .1
+            .parse()
+            .map_err(|e| format!("bad --seed-mode k2: {e}"))?;
+        check_dual_steps(k1, k2, min_len, seed_len).map_err(|e| format!("bad --seed-mode: {e}"))?;
+        (k1, k2)
+    };
+    Ok(SeedMode::DualSampled { k1, k2 })
+}
+
 fn load_records(path: &str) -> Result<Vec<FastaRecord>, String> {
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let records = read_fasta(BufReader::new(file), AmbigPolicy::Randomize(0))
@@ -194,9 +236,16 @@ fn run_gpumem(
     reference: &PackedSeq,
     queries: &SeqSet,
 ) -> Result<Vec<RecordHits>, String> {
+    // Mirror the builder's seed-length default so `--seed-mode dual`
+    // derives its co-prime pair from the length the index will use.
+    let seed_len = opts
+        .seed_len
+        .unwrap_or_else(|| 13usize.min(opts.min_len as usize));
+    let seed_mode = parse_seed_mode(&opts.seed_mode, opts.min_len, seed_len)?;
     let mut builder = GpumemConfig::builder(opts.min_len)
         .threads_per_block(128)
-        .blocks_per_tile(16);
+        .blocks_per_tile(16)
+        .seed_mode(seed_mode);
     if let Some(seed_len) = opts.seed_len {
         builder = builder.seed_len(seed_len);
     }
@@ -350,7 +399,7 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: gpumem-cli [--tool T] [--min-len L] [--seed-len ls] [--sparseness K] [--threads t] [--query-threads n] [--both-strands] [--mum] [--rare t] [--stats] [--sanitize] [--trace out.json] [--metrics out.json] [--profile] <reference.fa> <query.fa>");
+            eprintln!("usage: gpumem-cli [--tool T] [--min-len L] [--seed-len ls] [--seed-mode ref|dual[:k1,k2]] [--sparseness K] [--threads t] [--query-threads n] [--both-strands] [--mum] [--rare t] [--stats] [--sanitize] [--trace out.json] [--metrics out.json] [--profile] <reference.fa> <query.fa>");
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {

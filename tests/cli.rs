@@ -236,6 +236,70 @@ fn multi_record_query_groups_hits_and_names_records() {
 }
 
 #[test]
+fn seed_mode_dual_matches_ref_only_output() {
+    let dir = std::env::temp_dir().join("gpumem-cli-test-seedmode");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ref_fa, query_fa) = write_pair(&dir);
+
+    let run = |extra: &[&str]| -> String {
+        let mut args = vec!["--tool", "gpumem", "--min-len", "25"];
+        args.extend_from_slice(extra);
+        args.push(ref_fa.as_str());
+        args.push(query_fa.as_str());
+        let out = cli().args(&args).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "gpumem {extra:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    let ref_only = run(&["--seed-mode", "ref"]);
+    assert_eq!(ref_only, run(&[]), "--seed-mode ref is the default");
+    assert!(!ref_only.trim().is_empty(), "expected matches");
+    // Auto-derived pair (L = 25, default ℓs = 13 → bound 13) and an
+    // explicit valid pair both reproduce the exact MEM set.
+    assert_eq!(run(&["--seed-mode", "dual"]), ref_only);
+    assert_eq!(run(&["--seed-mode", "dual:3,4"]), ref_only);
+}
+
+#[test]
+fn seed_mode_validation_errors_are_structured() {
+    let dir = std::env::temp_dir().join("gpumem-cli-test-seedmode-err");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ref_fa, query_fa) = write_pair(&dir);
+
+    let fail = |extra: &[&str]| -> String {
+        let mut args = vec!["--tool", "gpumem", "--min-len", "25"];
+        args.extend_from_slice(extra);
+        args.push(ref_fa.as_str());
+        args.push(query_fa.as_str());
+        let out = cli().args(&args).output().expect("binary runs");
+        assert!(!out.status.success(), "expected {extra:?} to fail");
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+
+    // gcd(4, 6) = 2: the structured IndexError names the co-prime
+    // requirement.
+    let err = fail(&["--seed-mode", "dual:4,6"]);
+    assert!(err.contains("co-prime"), "{err}");
+
+    // 13 · 9 = 117 over the bound L − ℓs + 1 = 13: the error names the
+    // coverage bound.
+    let err = fail(&["--seed-mode", "dual:13,9"]);
+    assert!(err.contains("k1*k2"), "{err}");
+
+    // A step of zero and a malformed mode string fail cleanly too.
+    let err = fail(&["--seed-mode", "dual:0,3"]);
+    assert!(err.contains("step"), "{err}");
+    let err = fail(&["--seed-mode", "banana"]);
+    assert!(err.contains("expected ref or dual"), "{err}");
+    let err = fail(&["--seed-mode", "dual:5"]);
+    assert!(err.contains("expected dual:<k1>,<k2>"), "{err}");
+}
+
+#[test]
 fn both_strands_superset_and_strand_column() {
     let dir = std::env::temp_dir().join("gpumem-cli-test-strands");
     std::fs::create_dir_all(&dir).unwrap();

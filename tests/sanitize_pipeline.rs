@@ -58,6 +58,36 @@ fn full_pipeline_is_hazard_free_under_sanitizer() {
 }
 
 #[test]
+fn dual_sampled_pipeline_is_hazard_free_under_sanitizer() {
+    // The dual probe schedule changes the round structure inside
+    // `match.blocks` (only rounds on the k2 grid execute), so it gets
+    // its own zero-hazard gate. L = 25, ℓs = 6 → bound 20; (4, 5) is a
+    // valid co-prime pair with w = 20.
+    let (reference, query) = smoke_pair();
+    let config = GpumemConfig::builder(25)
+        .seed_len(6)
+        .threads_per_block(64)
+        .blocks_per_tile(4)
+        .seed_mode(gpumem::SeedMode::DualSampled { k1: 4, k2: 5 })
+        .build()
+        .expect("valid config");
+    let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
+
+    let baseline = gpumem.run(&reference, &query).unwrap();
+
+    let session = Session::start();
+    let sanitized = gpumem.run(&reference, &query).unwrap();
+    let report = session.finish();
+
+    assert!(report.is_clean(), "dual pipeline hazards:\n{report}");
+    assert!(
+        report.launches > 4,
+        "expected every kernel family to launch"
+    );
+    assert_eq!(sanitized.mems, baseline.mems, "sanitizing changed results");
+}
+
+#[test]
 fn dense_and_compact_index_builds_are_hazard_free() {
     let (reference, _) = smoke_pair();
     let device = Device::new(DeviceSpec::test_tiny());

@@ -1,0 +1,176 @@
+//! Dual-sampling coverage end to end: under `SeedMode::DualSampled`
+//! with co-prime steps `(k1, k2)` satisfying `k1·k2 ≤ L − ℓs + 1`, the
+//! pipeline's MEM set is byte-identical to `SeedMode::RefOnly` — in
+//! particular, a planted MEM of length *exactly* `L` (the worst case
+//! the coverage bound still covers) is found at every alignment of its
+//! start positions relative to both sample grids.
+
+use gpumem::core::{Gpumem, GpumemConfig, IndexKind, SeedMode};
+use gpumem::index::max_coprime_steps;
+use gpumem::seq::{naive_mems, GenomeModel, Mem, MutationModel, PackedSeq};
+use gpumem::sim::{Device, DeviceSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Overwrite `background[at..at + segment.len()]` with `segment` and
+/// pin the flanking characters so a match over the segment cannot
+/// extend past either end.
+fn splice(background: &mut [u8], at: usize, segment: &[u8], flank_before: u8, flank_after: u8) {
+    background[at..at + segment.len()].copy_from_slice(segment);
+    if at > 0 {
+        background[at - 1] = flank_before;
+    }
+    let end = at + segment.len();
+    if end < background.len() {
+        background[end] = flank_after;
+    }
+}
+
+/// A reference/query pair sharing one segment of length exactly `l` at
+/// `(ref_at, query_at)`, with mismatching flanks on both sides in both
+/// sequences so the planted MEM is `(ref_at, query_at, l)` precisely.
+fn planted_pair(
+    l: usize,
+    ref_at: usize,
+    query_at: usize,
+    content_seed: u64,
+) -> (PackedSeq, PackedSeq) {
+    let shared = GenomeModel::uniform().generate(l, content_seed).to_codes();
+    let mut reference = GenomeModel::uniform()
+        .generate(ref_at + l + 200, content_seed.wrapping_add(1))
+        .to_codes();
+    let mut query = GenomeModel::uniform()
+        .generate(query_at + l + 200, content_seed.wrapping_add(2))
+        .to_codes();
+    splice(&mut reference, ref_at, &shared, 0, 2);
+    splice(&mut query, query_at, &shared, 1, 3);
+    (
+        PackedSeq::from_codes(&reference),
+        PackedSeq::from_codes(&query),
+    )
+}
+
+fn run_mode(
+    min_len: u32,
+    seed_len: usize,
+    mode: SeedMode,
+    reference: &PackedSeq,
+    query: &PackedSeq,
+) -> Vec<Mem> {
+    // The compact directory keeps the index proportional to the
+    // sampled locations — the dense 4^ℓs table would swamp the ℓs = 13
+    // grid entries with simulated table scans.
+    let config = GpumemConfig::builder(min_len)
+        .seed_len(seed_len)
+        .threads_per_block(8)
+        .blocks_per_tile(2)
+        .index_kind(IndexKind::CompactDirectory)
+        .seed_mode(mode)
+        .build()
+        .expect("valid config");
+    let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
+    gpumem.run(reference, query).unwrap().mems
+}
+
+/// The (L, ℓs, k1, k2) grid: for each configuration, sweep the planted
+/// exact-L MEM over every joint residue class of `(ref start mod k1,
+/// query start mod k2)` — the CRT coverage argument must produce an
+/// anchor in each of the `k1·k2` classes. Pairs with `k1·k2` exactly
+/// at the bound `L − ℓs + 1` are the Eq.-1-boundary analogues.
+#[test]
+fn dual_mode_equals_ref_only_on_planted_mems_across_the_grid() {
+    // (L, ℓs, k1, k2); products 18, 13, 12, 6, 5 against bounds
+    // 18, 13, 43, 6, 14 — the first, second, and fourth sit exactly at
+    // the bound.
+    let grid: &[(u32, usize, usize, usize)] = &[
+        (25, 8, 2, 9),
+        (25, 13, 13, 1),
+        (50, 8, 3, 4),
+        (13, 8, 2, 3),
+        (18, 5, 5, 1),
+    ];
+    for &(min_len, seed_len, k1, k2) in grid {
+        let dual = SeedMode::DualSampled { k1, k2 };
+        for residue in 0..k1 * k2 {
+            let ref_at = 83 + residue % k1;
+            let query_at = 59 + residue / k1;
+            let (reference, query) = planted_pair(
+                min_len as usize,
+                ref_at,
+                query_at,
+                1_000 * min_len as u64 + residue as u64,
+            );
+            let planted = Mem {
+                r: ref_at as u32,
+                q: query_at as u32,
+                len: min_len,
+            };
+            let ref_only = run_mode(min_len, seed_len, SeedMode::RefOnly, &reference, &query);
+            let dual_mems = run_mode(min_len, seed_len, dual, &reference, &query);
+            assert!(
+                dual_mems.contains(&planted),
+                "planted MEM {planted:?} missing under {dual} (L = {min_len}, ls = {seed_len}): {dual_mems:?}"
+            );
+            assert_eq!(
+                dual_mems, ref_only,
+                "MEM sets differ at residue ({}, {}) for (L = {min_len}, ls = {seed_len}, k1 = {k1}, k2 = {k2})",
+                ref_at % k1, query_at % k2
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random related sequences, random valid co-prime pair: the whole
+    /// canonical MEM set is identical between modes and matches the
+    /// ground truth. `min_len` is derived so every drawn pair satisfies
+    /// the bound (with 0–4 positions of slack beyond it).
+    #[test]
+    fn dual_mode_mem_set_equals_ref_only_and_naive(
+        k1 in 1usize..6,
+        k2 in 1usize..8,
+        seed_len in 4usize..9,
+        slack in 0u32..5,
+        content_seed in 0u64..1_000,
+    ) {
+        prop_assume!(gpumem::index::gcd(k1, k2) == 1);
+        // Floor at 14 so tiny (k1·k2, ℓs) draws don't degenerate into
+        // a quadratic all-4-mers MEM set; raising L only loosens the
+        // k1·k2 ≤ L − ℓs + 1 bound, so every drawn pair stays valid.
+        let min_len = ((seed_len + k1 * k2 - 1) as u32 + slack).max(14);
+        let reference = GenomeModel::mammalian().generate(900, content_seed);
+        let query = {
+            let model = MutationModel { sub_rate: 0.05, indel_rate: 0.005 };
+            let mut rng = StdRng::seed_from_u64(content_seed.wrapping_add(7));
+            PackedSeq::from_codes(&model.apply(&reference.to_codes(), &mut rng))
+        };
+        let dual = SeedMode::DualSampled { k1, k2 };
+        let ref_only = run_mode(min_len, seed_len, SeedMode::RefOnly, &reference, &query);
+        let dual_mems = run_mode(min_len, seed_len, dual, &reference, &query);
+        prop_assert_eq!(&dual_mems, &ref_only, "modes disagree for (k1 = {}, k2 = {})", k1, k2);
+        prop_assert_eq!(dual_mems, naive_mems(&reference, &query, min_len));
+    }
+
+    /// The auto-derived pair from `max_coprime_steps` is always valid
+    /// end to end.
+    #[test]
+    fn auto_coprime_pair_is_exact_end_to_end(
+        min_len in 20u32..60,
+        seed_len in 4usize..9,
+        content_seed in 0u64..1_000,
+    ) {
+        let (k1, k2) = max_coprime_steps(min_len, seed_len).unwrap();
+        let reference = GenomeModel::mammalian().generate(800, content_seed);
+        let query = {
+            let model = MutationModel { sub_rate: 0.04, indel_rate: 0.004 };
+            let mut rng = StdRng::seed_from_u64(content_seed.wrapping_add(11));
+            PackedSeq::from_codes(&model.apply(&reference.to_codes(), &mut rng))
+        };
+        let dual = SeedMode::DualSampled { k1, k2 };
+        let got = run_mode(min_len, seed_len, dual, &reference, &query);
+        prop_assert_eq!(got, naive_mems(&reference, &query, min_len));
+    }
+}

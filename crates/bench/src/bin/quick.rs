@@ -38,12 +38,23 @@
 //! `seedmode_l{25,100,300}` objects whose `modeled_ratio` is the
 //! ref/dual modeled-match-time quotient.
 //!
+//! A `skewed` scenario measures the SaLoBa-style locality/balance
+//! knobs where they matter: a repeat-heavy pair (planted repeat family
+//! plus a homopolymer run, so a few seed codes own most of the
+//! occurrence mass) runs under the default configuration and under the
+//! tuned stack — mass-descending tile scheduling + persistent-block
+//! work stealing + shared-memory query staging — asserting identical
+//! MEM sets and recording modeled match time, warp efficiency, and
+//! divergence rate for both, plus the tuned run's steal count.
+//!
 //! With `GPUMEM_BENCH_CHECK=1`, compares the fresh wall-clock against
-//! the committed `current.wall_s` (plus the fresh batch queries/sec
-//! against the committed `batch.qps_batch`, and the fresh L = 300
-//! `modeled_ratio` against its committed value) and exits non-zero
-//! when any regresses by more than `GPUMEM_BENCH_MAX_REGRESS` (default
-//! 0.20) — the CI bench-smoke gate.
+//! the committed `current.wall_s` (plus the fresh match-phase wall
+//! `match_wall_s`, the fresh batch queries/sec against the committed
+//! `batch.qps_batch`, the fresh L = 300 seed-mode `modeled_ratio`, and
+//! the fresh skewed-scenario `modeled_ratio` against their committed
+//! values) and exits non-zero when any regresses by more than
+//! `GPUMEM_BENCH_MAX_REGRESS` (default 0.20) — the CI bench-smoke
+//! gate.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -76,6 +87,13 @@ const BATCH_QUERY_LEN: usize = 2_000;
 /// query-probe count, so it grows with `L`.
 const SEEDMODE_LS: &[u32] = &[25, 100, 300];
 const SEEDMODE_REF_LEN: usize = 40_000;
+
+/// Skewed-load scenario: a repeat family + homopolymer run concentrate
+/// seed-occurrence mass on a few codes, the Fig. 6 skew the
+/// locality/balance knobs target.
+const SKEW_REF_LEN: usize = 30_000;
+const SKEW_MOTIF_LEN: usize = 400;
+const SKEW_MOTIF_COPIES: usize = 24;
 
 fn dataset() -> (PackedSeq, PackedSeq) {
     let reference = GenomeModel::mammalian().generate(REF_LEN, DATA_SEED);
@@ -228,6 +246,126 @@ fn measure_seedmode(l: u32, reference: &PackedSeq, query: &PackedSeq) -> SeedMod
     }
 }
 
+/// A repeat-heavy pair: one motif spliced into many reference
+/// locations plus a homopolymer run, queried by a mutated copy. A few
+/// seed codes own most of the occurrence mass, so static per-round
+/// splits leave stragglers for the queue to steal from.
+fn skewed_pair() -> (PackedSeq, PackedSeq) {
+    let mut codes = GenomeModel::mammalian()
+        .generate(SKEW_REF_LEN, DATA_SEED + 4)
+        .to_codes();
+    let motif = GenomeModel::mammalian()
+        .generate(SKEW_MOTIF_LEN, DATA_SEED + 5)
+        .to_codes();
+    for copy in 0..SKEW_MOTIF_COPIES {
+        let at = 1_000 + copy * ((SKEW_REF_LEN - 2_000) / SKEW_MOTIF_COPIES);
+        codes[at..at + SKEW_MOTIF_LEN].copy_from_slice(&motif);
+    }
+    for slot in codes[200..800].iter_mut() {
+        *slot = 1; // homopolymer: one seed code, 600 locations
+    }
+    let reference = PackedSeq::from_codes(&codes);
+    let query = {
+        let model = MutationModel {
+            sub_rate: 0.02,
+            indel_rate: 0.002,
+        };
+        let mut rng = StdRng::seed_from_u64(DATA_SEED + 6);
+        PackedSeq::from_codes(&model.apply(&codes, &mut rng))
+    };
+    (reference, query)
+}
+
+/// One measurement of the skewed-load scenario: default configuration
+/// versus the tuned locality/balance stack on the same pair.
+struct SkewSample {
+    base_wall_s: f64,
+    tuned_wall_s: f64,
+    base_modeled_match_s: f64,
+    tuned_modeled_match_s: f64,
+    base_warp_efficiency: f64,
+    tuned_warp_efficiency: f64,
+    base_divergence_rate: f64,
+    tuned_divergence_rate: f64,
+    steal_events: u64,
+    mems: usize,
+}
+
+fn measure_skewed(reference: &PackedSeq, query: &PackedSeq) -> SkewSample {
+    let build = |tuned: bool| {
+        let mut builder = GpumemConfig::builder(MIN_LEN)
+            .seed_len(SEED_LEN)
+            .threads_per_block(THREADS_PER_BLOCK)
+            .blocks_per_tile(BLOCKS_PER_TILE);
+        if tuned {
+            builder = builder
+                .schedule_policy(gpumem_core::SchedulePolicy::MassDescending)
+                .work_stealing(true)
+                .query_staging(true);
+        }
+        Gpumem::new(builder.build().expect("valid skewed config"))
+    };
+    let run = |tuned: bool| {
+        let gpumem = build(tuned);
+        let start = Instant::now();
+        let result = gpumem.run(reference, query).expect("skewed workload fits");
+        (start.elapsed().as_secs_f64(), result)
+    };
+    let (base_wall_s, base) = run(false);
+    let (tuned_wall_s, tuned) = run(true);
+    assert_eq!(
+        base.mems, tuned.mems,
+        "locality/balance knobs must not change the MEM set"
+    );
+    assert!(
+        tuned.stats.matching.steal_events > 0,
+        "skewed workload must exercise the steal queue"
+    );
+    SkewSample {
+        base_wall_s,
+        tuned_wall_s,
+        base_modeled_match_s: base.stats.matching.modeled_secs(),
+        tuned_modeled_match_s: tuned.stats.matching.modeled_secs(),
+        base_warp_efficiency: base.stats.matching.warp_efficiency(32),
+        tuned_warp_efficiency: tuned.stats.matching.warp_efficiency(32),
+        base_divergence_rate: base.stats.matching.divergence_rate(),
+        tuned_divergence_rate: tuned.stats.matching.divergence_rate(),
+        steal_events: tuned.stats.matching.steal_events,
+        mems: base.mems.len(),
+    }
+}
+
+fn render_skewed(sample: &SkewSample) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"base_wall_s\": {:.4},\n",
+            "    \"tuned_wall_s\": {:.4},\n",
+            "    \"base_modeled_match_s\": {:.6},\n",
+            "    \"tuned_modeled_match_s\": {:.6},\n",
+            "    \"modeled_ratio\": {:.2},\n",
+            "    \"base_warp_efficiency\": {:.4},\n",
+            "    \"tuned_warp_efficiency\": {:.4},\n",
+            "    \"base_divergence_rate\": {:.6},\n",
+            "    \"tuned_divergence_rate\": {:.6},\n",
+            "    \"steal_events\": {},\n",
+            "    \"mems\": {}\n",
+            "  }}"
+        ),
+        sample.base_wall_s,
+        sample.tuned_wall_s,
+        sample.base_modeled_match_s,
+        sample.tuned_modeled_match_s,
+        sample.base_modeled_match_s / sample.tuned_modeled_match_s,
+        sample.base_warp_efficiency,
+        sample.tuned_warp_efficiency,
+        sample.base_divergence_rate,
+        sample.tuned_divergence_rate,
+        sample.steal_events,
+        sample.mems,
+    )
+}
+
 fn render_seedmode(sample: &SeedModeSample) -> String {
     format!(
         concat!(
@@ -329,6 +467,10 @@ fn render(sample: &Sample, breakdown: &ModeledBreakdown) -> String {
             "    \"modeled_generate_s\": {:.6},\n",
             "    \"modeled_extend_s\": {:.6},\n",
             "    \"modeled_combine_s\": {:.6},\n",
+            "    \"warp_efficiency\": {:.4},\n",
+            "    \"divergence_rate\": {:.6},\n",
+            "    \"block_occupancy\": {:.4},\n",
+            "    \"steal_events\": {},\n",
             "    \"pool_allocs\": {},\n",
             "    \"launches\": {},\n",
             "    \"mems\": {}\n",
@@ -342,6 +484,10 @@ fn render(sample: &Sample, breakdown: &ModeledBreakdown) -> String {
         breakdown.generate_s,
         breakdown.extend_s,
         breakdown.combine_s,
+        s.matching.warp_efficiency(32),
+        s.matching.divergence_rate(),
+        s.matching.block_occupancy(),
+        s.matching.steal_events,
         s.index.pool_allocs + s.matching.pool_allocs,
         s.index.launches + s.matching.launches,
         sample.mems,
@@ -487,6 +633,32 @@ fn main() {
         breakdown.extend_s * 1e3,
         breakdown.combine_s * 1e3,
     );
+    eprintln!(
+        "device counters: warp efficiency {:.3}, divergence rate {:.4}, block occupancy {:.3}, {} steals",
+        best.stats.matching.warp_efficiency(32),
+        best.stats.matching.divergence_rate(),
+        best.stats.matching.block_occupancy(),
+        best.stats.matching.steal_events,
+    );
+
+    // Skewed-load scenario: the locality/balance knobs against their
+    // target workload. Modeled time is deterministic, so one run per
+    // configuration suffices; modeled_ratio is what the gate tracks.
+    let skewed = {
+        let (skew_ref, skew_query) = skewed_pair();
+        let sample = measure_skewed(&skew_ref, &skew_query);
+        eprintln!(
+            "skewed: tuned modeled match {:.3} ms vs base {:.3} ms ({:.2}x), warp eff {:.3} -> {:.3}, {} steals, {} MEMs",
+            sample.tuned_modeled_match_s * 1e3,
+            sample.base_modeled_match_s * 1e3,
+            sample.base_modeled_match_s / sample.tuned_modeled_match_s,
+            sample.base_warp_efficiency,
+            sample.tuned_warp_efficiency,
+            sample.steal_events,
+            sample.mems,
+        );
+        sample
+    };
 
     // Seed-mode ablation: one run per (L, mode) — modeled time is
     // deterministic, and modeled_ratio is what the gate tracks.
@@ -555,6 +727,33 @@ fn main() {
             ),
             None => eprintln!("check skipped: no committed BENCH_pipeline.json"),
         }
+        // The match-phase wall-clock gets its own gate so a regression
+        // in the hot path can't hide behind a faster index build.
+        let fresh_match_wall = best.stats.match_wall.as_secs_f64();
+        let committed_match_wall = committed
+            .as_deref()
+            .and_then(|json| extract_object(json, "current"))
+            .and_then(|object| extract_number(&object, "match_wall_s"));
+        match committed_match_wall {
+            Some(committed_match_wall)
+                if fresh_match_wall > committed_match_wall * (1.0 + max_regress) =>
+            {
+                eprintln!(
+                    "FAIL: match wall {:.3} s regressed more than {:.0}% over committed {:.3} s",
+                    fresh_match_wall,
+                    max_regress * 100.0,
+                    committed_match_wall
+                );
+                std::process::exit(1);
+            }
+            Some(committed_match_wall) => eprintln!(
+                "match-wall check ok: {:.3} s vs committed {:.3} s (max regression {:.0}%)",
+                fresh_match_wall,
+                committed_match_wall,
+                max_regress * 100.0
+            ),
+            None => eprintln!("match-wall check skipped: no committed match_wall_s"),
+        }
         let fresh_qps = BATCH_QUERIES as f64 / batch_best.batch_wall_s;
         let committed_qps = committed
             .as_deref()
@@ -607,6 +806,32 @@ fn main() {
             ),
             None => eprintln!("seedmode check skipped: no committed seedmode scenario"),
         }
+        // The locality/balance win on skew must not erode either.
+        let fresh_skew_ratio = skewed.base_modeled_match_s / skewed.tuned_modeled_match_s;
+        let committed_skew_ratio = committed
+            .as_deref()
+            .and_then(|json| extract_object(json, "skewed"))
+            .and_then(|object| extract_number(&object, "modeled_ratio"));
+        match committed_skew_ratio {
+            Some(committed_skew_ratio)
+                if fresh_skew_ratio < committed_skew_ratio * (1.0 - max_regress) =>
+            {
+                eprintln!(
+                    "FAIL: skewed modeled ratio {:.2}x regressed more than {:.0}% under committed {:.2}x",
+                    fresh_skew_ratio,
+                    max_regress * 100.0,
+                    committed_skew_ratio
+                );
+                std::process::exit(1);
+            }
+            Some(committed_skew_ratio) => eprintln!(
+                "skewed check ok: {:.2}x vs committed {:.2}x (max regression {:.0}%)",
+                fresh_skew_ratio,
+                committed_skew_ratio,
+                max_regress * 100.0
+            ),
+            None => eprintln!("skewed check skipped: no committed skewed scenario"),
+        }
     }
 
     let json = format!(
@@ -624,6 +849,7 @@ fn main() {
             "  \"seedmode_l25\": {},\n",
             "  \"seedmode_l100\": {},\n",
             "  \"seedmode_l300\": {},\n",
+            "  \"skewed\": {},\n",
             "  \"speedup_wall\": {:.2}\n",
             "}}\n"
         ),
@@ -643,6 +869,7 @@ fn main() {
         render_seedmode(&seedmode[0]),
         render_seedmode(&seedmode[1]),
         render_seedmode(&seedmode[2]),
+        render_skewed(&skewed),
         before_wall / best.wall_s,
     );
     std::fs::write(&path, &json).expect("write BENCH_pipeline.json");

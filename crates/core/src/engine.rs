@@ -21,8 +21,11 @@
 //! ## Sink ordering guarantees
 //!
 //! For one run, batches arrive in a deterministic order: tiles in
-//! row-major order, each tile's [`MemStage::Block`] batch before its
-//! [`MemStage::Tile`] batch, and one final [`MemStage::Global`] batch.
+//! schedule order (row-major under the default
+//! [`SchedulePolicy::InOrder`](crate::config::SchedulePolicy);
+//! heaviest-first under `MassDescending`), each tile's
+//! [`MemStage::Block`] batch before its [`MemStage::Tile`] batch, and
+//! one final [`MemStage::Global`] batch.
 //! Only non-empty batches are delivered. Batches are the raw stage
 //! outputs — across tiles they may repeat a MEM (boundary
 //! re-expansion), so a sink that needs the canonical set must dedup
@@ -397,6 +400,27 @@ pub struct WorkerUtilization {
     pub utilization: f64,
 }
 
+/// Aggregated device-health counters of every query's extraction
+/// launches served so far: the load-balance and locality signals
+/// (warp efficiency, divergence, steals, block occupancy) that the
+/// scheduling and work-stealing knobs exist to move.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct DeviceCounters {
+    /// Warp efficiency of the matching kernels (mean active-lane share
+    /// of warp cycles; 1.0 = no intra-warp imbalance).
+    pub warp_efficiency: f64,
+    /// Divergence events per executed warp.
+    pub divergence_rate: f64,
+    /// Work-queue chunks executed by a lane other than their home seed
+    /// slot. Zero unless `work_stealing` is on.
+    pub steal_events: u64,
+    /// Warp-cycle share of the busiest block (1.0 = perfectly even
+    /// blocks), aggregated across launches.
+    pub block_occupancy: f64,
+    /// Warp cycles of the busiest single block seen in any launch.
+    pub busiest_block_cycles: u64,
+}
+
 /// A point-in-time export of the engine's serving metrics, obtained
 /// from [`Engine::metrics`]; serializes directly to JSON.
 #[derive(Clone, Debug, serde::Serialize)]
@@ -411,6 +435,8 @@ pub struct MetricsSnapshot {
     pub index_cache: IndexCacheStats,
     /// Per-worker load split.
     pub workers: Vec<WorkerUtilization>,
+    /// Device-health counters of the matching launches.
+    pub device: DeviceCounters,
 }
 
 impl MetricsSnapshot {
@@ -428,6 +454,7 @@ pub struct Engine {
     created: Instant,
     latency: Mutex<LatencyHistogram>,
     build_wait: Mutex<Duration>,
+    matching_totals: Mutex<LaunchStats>,
 }
 
 impl Engine {
@@ -456,12 +483,11 @@ impl Engine {
         spec: DeviceSpec,
         query_threads: usize,
     ) -> Engine {
-        let tau = session.config().threads_per_block;
         let workers = (0..query_threads.max(1))
             .map(|_| {
                 Mutex::new(Worker {
                     device: Device::new(spec.clone()),
-                    scratch: RunScratch::new(tau),
+                    scratch: RunScratch::new(session.config()),
                     busy: Duration::ZERO,
                     queries: 0,
                 })
@@ -473,6 +499,7 @@ impl Engine {
             created: Instant::now(),
             latency: Mutex::new(LatencyHistogram::new()),
             build_wait: Mutex::new(Duration::ZERO),
+            matching_totals: Mutex::new(LaunchStats::default()),
         }
     }
 
@@ -521,6 +548,7 @@ impl Engine {
             trace,
         );
         *self.build_wait.lock() += build_wait;
+        *self.matching_totals.lock() += stats.matching.clone();
         stats
     }
 
@@ -630,6 +658,15 @@ impl Engine {
             misses: built,
             build_wait_s: self.build_wait.lock().as_secs_f64(),
         };
+        let warp_size = self.workers[0].lock().device.spec().warp_size;
+        let totals = self.matching_totals.lock().clone();
+        let device = DeviceCounters {
+            warp_efficiency: totals.warp_efficiency(warp_size),
+            divergence_rate: totals.divergence_rate(),
+            steal_events: totals.steal_events,
+            block_occupancy: totals.block_occupancy(),
+            busiest_block_cycles: totals.busiest_block_cycles,
+        };
         let workers = self
             .workers
             .iter()
@@ -652,6 +689,7 @@ impl Engine {
             latency: summary,
             index_cache,
             workers,
+            device,
         }
     }
 

@@ -18,6 +18,9 @@
 //!   (block → tile → host);
 //! * [`pipeline`] — the [`Gpumem`] runner tying everything together on
 //!   a [`gpu_sim::Device`];
+//! * [`schedule`] — occupancy-aware tile-launch ordering from sampled
+//!   seed-occurrence mass (the Fig. 6 histogram skew, exploited at tile
+//!   granularity);
 //! * [`engine`] — the serving layer: cached [`RefSession`] reference
 //!   indexes, the batch [`Engine`] with per-worker devices/scratch, and
 //!   the streaming [`MemSink`] result path;
@@ -49,13 +52,15 @@ pub mod expand;
 pub mod generate;
 pub mod global;
 pub mod pipeline;
+pub mod schedule;
 pub mod tile;
 pub mod tile_run;
 pub mod trace;
 
-pub use config::{ConfigError, GpumemConfig, GpumemConfigBuilder, IndexKind};
+pub use config::{ConfigError, GpumemConfig, GpumemConfigBuilder, IndexKind, SchedulePolicy};
 pub use engine::{
-    Engine, MemCollector, MemSink, MemStage, MetricsSnapshot, RefSession, SessionCache,
+    DeviceCounters, Engine, MemCollector, MemSink, MemStage, MetricsSnapshot, RefSession,
+    SessionCache,
 };
 pub use expand::Bounds;
 pub use gpumem_index::SeedMode;

@@ -19,15 +19,16 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use gpu_sim::{Device, DeviceSpec, LaunchConfig, LaunchStats};
+use gpu_sim::{Device, DeviceSpec, LaunchConfig, LaunchStats, SharedArena, WorkQueue};
 use gpumem_index::{build_compact_gpu, build_gpu, Region, SharedSeedLookup};
 use gpumem_seq::{Mem, PackedSeq};
 
-use crate::block::{process_block, BlockOutput, BlockScratch};
-use crate::config::GpumemConfig;
+use crate::block::{process_block, steal_queue_capacity, BlockOutput, BlockScratch};
+use crate::config::{GpumemConfig, SchedulePolicy};
 use crate::engine::{MemCollector, MemSink, MemStage};
 use crate::expand::Bounds;
 use crate::global::global_merge;
+use crate::schedule::TileSchedule;
 use crate::tile::Tiling;
 use crate::tile_run::{merge_tile, TileOutput};
 use crate::trace::{SpanCat, Trace, TraceRecorder};
@@ -165,10 +166,10 @@ pub struct RunScratch {
 }
 
 impl RunScratch {
-    /// Scratch for a configuration with `tau` threads per block.
-    pub fn new(tau: usize) -> RunScratch {
+    /// Scratch for `config`'s block geometry (τ threads, seed codec).
+    pub fn new(config: &GpumemConfig) -> RunScratch {
         RunScratch {
-            block: BlockScratch::new(tau),
+            block: BlockScratch::new(config.threads_per_block, config.seed_len),
             blocks_out: BlockOutput::default(),
             tile_out: TileOutput::default(),
             out_tile: Vec::new(),
@@ -281,28 +282,88 @@ pub(crate) fn run_tiles(
         stats.rows = tiling.n_rows();
         stats.cols = tiling.n_cols();
 
-        for row in 0..tiling.n_rows() {
+        // Persistent-block steal queue (one segment per block of a tile
+        // launch) and shared-memory staging arena, shared across every
+        // launch of the run. Both `None` by default.
+        let queue = config.work_stealing.then(|| {
+            WorkQueue::new(
+                config.blocks_per_tile,
+                steal_queue_capacity(config.threads_per_block),
+                "match.steal",
+            )
+        });
+        let mut arena = config
+            .query_staging
+            .then(|| SharedArena::new(device.spec().shared_mem_per_block));
+
+        // Launch order. `MassDescending` needs every row's index up
+        // front to sample tile masses, so it builds them in a pre-pass
+        // (same spans/stats as the in-loop build; like a serving
+        // session, it holds all row indexes alive for the run) and the
+        // tile loop below consumes the cache. `InOrder` walks the grid
+        // row-major with the build inline — byte-identical to the
+        // unscheduled pipeline.
+        let mut row_indexes: Vec<Option<SharedSeedLookup>> =
+            (0..tiling.n_rows()).map(|_| None).collect();
+        let schedule = match config.schedule_policy {
+            SchedulePolicy::InOrder => TileSchedule::in_order(tiling.n_rows(), tiling.n_cols()),
+            SchedulePolicy::MassDescending => {
+                for (row, slot) in row_indexes.iter_mut().enumerate() {
+                    let row_range = tiling.row_range(row);
+                    let t0 = Instant::now();
+                    let index_span = trace.map(|t| t.begin("index_build", SpanCat::Stage));
+                    let (index, istats) = row_index(
+                        device,
+                        row,
+                        Region {
+                            start: row_range.start,
+                            len: row_range.len(),
+                        },
+                    );
+                    if let (Some(t), Some(id)) = (trace, index_span) {
+                        t.end_with_stats(id, istats.clone());
+                    }
+                    stats.index += istats;
+                    stats.index_wall += t0.elapsed();
+                    *slot = Some(index);
+                }
+                let indexes: Vec<SharedSeedLookup> = row_indexes
+                    .iter()
+                    .map(|i| Arc::clone(i.as_ref().expect("prepass built every row")))
+                    .collect();
+                crate::schedule::plan_mass_descending(config, query, &tiling, &indexes)
+            }
+        };
+
+        for &row in &schedule.row_order {
             let row_range = tiling.row_range(row);
             let row_span = trace.map(|t| t.begin(format!("tile_row {row}"), SpanCat::TileRow));
 
-            // Partial index of this row (Algorithm 1, on device).
-            let t0 = Instant::now();
-            let index_span = trace.map(|t| t.begin("index_build", SpanCat::Stage));
-            let (index, istats) = row_index(
-                device,
-                row,
-                Region {
-                    start: row_range.start,
-                    len: row_range.len(),
-                },
-            );
-            if let (Some(t), Some(id)) = (trace, index_span) {
-                t.end_with_stats(id, istats.clone());
-            }
-            stats.index += istats;
-            stats.index_wall += t0.elapsed();
+            // Partial index of this row (Algorithm 1, on device):
+            // cached by the scheduling pre-pass, or built here.
+            let index = match row_indexes[row].take() {
+                Some(index) => index,
+                None => {
+                    let t0 = Instant::now();
+                    let index_span = trace.map(|t| t.begin("index_build", SpanCat::Stage));
+                    let (index, istats) = row_index(
+                        device,
+                        row,
+                        Region {
+                            start: row_range.start,
+                            len: row_range.len(),
+                        },
+                    );
+                    if let (Some(t), Some(id)) = (trace, index_span) {
+                        t.end_with_stats(id, istats.clone());
+                    }
+                    stats.index += istats;
+                    stats.index_wall += t0.elapsed();
+                    index
+                }
+            };
 
-            for col in 0..tiling.n_cols() {
+            for &col in &schedule.col_orders[row] {
                 let t1 = Instant::now();
                 let tile_span =
                     trace.map(|t| t.begin(format!("tile ({row},{col})"), SpanCat::Tile));
@@ -312,14 +373,14 @@ pub(crate) fn run_tiles(
                 scratch.blocks_out.in_block.clear();
                 scratch.blocks_out.out_block.clear();
                 let batch_span = trace.map(|t| t.begin("block_batch", SpanCat::Stage));
-                let cell = Mutex::new((&mut scratch.blocks_out, &mut scratch.block));
+                let cell = Mutex::new((&mut scratch.blocks_out, &mut scratch.block, arena.as_mut()));
                 let launch = device.launch_fn_named(
                     LaunchConfig::new(config.blocks_per_tile, config.threads_per_block),
                     "match.blocks",
                     |ctx| {
                         let block_q = tiling.block_range(col, ctx.block_id, config.block_width());
                         let guard = &mut *cell.lock();
-                        let (output, scratch) = guard;
+                        let (output, scratch, arena) = guard;
                         process_block(
                             ctx,
                             reference,
@@ -328,6 +389,8 @@ pub(crate) fn run_tiles(
                             config,
                             row_range.clone(),
                             block_q,
+                            queue.as_ref(),
+                            arena.as_deref_mut(),
                             scratch,
                             output,
                         );
@@ -353,14 +416,17 @@ pub(crate) fn run_tiles(
                     scratch.tile_out.in_tile.clear();
                     scratch.tile_out.out_tile.clear();
                     let merge_span = trace.map(|t| t.begin("tile_merge", SpanCat::Stage));
-                    let cell =
-                        Mutex::new((&mut scratch.blocks_out.out_block, &mut scratch.tile_out));
+                    let cell = Mutex::new((
+                        &mut scratch.blocks_out.out_block,
+                        &mut scratch.tile_out,
+                        arena.as_mut(),
+                    ));
                     let launch = device.launch_fn_named(
                         LaunchConfig::new(1, config.threads_per_block),
                         "match.tile_merge",
                         |ctx| {
                             let guard = &mut *cell.lock();
-                            let (fragments, output) = guard;
+                            let (fragments, output, arena) = guard;
                             merge_tile(
                                 ctx,
                                 reference,
@@ -368,6 +434,7 @@ pub(crate) fn run_tiles(
                                 fragments,
                                 &tile_bounds,
                                 config.min_len,
+                                arena.as_deref_mut(),
                                 output,
                             );
                         },
@@ -522,7 +589,7 @@ impl Gpumem {
         ensure_sort_key(query)?;
         ensure_fits(&self.config, self.device.spec())?;
 
-        let mut scratch = RunScratch::new(self.config.threads_per_block);
+        let mut scratch = RunScratch::new(&self.config);
         let mut collector = MemCollector::default();
         let mut provider = |device: &Device, _row: usize, region: Region| {
             build_row_index(device, &self.config, reference, region)
@@ -624,6 +691,110 @@ mod tests {
         assert!(
             b.stats.matching.warp_efficiency(32) <= a.stats.matching.warp_efficiency(32) + 1e-9,
             "disabling balancing cannot improve warp efficiency"
+        );
+    }
+
+    fn knobbed_gpumem(
+        min_len: u32,
+        seed_len: usize,
+        tau: usize,
+        n_block: usize,
+        policy: SchedulePolicy,
+        stealing: bool,
+        staging: bool,
+    ) -> Gpumem {
+        let config = GpumemConfig::builder(min_len)
+            .seed_len(seed_len)
+            .threads_per_block(tau)
+            .blocks_per_tile(n_block)
+            .schedule_policy(policy)
+            .work_stealing(stealing)
+            .query_staging(staging)
+            .build()
+            .unwrap();
+        Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()))
+    }
+
+    #[test]
+    fn scheduling_knobs_preserve_output_on_multi_tile_runs() {
+        let spec = &table2_pairs(1.0 / 65536.0)[1];
+        let pair = spec.realize(45);
+        let baseline = small_gpumem(16, 8, 8, 2);
+        assert!(baseline.config().tile_len() < pair.reference.len());
+        let expect = baseline.run(&pair.reference, &pair.query).unwrap().mems;
+        assert_eq!(expect, naive_mems(&pair.reference, &pair.query, 16));
+        for policy in [SchedulePolicy::InOrder, SchedulePolicy::MassDescending] {
+            for stealing in [false, true] {
+                for staging in [false, true] {
+                    if policy == SchedulePolicy::InOrder && !stealing && !staging {
+                        continue; // the baseline itself
+                    }
+                    let gpumem = knobbed_gpumem(16, 8, 8, 2, policy, stealing, staging);
+                    let result = gpumem.run(&pair.reference, &pair.query).unwrap();
+                    assert_eq!(
+                        result.mems, expect,
+                        "{policy:?}/stealing={stealing}/staging={staging}"
+                    );
+                    if stealing {
+                        assert!(
+                            result.stats.matching.steal_events > 0,
+                            "{policy:?}: multi-tile run must record steals"
+                        );
+                    } else {
+                        assert_eq!(result.stats.matching.steal_events, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mass_descending_schedule_leaves_device_totals_unchanged() {
+        // Reordering tile launches permutes span order but must not
+        // change any modeled total: same launches, same work, same
+        // memory traffic — only the wall-clock overlap story differs.
+        let spec = &table2_pairs(1.0 / 65536.0)[2];
+        let pair = spec.realize(46);
+        let in_order = small_gpumem(16, 8, 8, 2);
+        let mass = knobbed_gpumem(16, 8, 8, 2, SchedulePolicy::MassDescending, false, false);
+        let a = in_order.run(&pair.reference, &pair.query).unwrap();
+        let b = mass.run(&pair.reference, &pair.query).unwrap();
+        assert_eq!(a.mems, b.mems);
+        for (x, y, what) in [
+            (&a.stats.index, &b.stats.index, "index"),
+            (&a.stats.matching, &b.stats.matching, "matching"),
+        ] {
+            assert_eq!(x.launches, y.launches, "{what}");
+            assert_eq!(x.blocks, y.blocks, "{what}");
+            assert_eq!(x.warps, y.warps, "{what}");
+            assert_eq!(x.warp_cycles, y.warp_cycles, "{what}");
+            assert_eq!(x.lane_cycles, y.lane_cycles, "{what}");
+            assert_eq!(x.device_cycles, y.device_cycles, "{what}");
+            assert_eq!(x.divergence_events, y.divergence_events, "{what}");
+            assert_eq!(x.atomic_ops, y.atomic_ops, "{what}");
+            assert_eq!(x.global_mem_ops, y.global_mem_ops, "{what}");
+            assert_eq!(x.comparisons, y.comparisons, "{what}");
+        }
+    }
+
+    #[test]
+    fn query_staging_cuts_global_traffic_end_to_end() {
+        let spec = &table2_pairs(1.0 / 65536.0)[1];
+        let pair = spec.realize(47);
+        let base = small_gpumem(16, 8, 8, 2)
+            .run(&pair.reference, &pair.query)
+            .unwrap();
+        let staged = knobbed_gpumem(16, 8, 8, 2, SchedulePolicy::InOrder, false, true)
+            .run(&pair.reference, &pair.query)
+            .unwrap();
+        assert_eq!(base.mems, staged.mems);
+        assert!(
+            staged.stats.matching.global_mem_ops < base.stats.matching.global_mem_ops,
+            "staging must trade global for shared traffic"
+        );
+        assert!(
+            staged.stats.matching.lane_cycles < base.stats.matching.lane_cycles,
+            "shared reads are modeled cheaper"
         );
     }
 
@@ -813,6 +984,44 @@ mod proptests {
                 .seed_len(seed_len)
                 .threads_per_block(1 << tau_pow)
                 .blocks_per_tile(n_block)
+                .build()
+                .unwrap();
+            let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
+            let got = gpumem.run(&reference, &query).unwrap().mems;
+            prop_assert_eq!(got, naive_mems(&reference, &query, min_len));
+        }
+
+        /// Every combination of the locality/balance knobs is
+        /// output-preserving on arbitrary inputs: schedule policy,
+        /// work stealing, and query staging may only move work and
+        /// memory traffic around, never change the MEM set.
+        #[test]
+        fn knobbed_pipeline_always_matches_naive(
+            r in proptest::collection::vec(0u8..4, 1..500),
+            q in proptest::collection::vec(0u8..4, 1..500),
+            seed_len in 2usize..7,
+            extra in 0u32..10,
+            tau_pow in 1u32..5,
+            n_block in 1usize..4,
+            knobs in 0u8..8,
+        ) {
+            let (mass, stealing, staging) =
+                (knobs & 1 != 0, knobs & 2 != 0, knobs & 4 != 0);
+            let min_len = seed_len as u32 + extra;
+            let reference = PackedSeq::from_codes(&r);
+            let query = PackedSeq::from_codes(&q);
+            let policy = if mass {
+                crate::config::SchedulePolicy::MassDescending
+            } else {
+                crate::config::SchedulePolicy::InOrder
+            };
+            let config = GpumemConfig::builder(min_len)
+                .seed_len(seed_len)
+                .threads_per_block(1 << tau_pow)
+                .blocks_per_tile(n_block)
+                .schedule_policy(policy)
+                .work_stealing(stealing)
+                .query_staging(staging)
                 .build()
                 .unwrap();
             let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));

@@ -310,6 +310,7 @@ impl Trace {
                         q.atomic_ops += p.atomic_ops;
                         q.global_mem_ops += p.global_mem_ops;
                         q.comparisons += p.comparisons;
+                        q.steal_events += p.steal_events;
                     }
                     None => phases.push(p.clone()),
                 }

@@ -188,6 +188,7 @@ impl Device {
                     cfg,
                     &self.cost,
                     self.spec.warp_size,
+                    self.spec.shared_mem_per_block,
                     phases_enabled,
                 );
                 kernel.block(&mut ctx);
@@ -276,6 +277,9 @@ impl Device {
             stats.atomic_ops += o.atomic_ops;
             stats.global_mem_ops += o.global_ops;
             stats.comparisons += o.comparisons;
+            stats.steal_events += o.steals;
+            // Gauge: the straggler block of this launch.
+            stats.busiest_block_cycles = stats.busiest_block_cycles.max(o.warp_cycles);
         }
         stats
     }
@@ -290,11 +294,12 @@ struct BlockOut {
     atomic_ops: u64,
     global_ops: u64,
     comparisons: u64,
+    steals: u64,
 }
 
 impl BlockOut {
     /// Counter snapshot, in the field order phase attribution diffs.
-    fn snapshot(&self) -> [u64; 7] {
+    fn snapshot(&self) -> [u64; 8] {
         [
             self.warps,
             self.warp_cycles,
@@ -303,6 +308,7 @@ impl BlockOut {
             self.atomic_ops,
             self.global_ops,
             self.comparisons,
+            self.steals,
         ]
     }
 }
@@ -317,6 +323,7 @@ pub struct BlockCtx<'c> {
     pub block_dim: usize,
     cost: &'c CostModel,
     warp_size: usize,
+    shared_mem_per_block: usize,
     /// SIMT region ordinal: incremented at every `simt_range` call, so
     /// accesses separated by a barrier land in different regions.
     #[cfg(feature = "sanitize")]
@@ -342,6 +349,7 @@ impl<'c> BlockCtx<'c> {
         cfg: LaunchConfig,
         cost: &'c CostModel,
         warp_size: usize,
+        shared_mem_per_block: usize,
         phases_enabled: bool,
     ) -> BlockCtx<'c> {
         BlockCtx {
@@ -350,6 +358,7 @@ impl<'c> BlockCtx<'c> {
             block_dim: cfg.block_dim,
             cost,
             warp_size,
+            shared_mem_per_block,
             #[cfg(feature = "sanitize")]
             region: 0,
             signatures: Vec::with_capacity(warp_size),
@@ -361,6 +370,7 @@ impl<'c> BlockCtx<'c> {
                 atomic_ops: 0,
                 global_ops: 0,
                 comparisons: 0,
+                steals: 0,
             },
             phases_enabled,
             phases: Vec::new(),
@@ -442,6 +452,7 @@ impl<'c> BlockCtx<'c> {
                     atomic_ops: 0,
                     global_ops: 0,
                     comparisons: 0,
+                    steals: 0,
                 };
                 f(&mut lane);
                 warp_max = warp_max.max(lane.cycles);
@@ -449,6 +460,7 @@ impl<'c> BlockCtx<'c> {
                 self.out.atomic_ops += lane.atomic_ops;
                 self.out.global_ops += lane.global_ops;
                 self.out.comparisons += lane.comparisons;
+                self.out.steals += lane.steals;
                 if !self.signatures.contains(&lane.branch_signature) {
                     self.signatures.push(lane.branch_signature);
                 }
@@ -472,12 +484,20 @@ impl<'c> BlockCtx<'c> {
             p.atomic_ops += after[4] - before[4];
             p.global_mem_ops += after[5] - before[5];
             p.comparisons += after[6] - before[6];
+            p.steal_events += after[7] - before[7];
         }
     }
 
     /// The device's warp size.
     pub fn warp_size(&self) -> usize {
         self.warp_size
+    }
+
+    /// Shared memory available to this block, in bytes (from the
+    /// launching device's [`DeviceSpec::shared_mem_per_block`]). Kernels
+    /// size their [`crate::memory::SharedArena`] from this.
+    pub fn shared_mem_bytes(&self) -> usize {
+        self.shared_mem_per_block
     }
 
     fn finish(self) -> (BlockOut, Vec<PhaseStats>) {
@@ -501,6 +521,7 @@ pub struct Lane<'c> {
     atomic_ops: u64,
     global_ops: u64,
     comparisons: u64,
+    steals: u64,
 }
 
 impl Lane<'_> {
@@ -536,6 +557,16 @@ impl Lane<'_> {
     #[inline(always)]
     pub fn shared(&mut self, count: u64) {
         self.charge(Op::Shared, count);
+    }
+
+    /// Record `count` stolen work items (work pulled from a
+    /// [`WorkQueue`](crate::workqueue::WorkQueue) whose home lane is
+    /// another thread). Pure bookkeeping: the queue operations
+    /// themselves are charged by their atomic/load calls, this only
+    /// feeds [`LaunchStats::steal_events`] and the per-phase breakdown.
+    #[inline(always)]
+    pub fn record_steals(&mut self, count: u64) {
+        self.steals += count;
     }
 
     /// This lane's coordinates for the sanitizer.

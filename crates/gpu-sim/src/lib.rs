@@ -46,11 +46,13 @@ pub mod primitives;
 pub mod sanitizer;
 pub mod spec;
 pub mod stats;
+pub mod workqueue;
 
 pub use cost::{CostModel, Op};
 pub use exec::{BlockCtx, BlockKernel, Device, Lane, LaunchConfig};
-pub use memory::{GpuU32, GpuU64};
+pub use memory::{GpuU32, GpuU64, SharedArena, SharedBuf};
 pub use observe::{LaunchObserver, LaunchRecord, PhaseStats};
 pub use pool::{PooledU32, PooledU64};
 pub use spec::DeviceSpec;
 pub use stats::LaunchStats;
+pub use workqueue::WorkQueue;

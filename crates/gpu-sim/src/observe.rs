@@ -43,6 +43,9 @@ pub struct PhaseStats {
     pub global_mem_ops: u64,
     /// Base comparisons in this phase's regions.
     pub comparisons: u64,
+    /// Stolen work-queue items in this phase's regions (see
+    /// [`LaunchStats::steal_events`]).
+    pub steal_events: u64,
 }
 
 impl PhaseStats {
@@ -56,6 +59,7 @@ impl PhaseStats {
         self.atomic_ops += rhs.atomic_ops;
         self.global_mem_ops += rhs.global_mem_ops;
         self.comparisons += rhs.comparisons;
+        self.steal_events += rhs.steal_events;
     }
 
     /// Warp occupancy efficiency of this phase; same convention as
@@ -107,6 +111,7 @@ mod tests {
             atomic_ops: 5,
             global_mem_ops: 6,
             comparisons: 7,
+            steal_events: 8,
         };
         let b = a.clone();
         a.merge(&b);
@@ -121,6 +126,7 @@ mod tests {
                 atomic_ops: 10,
                 global_mem_ops: 12,
                 comparisons: 14,
+                steal_events: 16,
             }
         );
     }

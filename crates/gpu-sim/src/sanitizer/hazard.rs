@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use crate::sanitizer::report::{AccessSite, Hazard, HazardClass};
-use crate::sanitizer::shadow::{Access, BufState, Capture, SiteCtx};
+use crate::sanitizer::shadow::{Access, BufState, Capture, Reservation, SiteCtx};
 use crate::sanitizer::LaunchMeta;
 
 /// Convert a shadow access into a reportable site.
@@ -84,11 +84,24 @@ pub(crate) fn detect(
     for target in targets {
         let mut resvs = capture.reservations[&target].clone();
         resvs.sort_by_key(|r| (r.base, r.count));
-        for pair in resvs.windows(2) {
-            let (prev, next) = (&pair[0], &pair[1]);
-            let prev_end = prev.base + prev.count;
-            if prev_end > next.base && prev.count > 0 && next.count > 0 {
-                let overlap_end = prev_end.min(next.base + next.count);
+        // Sweep in base order, keeping every earlier reservation that
+        // still extends past the current base "active" so overlaps are
+        // caught even when an exempt pair sits between them. A pair is
+        // exempt when both reservations come from the *same block* in
+        // *different SIMT regions*: the region boundary is a block
+        // barrier, so the block re-reserving its own slots round by
+        // round (a work queue refilled per round) is ordered, not
+        // racy — while the same slots handed out twice in one region,
+        // or to two different blocks, remain hazards (no barrier
+        // orders those on real hardware).
+        let mut active: Vec<&Reservation> = Vec::new();
+        for next in resvs.iter().filter(|r| r.count > 0) {
+            active.retain(|prev| prev.base + prev.count > next.base);
+            let conflict = active.iter().find(|prev| {
+                !(prev.site.block == next.site.block && prev.site.region != next.site.region)
+            });
+            if let Some(prev) = conflict {
+                let overlap_end = (prev.base + prev.count).min(next.base + next.count);
                 emit(Hazard {
                     class: HazardClass::OverlappingReservation,
                     buffer: name_of(target),
@@ -107,6 +120,7 @@ pub(crate) fn detect(
                     )),
                 });
             }
+            active.push(next);
         }
     }
 }

@@ -6,9 +6,9 @@ use std::time::Duration;
 /// Aggregate statistics for one kernel launch (or a sum of launches).
 ///
 /// Every field except [`pool_peak_bytes`](LaunchStats::pool_peak_bytes)
-/// is a counter and sums under `+`; `pool_peak_bytes` is a gauge and
-/// merges by `max` (the peak of a union of launches is the largest
-/// peak, not the sum).
+/// and [`busiest_block_cycles`](LaunchStats::busiest_block_cycles) is a
+/// counter and sums under `+`; those two are gauges and merge by `max`
+/// (the peak of a union of launches is the largest peak, not the sum).
 #[derive(Clone, Debug, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct LaunchStats {
@@ -39,6 +39,17 @@ pub struct LaunchStats {
     pub global_mem_ops: u64,
     /// Base comparisons charged (the domain-level work measure).
     pub comparisons: u64,
+    /// Work items pulled from a [`WorkQueue`](crate::workqueue::WorkQueue)
+    /// by a lane other than the item's home lane (persistent-block work
+    /// stealing). Zero for kernels that use static work splits.
+    pub steal_events: u64,
+    /// Warp cycles of the most heavily loaded block across the folded
+    /// launches. **Gauge, not counter**: it merges by `max` under `+`.
+    /// The ratio `warp_cycles / (blocks * busiest_block_cycles)` (see
+    /// [`block_occupancy`](LaunchStats::block_occupancy)) measures how
+    /// evenly work is spread across blocks — the straggler effect that
+    /// work stealing attacks.
+    pub busiest_block_cycles: u64,
     /// Fresh device-buffer allocations that missed the device's buffer
     /// pool since the previous launch (host-side bookkeeping; no cycle
     /// cost). Steady-state launches should report 0.
@@ -84,6 +95,26 @@ impl LaunchStats {
     pub fn modeled_secs(&self) -> f64 {
         self.modeled_time.as_secs_f64()
     }
+
+    /// Per-block load balance in `(0, 1]`: mean block warp-cycles over
+    /// the busiest block's warp-cycles
+    /// (`warp_cycles / (blocks * busiest_block_cycles)`).
+    ///
+    /// 1.0 means every block carried the same cycle load; low values
+    /// mean a straggler block dominated the launch. Follows the
+    /// [`warp_efficiency`](LaunchStats::warp_efficiency) empty
+    /// convention: no blocks or no cycles ⇒ `1.0`.
+    ///
+    /// Note the gauge caveat: over a *sum* of launches
+    /// `busiest_block_cycles` is the max across all of them, so the
+    /// ratio is a conservative (pessimistic) bound rather than a
+    /// per-launch mean.
+    pub fn block_occupancy(&self) -> f64 {
+        if self.blocks == 0 || self.busiest_block_cycles == 0 {
+            return 1.0;
+        }
+        self.warp_cycles as f64 / (self.blocks as f64 * self.busiest_block_cycles as f64)
+    }
 }
 
 impl std::iter::Sum for LaunchStats {
@@ -118,6 +149,9 @@ impl AddAssign for LaunchStats {
         self.atomic_ops += rhs.atomic_ops;
         self.global_mem_ops += rhs.global_mem_ops;
         self.comparisons += rhs.comparisons;
+        self.steal_events += rhs.steal_events;
+        // Gauge: the busiest block of merged launches is the busier one.
+        self.busiest_block_cycles = self.busiest_block_cycles.max(rhs.busiest_block_cycles);
         self.pool_allocs += rhs.pool_allocs;
         // Gauge: the peak of merged launches is the larger peak.
         self.pool_peak_bytes = self.pool_peak_bytes.max(rhs.pool_peak_bytes);
@@ -143,6 +177,8 @@ mod tests {
             atomic_ops: 6,
             global_mem_ops: 7,
             comparisons: 8,
+            steal_events: 11,
+            busiest_block_cycles: 7,
             pool_allocs: 9,
             pool_peak_bytes: 1024,
         };
@@ -153,6 +189,8 @@ mod tests {
         assert_eq!(sum.lane_cycles, 200);
         assert_eq!(sum.modeled_time, Duration::from_millis(2));
         assert_eq!(sum.comparisons, 16);
+        assert_eq!(sum.steal_events, 22);
+        assert_eq!(sum.busiest_block_cycles, 7, "gauge merges by max, not sum");
         assert_eq!(sum.pool_allocs, 18);
         assert_eq!(sum.pool_peak_bytes, 1024, "gauge merges by max, not sum");
     }
@@ -180,6 +218,42 @@ mod tests {
         };
         assert!((stats.divergence_rate() - 0.25).abs() < 1e-12);
         assert_eq!(LaunchStats::default().divergence_rate(), 0.0);
+    }
+
+    #[test]
+    fn busiest_block_cycles_merges_by_max() {
+        let light = LaunchStats {
+            busiest_block_cycles: 40,
+            ..LaunchStats::default()
+        };
+        let heavy = LaunchStats {
+            busiest_block_cycles: 90,
+            ..LaunchStats::default()
+        };
+        assert_eq!((light.clone() + heavy.clone()).busiest_block_cycles, 90);
+        assert_eq!((heavy + light).busiest_block_cycles, 90);
+    }
+
+    #[test]
+    fn block_occupancy_measures_straggler_imbalance() {
+        // Two blocks, 60 + 40 warp-cycles: mean 50 over busiest 60.
+        let skewed = LaunchStats {
+            blocks: 2,
+            warp_cycles: 100,
+            busiest_block_cycles: 60,
+            ..LaunchStats::default()
+        };
+        assert!((skewed.block_occupancy() - 100.0 / 120.0).abs() < 1e-12);
+        // Perfectly balanced blocks score 1.0.
+        let even = LaunchStats {
+            blocks: 4,
+            warp_cycles: 200,
+            busiest_block_cycles: 50,
+            ..LaunchStats::default()
+        };
+        assert!((even.block_occupancy() - 1.0).abs() < 1e-12);
+        // Empty statistics follow the warp_efficiency convention.
+        assert_eq!(LaunchStats::default().block_occupancy(), 1.0);
     }
 
     #[test]

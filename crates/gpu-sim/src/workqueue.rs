@@ -1,0 +1,333 @@
+//! A device-global work queue for persistent-block kernels.
+//!
+//! The paper's Algorithm 2 balances work *proactively*: the host (or a
+//! balance kernel) splits seed groups across threads before the launch,
+//! and the split is frozen for the kernel's lifetime. When
+//! seed-occurrence lists are skewed, lanes that drew short lists idle
+//! while the straggler finishes — the intra-kernel imbalance SaLoBa
+//! attacks with persistent blocks pulling work from a global queue.
+//!
+//! [`WorkQueue`] is that primitive in the simulator's cost model: a
+//! bounded multi-segment ticket queue in global memory.
+//!
+//! * **Fill** ([`WorkQueue::push`]): producers reserve slots through an
+//!   atomic cursor with
+//!   [`Lane::atomic_reserve32`](crate::exec::Lane::atomic_reserve32) —
+//!   the same `atomicAdd`-reservation idiom as Algorithm 1's bucket
+//!   fill — so the sanitizer's overlapping-reservation detector watches
+//!   the queue storage like any other reserved buffer. Two queues (or a
+//!   corrupted cursor) handing out the same slots is a reported hazard.
+//! * **Drain** ([`WorkQueue::pop`]): consumers take a ticket with an
+//!   `atomicAdd` on the pop cursor and claim the item at that index, the
+//!   classic persistent-thread loop
+//!   (`while ((i = atomicAdd(&head, 1)) < tail) work(items[i]);`).
+//! * **Segments**: one queue value carries `segments` independent
+//!   sub-queues laid out side by side; segment `s` of a match launch
+//!   belongs to block `s`. Pushes and pops never cross segments, so
+//!   blocks never contend in the simulator's shadow state — stealing is
+//!   *within* a block (lanes drain their block's queue regardless of
+//!   which lane's seed produced the item), matching the paper's
+//!   one-block-per-tile-region decomposition.
+//!
+//! **Barrier discipline** (enforced by the sanitizer): call
+//! [`WorkQueue::reset`] from a single lane in its own SIMT region, push
+//! in a later region, pop in a region after that. A block may reuse its
+//! segment every round — the region boundaries order the reuse, which
+//! the reservation detector recognizes (same block + different region =
+//! barrier-ordered).
+//!
+//! Determinism: the simulator executes lanes sequentially, so ticket
+//! order — and therefore which lane processes which item — is a pure
+//! function of the queue contents. Stolen-vs-home work is decided by
+//! the *caller* comparing an item's home lane with the popping lane
+//! (see [`Lane::record_steals`](crate::exec::Lane::record_steals));
+//! the queue itself is policy-free.
+
+use crate::exec::Lane;
+use crate::memory::GpuU32;
+
+/// Cursor words per segment: `[pop ticket, push cursor]`.
+const CURSOR_STRIDE: usize = 2;
+
+/// A bounded, segmented ticket queue in simulated global memory. See
+/// the [module docs](self) for the protocol.
+pub struct WorkQueue {
+    items: GpuU32,
+    cursor: GpuU32,
+    segments: usize,
+    seg_cap: usize,
+}
+
+impl WorkQueue {
+    /// A queue of `segments` independent sub-queues holding up to
+    /// `seg_cap` items each. Buffers are named `<name>.items` /
+    /// `<name>.cursor` in sanitizer reports.
+    pub fn new(segments: usize, seg_cap: usize, name: &str) -> WorkQueue {
+        assert!(segments > 0 && seg_cap > 0, "queue must have capacity");
+        WorkQueue {
+            items: GpuU32::named(segments * seg_cap, &format!("{name}.items")),
+            cursor: GpuU32::named(segments * CURSOR_STRIDE, &format!("{name}.cursor")),
+            segments,
+            seg_cap,
+        }
+    }
+
+    /// Number of independent segments.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Item capacity of one segment.
+    pub fn seg_cap(&self) -> usize {
+        self.seg_cap
+    }
+
+    /// First item index of `seg` (cursors hold *global* item indices so
+    /// reservations land on the true slots).
+    fn seg_base(&self, seg: usize) -> u32 {
+        debug_assert!(seg < self.segments, "segment out of range");
+        (seg * self.seg_cap) as u32
+    }
+
+    /// Empty segment `seg` for a new round of pushes.
+    ///
+    /// Must run in its own SIMT region, from one lane of the owning
+    /// block, *before* any push of the round — the region boundary is
+    /// the barrier that publishes the reset to the block's other lanes.
+    pub fn reset(&self, lane: &mut Lane<'_>, seg: usize) {
+        let base = self.seg_base(seg);
+        lane.st32(&self.cursor, seg * CURSOR_STRIDE, base);
+        lane.st32(&self.cursor, seg * CURSOR_STRIDE + 1, base);
+    }
+
+    /// Enqueue `item` onto segment `seg`; `false` when the segment is
+    /// full (the bounded-deque contract — callers fall back to
+    /// processing the item in place).
+    ///
+    /// Cost: one atomic (the slot reservation) plus one global store,
+    /// plus the full/not-full branch.
+    pub fn push(&self, lane: &mut Lane<'_>, seg: usize, item: u32) -> bool {
+        let idx = lane.atomic_reserve32(&self.cursor, seg * CURSOR_STRIDE + 1, 1, &self.items);
+        let end = self.seg_base(seg) + self.seg_cap as u32;
+        if !lane.branch(idx < end) {
+            return false;
+        }
+        lane.st32(&self.items, idx as usize, item);
+        true
+    }
+
+    /// Take one item from segment `seg`, or `None` when the segment is
+    /// drained. The persistent-thread loop is
+    /// `while let Some(item) = queue.pop(lane, seg) { ... }`.
+    ///
+    /// Cost: one global load (the published tail), one atomic (the
+    /// ticket), the drained/not-drained branch, and one global load for
+    /// the claimed item.
+    pub fn pop(&self, lane: &mut Lane<'_>, seg: usize) -> Option<u32> {
+        let end = lane
+            .ld32(&self.cursor, seg * CURSOR_STRIDE + 1)
+            .min(self.seg_base(seg) + self.seg_cap as u32);
+        let ticket = lane.atomic_add32(&self.cursor, seg * CURSOR_STRIDE, 1);
+        if !lane.branch(ticket < end) {
+            return None;
+        }
+        Some(lane.ld32(&self.items, ticket as usize))
+    }
+
+    /// Host-side view of segment `seg`'s unpopped items (debugging and
+    /// tests; never part of the modeled cost).
+    pub fn pending(&self, seg: usize) -> usize {
+        let base = self.seg_base(seg);
+        let head = self.cursor.load(seg * CURSOR_STRIDE).max(base);
+        let tail = self
+            .cursor
+            .load(seg * CURSOR_STRIDE + 1)
+            .min(base + self.seg_cap as u32);
+        tail.saturating_sub(head) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Device, LaunchConfig};
+    use crate::spec::DeviceSpec;
+
+    fn tiny() -> Device {
+        Device::new(DeviceSpec::test_tiny())
+    }
+
+    #[test]
+    fn push_pop_round_trip_delivers_each_item_once() {
+        let device = tiny();
+        let queue = WorkQueue::new(1, 64, "q");
+        let seen = GpuU32::new(32);
+        device.launch_fn(LaunchConfig::new(1, 32), |ctx| {
+            ctx.simt_range(0..1, |lane| queue.reset(lane, 0));
+            ctx.simt(|lane| {
+                assert!(queue.push(lane, 0, lane.tid as u32));
+            });
+            ctx.simt(|lane| {
+                while let Some(item) = queue.pop(lane, 0) {
+                    lane.atomic_add32(&seen, item as usize, 1);
+                }
+            });
+        });
+        assert_eq!(seen.to_vec(), vec![1; 32], "each item popped exactly once");
+        assert_eq!(queue.pending(0), 0);
+    }
+
+    #[test]
+    fn full_segment_rejects_pushes() {
+        let device = tiny();
+        let queue = WorkQueue::new(1, 8, "q");
+        let rejected = GpuU32::new(1);
+        let popped = GpuU32::new(1);
+        device.launch_fn(LaunchConfig::new(1, 32), |ctx| {
+            ctx.simt_range(0..1, |lane| queue.reset(lane, 0));
+            ctx.simt(|lane| {
+                if !queue.push(lane, 0, lane.tid as u32) {
+                    lane.atomic_add32(&rejected, 0, 1);
+                }
+            });
+            ctx.simt(|lane| {
+                while queue.pop(lane, 0).is_some() {
+                    lane.atomic_add32(&popped, 0, 1);
+                }
+            });
+        });
+        assert_eq!(rejected.load(0), 32 - 8, "overflow pushes return false");
+        assert_eq!(popped.load(0), 8, "capacity items survive");
+    }
+
+    #[test]
+    fn segments_are_independent_per_block() {
+        let device = tiny();
+        let queue = WorkQueue::new(4, 16, "q");
+        let sums = GpuU32::new(4);
+        device.launch_fn(LaunchConfig::new(4, 16), |ctx| {
+            let seg = ctx.block_id;
+            ctx.simt_range(0..1, |lane| queue.reset(lane, seg));
+            ctx.simt(|lane| {
+                // Block b pushes 16 copies of b+1.
+                assert!(queue.push(lane, seg, seg as u32 + 1));
+            });
+            ctx.simt(|lane| {
+                while let Some(item) = queue.pop(lane, seg) {
+                    lane.atomic_add32(&sums, seg, item);
+                }
+            });
+        });
+        assert_eq!(sums.to_vec(), vec![16, 32, 48, 64]);
+    }
+
+    #[test]
+    fn round_reuse_drains_fresh_items_each_round() {
+        let device = tiny();
+        let queue = WorkQueue::new(1, 16, "q");
+        let total = GpuU32::new(1);
+        device.launch_fn(LaunchConfig::new(1, 8), |ctx| {
+            for round in 0..3u32 {
+                ctx.simt_range(0..1, |lane| queue.reset(lane, 0));
+                ctx.simt(|lane| {
+                    assert!(queue.push(lane, 0, round * 100 + lane.tid as u32));
+                });
+                ctx.simt(|lane| {
+                    while let Some(item) = queue.pop(lane, 0) {
+                        lane.atomic_add32(&total, 0, item);
+                    }
+                });
+            }
+        });
+        // Σ_{round} Σ_{tid<8} (100·round + tid) = 8·100·(0+1+2) + 3·28.
+        assert_eq!(total.load(0), 2400 + 84);
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn contended_multi_round_use_is_hazard_free() {
+        use crate::sanitizer::Session;
+        let session = Session::start();
+        let device = tiny();
+        let queue = WorkQueue::new(2, 32, "fixture.queue");
+        let sink = GpuU32::named(2, "fixture.queue_sink");
+        device.launch_fn_named(LaunchConfig::new(2, 32), "queue_contended", |ctx| {
+            let seg = ctx.block_id;
+            // Skewed producers over several rounds: every lane pops,
+            // only some push, so most pops are steals.
+            for round in 0..4 {
+                ctx.simt_range(0..1, |lane| queue.reset(lane, seg));
+                ctx.simt(|lane| {
+                    if lane.branch(lane.tid % 4 == round % 4) {
+                        assert!(queue.push(lane, seg, lane.tid as u32));
+                    }
+                });
+                ctx.simt(|lane| {
+                    while let Some(item) = queue.pop(lane, seg) {
+                        lane.atomic_add32(&sink, seg, item);
+                    }
+                });
+            }
+        });
+        let report = session.finish();
+        assert!(report.is_clean(), "well-formed queue use flagged:\n{report}");
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn two_blocks_sharing_a_segment_is_flagged() {
+        use crate::sanitizer::{HazardClass, Session};
+        let session = Session::start();
+        let device = tiny();
+        let queue = WorkQueue::new(2, 32, "fixture.misused_queue");
+        device.launch_fn_named(LaunchConfig::new(2, 8), "queue_misuse", |ctx| {
+            // Bug: both blocks push into segment 0 — their cursors hand
+            // out the same item slots with no barrier ordering them.
+            ctx.simt_range(0..1, |lane| queue.reset(lane, 0));
+            ctx.simt(|lane| {
+                queue.push(lane, 0, lane.tid as u32);
+            });
+        });
+        let report = session.finish();
+        assert!(
+            report
+                .hazards
+                .iter()
+                .any(|h| h.class == HazardClass::OverlappingReservation
+                    && h.buffer == "fixture.misused_queue.items"),
+            "cross-block slot sharing must be flagged:\n{report}"
+        );
+    }
+
+    #[test]
+    fn steal_events_flow_into_launch_stats() {
+        // Because the simulator runs a region's lanes *sequentially*, a
+        // greedy `while pop()` loop in one region hands every item to
+        // the first lane — so stealing kernels drain in waves (one pop
+        // per lane per region). Here lane 0 enqueues homes in reverse:
+        // in the drain wave lane t takes ticket t and claims the item
+        // with home 31 - t, which differs from t for every lane.
+        let device = tiny();
+        let queue = WorkQueue::new(1, 64, "q");
+        let stats = device.launch_fn(LaunchConfig::new(1, 32), |ctx| {
+            ctx.simt_range(0..1, |lane| queue.reset(lane, 0));
+            ctx.simt_range(0..1, |lane| {
+                for home in (0..32u32).rev() {
+                    assert!(queue.push(lane, 0, home));
+                }
+            });
+            // One wave: every lane pops once; lane t gets ticket t,
+            // claiming the item whose home is 31 - t.
+            ctx.simt(|lane| {
+                if let Some(item) = queue.pop(lane, 0) {
+                    if item != lane.tid as u32 {
+                        lane.record_steals(1);
+                    }
+                }
+            });
+        });
+        // Homes 31-t vs popper t differ except nowhere (31-t == t has
+        // no integer solution for 32 lanes): all 32 pops are steals.
+        assert_eq!(stats.steal_events, 32);
+    }
+}

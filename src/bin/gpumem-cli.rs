@@ -16,6 +16,15 @@
 //!   --threads <t>        CPU finder threads (default 1)
 //!   --query-threads <n>  GPUMEM query workers for multi-record query
 //!                        FASTA (default 1)
+//!   --schedule-policy <inorder|mass>
+//!                        GPUMEM tile launch order: grid order
+//!                        (default) or heaviest sampled seed-occurrence
+//!                        mass first (LPT-style straggler avoidance)
+//!   --work-stealing      GPUMEM persistent-block work stealing: the
+//!                        generate/expand steps drain a per-block chunk
+//!                        queue instead of the static split
+//!   --query-staging      GPUMEM shared-memory query staging: blocks
+//!                        park their query window in shared memory
 //!   --both-strands       also match the reverse complement of the query
 //!   --mum                report only maximal unique matches
 //!   --rare <t>           report matches occurring ≤ t times in each sequence
@@ -52,7 +61,7 @@ use gpumem::seq::{
     read_fasta, AmbigPolicy, FastaRecord, Mem, PackedSeq, SeqSet, Strand, StrandMem,
 };
 use gpumem::sim::{DeviceSpec, LaunchStats};
-use gpumem::{Engine, GpumemConfig, GpumemResult, RunError, SeedMode, Trace};
+use gpumem::{Engine, GpumemConfig, GpumemResult, RunError, SchedulePolicy, SeedMode, Trace};
 
 struct Options {
     tool: String,
@@ -62,6 +71,9 @@ struct Options {
     sparseness: usize,
     threads: usize,
     query_threads: usize,
+    schedule_policy: SchedulePolicy,
+    work_stealing: bool,
+    query_staging: bool,
     both_strands: bool,
     mum: bool,
     rare: Option<usize>,
@@ -84,6 +96,9 @@ fn parse_args() -> Result<Options, String> {
         sparseness: 4,
         threads: 1,
         query_threads: 1,
+        schedule_policy: SchedulePolicy::InOrder,
+        work_stealing: false,
+        query_staging: false,
         both_strands: false,
         mum: false,
         rare: None,
@@ -134,6 +149,19 @@ fn parse_args() -> Result<Options, String> {
                     return Err("bad --query-threads: must be positive".into());
                 }
             }
+            "--schedule-policy" => {
+                opts.schedule_policy = match value("--schedule-policy")?.as_str() {
+                    "inorder" => SchedulePolicy::InOrder,
+                    "mass" => SchedulePolicy::MassDescending,
+                    other => {
+                        return Err(format!(
+                            "bad --schedule-policy {other}: expected inorder or mass"
+                        ))
+                    }
+                }
+            }
+            "--work-stealing" => opts.work_stealing = true,
+            "--query-staging" => opts.query_staging = true,
             "--both-strands" => opts.both_strands = true,
             "--mum" => opts.mum = true,
             "--rare" => {
@@ -245,7 +273,10 @@ fn run_gpumem(
     let mut builder = GpumemConfig::builder(opts.min_len)
         .threads_per_block(128)
         .blocks_per_tile(16)
-        .seed_mode(seed_mode);
+        .seed_mode(seed_mode)
+        .schedule_policy(opts.schedule_policy)
+        .work_stealing(opts.work_stealing)
+        .query_staging(opts.query_staging);
     if let Some(seed_len) = opts.seed_len {
         builder = builder.seed_len(seed_len);
     }
@@ -399,7 +430,7 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: gpumem-cli [--tool T] [--min-len L] [--seed-len ls] [--seed-mode ref|dual[:k1,k2]] [--sparseness K] [--threads t] [--query-threads n] [--both-strands] [--mum] [--rare t] [--stats] [--sanitize] [--trace out.json] [--metrics out.json] [--profile] <reference.fa> <query.fa>");
+            eprintln!("usage: gpumem-cli [--tool T] [--min-len L] [--seed-len ls] [--seed-mode ref|dual[:k1,k2]] [--sparseness K] [--threads t] [--query-threads n] [--schedule-policy inorder|mass] [--work-stealing] [--query-staging] [--both-strands] [--mum] [--rare t] [--stats] [--sanitize] [--trace out.json] [--metrics out.json] [--profile] <reference.fa> <query.fa>");
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {

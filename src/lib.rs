@@ -60,6 +60,6 @@ pub use gpumem_seq as seq;
 // The serving/session API at the root, so batch users need one `use`.
 pub use gpumem_core::{
     Engine, Gpumem, GpumemConfig, GpumemResult, GpumemStats, IndexBuildReport, MemCollector,
-    MemSink, MemStage, MetricsSnapshot, RefSession, RunError, SeedMode, SessionCache, Trace,
-    TraceRecorder,
+    MemSink, MemStage, MetricsSnapshot, RefSession, RunError, SchedulePolicy, SeedMode,
+    SessionCache, Trace, TraceRecorder,
 };

@@ -300,6 +300,58 @@ fn seed_mode_validation_errors_are_structured() {
 }
 
 #[test]
+fn locality_knobs_preserve_cli_output() {
+    let dir = std::env::temp_dir().join("gpumem-cli-test-locality");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ref_fa, query_fa) = write_pair(&dir);
+
+    let run = |extra: &[&str]| -> String {
+        let mut args = vec!["--tool", "gpumem", "--min-len", "25", "--seed-len", "8"];
+        args.extend_from_slice(extra);
+        args.push(ref_fa.as_str());
+        args.push(query_fa.as_str());
+        let out = cli().args(&args).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "gpumem {extra:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    let baseline = run(&[]);
+    assert!(!baseline.trim().is_empty(), "expected matches");
+    assert_eq!(
+        run(&["--schedule-policy", "inorder"]),
+        baseline,
+        "inorder is the default"
+    );
+    assert_eq!(
+        run(&[
+            "--schedule-policy",
+            "mass",
+            "--work-stealing",
+            "--query-staging"
+        ]),
+        baseline,
+        "the full knob stack must not change the matches"
+    );
+
+    let out = cli()
+        .args([
+            "--schedule-policy",
+            "banana",
+            ref_fa.as_str(),
+            query_fa.as_str(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("expected inorder or mass"), "{err}");
+}
+
+#[test]
 fn both_strands_superset_and_strand_column() {
     let dir = std::env::temp_dir().join("gpumem-cli-test-strands");
     std::fs::create_dir_all(&dir).unwrap();

@@ -88,6 +88,62 @@ fn dual_sampled_pipeline_is_hazard_free_under_sanitizer() {
 }
 
 #[test]
+fn work_stealing_pipeline_is_hazard_free_under_sanitizer() {
+    // The persistent-block steal queue is the one new concurrent
+    // primitive of the locality/balance work: every push races an
+    // atomic slot reservation, every pop races the ticket counter, and
+    // the host-side `pending` barrier separates refill from drain. A
+    // repeat-heavy pair drives real contention (cross-slot steals), and
+    // the full knob stack — stealing + staging + mass-descending
+    // scheduling — must come out hazard-free with the MEM set intact.
+    let (reference, query) = {
+        let (mut reference, query) = smoke_pair();
+        let mut codes = reference.to_codes();
+        for slot in codes[1_000..1_600].iter_mut() {
+            *slot = 1; // poly-C block: one seed code owns 600 locations
+        }
+        reference = PackedSeq::from_codes(&codes);
+        (reference, query)
+    };
+    let config = GpumemConfig::builder(25)
+        .seed_len(6)
+        .threads_per_block(64)
+        .blocks_per_tile(4)
+        .schedule_policy(gpumem::core::SchedulePolicy::MassDescending)
+        .work_stealing(true)
+        .query_staging(true)
+        .build()
+        .expect("valid config");
+    let gpumem = Gpumem::with_device(config, Device::new(DeviceSpec::test_tiny()));
+
+    let baseline = {
+        let plain = GpumemConfig::builder(25)
+            .seed_len(6)
+            .threads_per_block(64)
+            .blocks_per_tile(4)
+            .build()
+            .unwrap();
+        Gpumem::with_device(plain, Device::new(DeviceSpec::test_tiny()))
+            .run(&reference, &query)
+            .unwrap()
+    };
+
+    let session = Session::start();
+    let sanitized = gpumem.run(&reference, &query).unwrap();
+    let report = session.finish();
+
+    assert!(report.is_clean(), "steal-queue hazards:\n{report}");
+    assert!(
+        sanitized.stats.matching.steal_events > 0,
+        "skewed fixture must exercise cross-slot steals"
+    );
+    assert_eq!(
+        sanitized.mems, baseline.mems,
+        "knob stack changed the MEM set"
+    );
+}
+
+#[test]
 fn dense_and_compact_index_builds_are_hazard_free() {
     let (reference, _) = smoke_pair();
     let device = Device::new(DeviceSpec::test_tiny());

@@ -57,14 +57,17 @@
 //! gate.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
-use gpu_sim::DeviceSpec;
-use gpumem_core::{Engine, Gpumem, GpumemConfig, GpumemStats, SeedMode};
+use gpu_sim::{Device, DeviceSpec};
+use gpumem_core::{
+    Engine, Gpumem, GpumemConfig, GpumemStats, Registry, RunOptions, RunRequest, SeedMode,
+};
 use gpumem_index::max_coprime_steps;
 use gpumem_seq::{FastaRecord, GenomeModel, MutationModel, PackedSeq, SeqSet};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Fixed smoke dataset: a mammalian-model reference and a mutated copy,
 /// big enough for a multi-row, multi-column tiling.
@@ -173,13 +176,11 @@ fn measure_batch(reference: &PackedSeq, queries: &SeqSet, config: &GpumemConfig)
     // Served path: a fresh engine per measurement, so the one cold
     // index build is honestly included in the batch wall-clock.
     let start = Instant::now();
-    let engine = Engine::with_spec(
-        reference.clone(),
-        config.clone(),
-        DeviceSpec::tesla_k20c(),
-        1,
-    )
-    .expect("quick workload fits");
+    let engine = Engine::builder(reference.clone())
+        .config(config.clone())
+        .spec(DeviceSpec::tesla_k20c())
+        .build()
+        .expect("quick workload fits");
     let batch = engine.run_batch(queries);
     let batch_wall_s = start.elapsed().as_secs_f64();
 
@@ -333,6 +334,207 @@ fn measure_skewed(reference: &PackedSeq, query: &PackedSeq) -> SkewSample {
         steal_events: tuned.stats.matching.steal_events,
         mems: base.mems.len(),
     }
+}
+
+/// Registry scenario: K references under a byte budget that holds only
+/// a few of them resident, touched with zipf-skewed traffic (rank-1/i
+/// weights) — the multi-tenant serving shape the registry's LRU
+/// eviction targets.
+const REGISTRY_REFS: usize = 6;
+const REGISTRY_REF_LEN: usize = 12_000;
+const REGISTRY_TOUCHES: usize = 60;
+
+/// One measurement of the registry scenario.
+struct RegistrySample {
+    budget_bytes: u64,
+    per_ref_bytes: u64,
+    hit_rate: f64,
+    evictions: u64,
+    peak_resident_bytes: u64,
+    resident_bytes: u64,
+    wall_s: f64,
+}
+
+fn measure_registry(config: &GpumemConfig) -> RegistrySample {
+    let references: Vec<Arc<PackedSeq>> = (0..REGISTRY_REFS)
+        .map(|i| {
+            Arc::new(GenomeModel::mammalian().generate(REGISTRY_REF_LEN, DATA_SEED + 20 + i as u64))
+        })
+        .collect();
+    // Size the budget off the real per-reference footprint: warm one
+    // reference in an unbounded registry and read its resident bytes.
+    let probe = Registry::new(DeviceSpec::tesla_k20c());
+    let device = Device::new(probe.spec().clone());
+    let handle = probe
+        .add("probe", Arc::clone(&references[0]), config.clone())
+        .expect("registry scenario fits");
+    probe
+        .session(handle)
+        .expect("probe handle resolves")
+        .warm(&device);
+    let per_ref_bytes = probe.resident_bytes();
+    // Room for ~3 of the 6 references: every cold touch of the tail
+    // evicts someone under zipf traffic.
+    let budget_bytes = per_ref_bytes * 3 + per_ref_bytes / 2;
+
+    let registry = Registry::with_budget(DeviceSpec::tesla_k20c(), budget_bytes);
+    let handles: Vec<_> = references
+        .iter()
+        .enumerate()
+        .map(|(i, reference)| {
+            registry
+                .add(&format!("ref{i}"), Arc::clone(reference), config.clone())
+                .expect("registry scenario fits")
+        })
+        .collect();
+
+    // Zipf-skewed touch sequence: rank r drawn with weight 1/(r+1),
+    // deterministic via the seeded generator.
+    let weights: Vec<f64> = (0..REGISTRY_REFS).map(|r| 1.0 / (r + 1) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(DATA_SEED + 30);
+    let start = Instant::now();
+    for _ in 0..REGISTRY_TOUCHES {
+        let mut pick = rng.gen_range(0.0..total);
+        let mut rank = 0;
+        while rank + 1 < REGISTRY_REFS && pick >= weights[rank] {
+            pick -= weights[rank];
+            rank += 1;
+        }
+        let handle = handles[rank];
+        let session = registry.session(handle).expect("handle stays resolvable");
+        // A "query" against this reference: make its rows resident
+        // (a warm session is a no-op, a cold one rebuilds), then let
+        // the touch charge the build to the budget.
+        session.warm(&device);
+        registry.touch(handle);
+        assert!(
+            registry.resident_bytes() <= budget_bytes,
+            "resident bytes exceed the budget after enforcement"
+        );
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats = registry.stats();
+    assert!(stats.evictions > 0, "zipf traffic under budget must churn");
+    RegistrySample {
+        budget_bytes,
+        per_ref_bytes,
+        hit_rate: stats.hits as f64 / (stats.hits + stats.misses) as f64,
+        evictions: stats.evictions,
+        peak_resident_bytes: stats.peak_resident_bytes,
+        resident_bytes: stats.resident_bytes,
+        wall_s,
+    }
+}
+
+fn render_registry(sample: &RegistrySample) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"references\": {},\n",
+            "    \"touches\": {},\n",
+            "    \"budget_bytes\": {},\n",
+            "    \"per_ref_bytes\": {},\n",
+            "    \"hit_rate\": {:.4},\n",
+            "    \"evictions\": {},\n",
+            "    \"peak_resident_bytes\": {},\n",
+            "    \"resident_bytes\": {},\n",
+            "    \"wall_s\": {:.4}\n",
+            "  }}"
+        ),
+        REGISTRY_REFS,
+        REGISTRY_TOUCHES,
+        sample.budget_bytes,
+        sample.per_ref_bytes,
+        sample.hit_rate,
+        sample.evictions,
+        sample.peak_resident_bytes,
+        sample.resident_bytes,
+        sample.wall_s,
+    )
+}
+
+/// Sharded scenario: the pipeline dataset split across N simulated
+/// devices. `modeled_ratio` is single-device modeled match time over
+/// the slowest shard's — the modeled multi-device speedup, bounded by
+/// the heaviest shard (the quantity the LPT plan balances).
+const SHARD_COUNT: usize = 4;
+
+struct ShardedSample {
+    single_modeled_match_s: f64,
+    max_shard_modeled_match_s: f64,
+    single_wall_s: f64,
+    sharded_wall_s: f64,
+    mems: usize,
+}
+
+fn measure_sharded(
+    reference: &PackedSeq,
+    query: &PackedSeq,
+    config: &GpumemConfig,
+) -> ShardedSample {
+    let engine = Engine::builder(reference.clone())
+        .config(config.clone())
+        .spec(DeviceSpec::tesla_k20c())
+        .build()
+        .expect("quick workload fits");
+    let start = Instant::now();
+    let single = engine.run(query).expect("quick workload fits");
+    let single_wall_s = start.elapsed().as_secs_f64();
+
+    let options = RunOptions {
+        shards: SHARD_COUNT,
+        ..RunOptions::default()
+    };
+    let start = Instant::now();
+    let sharded = engine
+        .execute(&RunRequest::query(query).options(options))
+        .pop()
+        .expect("one query yields one output")
+        .expect("quick workload fits");
+    let sharded_wall_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        single.mems, sharded.result.mems,
+        "sharded MEM set must be byte-identical to single-device"
+    );
+    let max_shard_modeled_match_s = sharded
+        .result
+        .stats
+        .shard_matching
+        .iter()
+        .map(|s| s.modeled_secs())
+        .fold(0.0f64, f64::max);
+    ShardedSample {
+        single_modeled_match_s: single.stats.matching.modeled_secs(),
+        max_shard_modeled_match_s,
+        single_wall_s,
+        sharded_wall_s,
+        mems: single.mems.len(),
+    }
+}
+
+fn render_sharded(sample: &ShardedSample) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"shards\": {},\n",
+            "    \"single_modeled_match_s\": {:.6},\n",
+            "    \"max_shard_modeled_match_s\": {:.6},\n",
+            "    \"modeled_ratio\": {:.2},\n",
+            "    \"single_wall_s\": {:.4},\n",
+            "    \"sharded_wall_s\": {:.4},\n",
+            "    \"mems\": {}\n",
+            "  }}"
+        ),
+        SHARD_COUNT,
+        sample.single_modeled_match_s,
+        sample.max_shard_modeled_match_s,
+        sample.single_modeled_match_s / sample.max_shard_modeled_match_s,
+        sample.single_wall_s,
+        sample.sharded_wall_s,
+        sample.mems,
+    )
 }
 
 fn render_skewed(sample: &SkewSample) -> String {
@@ -660,6 +862,37 @@ fn main() {
         sample
     };
 
+    // Registry scenario: zipf traffic over K references under a byte
+    // budget — hit rate and eviction churn are the tracked outputs.
+    let registry_sample = {
+        let sample = measure_registry(&config);
+        eprintln!(
+            "registry: {} refs, budget {} B ({} B/ref), hit rate {:.2}, {} evictions, peak {} B",
+            REGISTRY_REFS,
+            sample.budget_bytes,
+            sample.per_ref_bytes,
+            sample.hit_rate,
+            sample.evictions,
+            sample.peak_resident_bytes,
+        );
+        sample
+    };
+
+    // Sharded scenario: byte-identity across N devices plus the
+    // modeled multi-device speedup (bounded by the slowest shard).
+    let sharded_sample = {
+        let sample = measure_sharded(&reference, &query, &config);
+        eprintln!(
+            "sharded: {} shards, modeled match {:.3} ms single vs {:.3} ms max-shard ({:.2}x), {} MEMs",
+            SHARD_COUNT,
+            sample.single_modeled_match_s * 1e3,
+            sample.max_shard_modeled_match_s * 1e3,
+            sample.single_modeled_match_s / sample.max_shard_modeled_match_s,
+            sample.mems,
+        );
+        sample
+    };
+
     // Seed-mode ablation: one run per (L, mode) — modeled time is
     // deterministic, and modeled_ratio is what the gate tracks.
     let (abl_ref, abl_query) = {
@@ -832,6 +1065,34 @@ fn main() {
             ),
             None => eprintln!("skewed check skipped: no committed skewed scenario"),
         }
+        // The modeled multi-device speedup must not erode: gate the
+        // sharded modeled_ratio like the other ratios.
+        let fresh_sharded_ratio =
+            sharded_sample.single_modeled_match_s / sharded_sample.max_shard_modeled_match_s;
+        let committed_sharded_ratio = committed
+            .as_deref()
+            .and_then(|json| extract_object(json, "sharded"))
+            .and_then(|object| extract_number(&object, "modeled_ratio"));
+        match committed_sharded_ratio {
+            Some(committed_sharded_ratio)
+                if fresh_sharded_ratio < committed_sharded_ratio * (1.0 - max_regress) =>
+            {
+                eprintln!(
+                    "FAIL: sharded modeled ratio {:.2}x regressed more than {:.0}% under committed {:.2}x",
+                    fresh_sharded_ratio,
+                    max_regress * 100.0,
+                    committed_sharded_ratio
+                );
+                std::process::exit(1);
+            }
+            Some(committed_sharded_ratio) => eprintln!(
+                "sharded check ok: {:.2}x vs committed {:.2}x (max regression {:.0}%)",
+                fresh_sharded_ratio,
+                committed_sharded_ratio,
+                max_regress * 100.0
+            ),
+            None => eprintln!("sharded check skipped: no committed sharded scenario"),
+        }
     }
 
     let json = format!(
@@ -850,6 +1111,8 @@ fn main() {
             "  \"seedmode_l100\": {},\n",
             "  \"seedmode_l300\": {},\n",
             "  \"skewed\": {},\n",
+            "  \"registry\": {},\n",
+            "  \"sharded\": {},\n",
             "  \"speedup_wall\": {:.2}\n",
             "}}\n"
         ),
@@ -870,6 +1133,8 @@ fn main() {
         render_seedmode(&seedmode[1]),
         render_seedmode(&seedmode[2]),
         render_skewed(&skewed),
+        render_registry(&registry_sample),
+        render_sharded(&sharded_sample),
         before_wall / best.wall_s,
     );
     std::fs::write(&path, &json).expect("write BENCH_pipeline.json");

@@ -43,13 +43,16 @@ use gpumem_index::{Region, SharedSeedLookup};
 use gpumem_seq::{canonicalize, Mem, PackedSeq, SeqSet};
 use rayon::prelude::*;
 
-use crate::config::GpumemConfig;
+use crate::config::{GpumemConfig, SchedulePolicy};
 use crate::pipeline::{
-    build_row_index, ensure_fits, ensure_sort_key, run_tiles, GpumemResult, GpumemStats,
-    IndexBuildReport, RunError, RunScratch,
+    build_row_index, ensure_fits, ensure_sort_key, finish_global, run_tile_rows, run_tiles,
+    GpumemResult, GpumemStats, IndexBuildReport, RunError, RunScratch,
 };
+use crate::registry::{RefHandle, Registry, RegistryStats};
+use crate::shard::ShardPlan;
 use crate::tile::Tiling;
 use crate::trace::{SpanCat, Trace, TraceRecorder};
+use gpumem_index::SeedMode;
 
 /// Which pipeline stage produced a batch of MEMs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -123,6 +126,10 @@ pub struct RefSession {
     build: Mutex<BuildAccum>,
     /// Row-index lookups served from cache (misses = rows built).
     hits: AtomicU64,
+    /// Bytes of currently resident row indexes (the
+    /// [`SeedLookup::memory_bytes`](gpumem_index::SeedLookup) sum) —
+    /// what the registry's byte budget charges.
+    resident: AtomicU64,
 }
 
 impl RefSession {
@@ -153,11 +160,18 @@ impl RefSession {
             rows,
             build: Mutex::new(BuildAccum::default()),
             hits: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
         })
     }
 
     /// The reference sequence.
     pub fn reference(&self) -> &PackedSeq {
+        &self.reference
+    }
+
+    /// The reference behind its shared handle (what a registry keys
+    /// identity on).
+    pub fn reference_arc(&self) -> &Arc<PackedSeq> {
         &self.reference
     }
 
@@ -182,6 +196,33 @@ impl RefSession {
         self.hits.load(Ordering::Relaxed)
     }
 
+    /// Bytes of currently resident row indexes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Number of row indexes currently resident (≤ [`RefSession::rows`];
+    /// smaller after an eviction).
+    pub fn resident_rows(&self) -> usize {
+        self.rows.iter().filter(|slot| slot.lock().is_some()).count()
+    }
+
+    /// Drop every resident row index, returning the bytes freed. The
+    /// session stays fully usable — the next touch of each row rebuilds
+    /// it lazily, like a first-ever query. Cumulative counters
+    /// ([`RefSession::built_rows`], [`RefSession::cache_hits`]) keep
+    /// counting across evictions.
+    pub fn evict_rows(&self) -> u64 {
+        let mut freed = 0u64;
+        for slot in &self.rows {
+            if let Some(index) = slot.lock().take() {
+                freed += index.memory_bytes() as u64;
+            }
+        }
+        self.resident.fetch_sub(freed, Ordering::Relaxed);
+        freed
+    }
+
     /// This row's index: the cached handle (with zero launch stats), or
     /// a fresh build on `device`, cached for everyone after. Holding
     /// the slot lock across the build means concurrent queries touching
@@ -196,6 +237,8 @@ impl RefSession {
         let (index, stats) =
             build_row_index(device, &self.config, &self.reference, self.row_regions[row]);
         let wall = t0.elapsed();
+        self.resident
+            .fetch_add(index.memory_bytes() as u64, Ordering::Relaxed);
         *slot = Some(Arc::clone(&index));
         let mut accum = self.build.lock();
         accum.stats += stats.clone();
@@ -239,7 +282,12 @@ impl RefSession {
 /// entry exists.
 pub struct SessionCache {
     spec: DeviceSpec,
-    sessions: Mutex<HashMap<(usize, GpumemConfig), Arc<RefSession>>>,
+    /// Two-level map: the outer lock only guards slot lookup/insertion
+    /// and is never held across a session construction; each key's
+    /// construction runs under its own slot lock, so concurrent callers
+    /// for *different* references (or configs) build in parallel while
+    /// callers for the *same* key still build exactly once.
+    sessions: Mutex<HashMap<(usize, GpumemConfig), Arc<Mutex<Option<Arc<RefSession>>>>>>,
 }
 
 impl SessionCache {
@@ -259,18 +307,48 @@ impl SessionCache {
         config: GpumemConfig,
     ) -> Result<Arc<RefSession>, RunError> {
         let key = (Arc::as_ptr(reference) as usize, config.clone());
-        let mut sessions = self.sessions.lock();
-        if let Some(session) = sessions.get(&key) {
+        let slot = {
+            let mut sessions = self.sessions.lock();
+            Arc::clone(
+                sessions
+                    .entry(key.clone())
+                    .or_insert_with(|| Arc::new(Mutex::new(None))),
+            )
+        };
+        let mut guard = slot.lock();
+        if let Some(session) = guard.as_ref() {
             return Ok(Arc::clone(session));
         }
-        let session = Arc::new(RefSession::new(Arc::clone(reference), config, &self.spec)?);
-        sessions.insert(key, Arc::clone(&session));
-        Ok(session)
+        match RefSession::new(Arc::clone(reference), config, &self.spec) {
+            Ok(session) => {
+                let session = Arc::new(session);
+                *guard = Some(Arc::clone(&session));
+                Ok(session)
+            }
+            Err(e) => {
+                // Leave no empty slot behind so a failed construction
+                // doesn't count toward `len` (another in-flight caller
+                // holding this slot Arc will simply retry-and-fail on
+                // its own).
+                drop(guard);
+                let mut sessions = self.sessions.lock();
+                if let Some(current) = sessions.get(&key) {
+                    if Arc::ptr_eq(current, &slot) && slot.lock().is_none() {
+                        sessions.remove(&key);
+                    }
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Number of cached sessions.
     pub fn len(&self) -> usize {
-        self.sessions.lock().len()
+        self.sessions
+            .lock()
+            .values()
+            .filter(|slot| slot.lock().is_some())
+            .count()
     }
 
     /// Whether the cache is empty.
@@ -437,6 +515,9 @@ pub struct MetricsSnapshot {
     pub workers: Vec<WorkerUtilization>,
     /// Device-health counters of the matching launches.
     pub device: DeviceCounters,
+    /// Counters of the registry this engine is bound to (all-zero with
+    /// `attached: false` for a registry-less engine).
+    pub registry: RegistryStats,
 }
 
 impl MetricsSnapshot {
@@ -446,42 +527,320 @@ impl MetricsSnapshot {
     }
 }
 
+/// What to run: one query or a whole batch, borrowed into a
+/// [`RunRequest`].
+#[derive(Clone, Copy, Debug)]
+pub enum Queries<'a> {
+    /// A single query sequence.
+    One(&'a PackedSeq),
+    /// Every record of a set, each an independent query.
+    Set(&'a SeqSet),
+}
+
+impl<'a> From<&'a PackedSeq> for Queries<'a> {
+    fn from(q: &'a PackedSeq) -> Queries<'a> {
+        Queries::One(q)
+    }
+}
+
+impl<'a> From<&'a SeqSet> for Queries<'a> {
+    fn from(s: &'a SeqSet) -> Queries<'a> {
+        Queries::Set(s)
+    }
+}
+
+/// Per-request knobs of [`Engine::execute`] — the one place run-time
+/// configuration lives. Everything here is output-preserving relative
+/// to the engine's base configuration except `seed_mode`, which changes
+/// *which* MEM-definition parameters apply (and transparently routes to
+/// a separate cached session, since a different seed mode means a
+/// different index layout).
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Record a [`Trace`] for each query (returned in
+    /// [`RunOutput::trace`]).
+    pub trace: bool,
+    /// Split each query's tile rows across this many simulated devices
+    /// (`0`/`1` = single-device). The canonical MEM set is byte-identical
+    /// for every shard count — see [`crate::shard`].
+    pub shards: usize,
+    /// Explicit row placement for sharded runs (overrides `shards`;
+    /// must cover the run's tile rows exactly once).
+    pub shard_plan: Option<ShardPlan>,
+    /// Run under a different seed-sampling mode than the engine's base
+    /// configuration (e.g. probe the copMEM-style dual grid for one
+    /// request). Validated like a fresh configuration.
+    pub seed_mode: Option<SeedMode>,
+    /// Override the tile launch order for this request.
+    pub schedule_policy: Option<SchedulePolicy>,
+    /// Override persistent-block work stealing for this request.
+    pub work_stealing: Option<bool>,
+    /// Override shared-memory query staging for this request.
+    pub query_staging: Option<bool>,
+}
+
+/// One unit of work for [`Engine::execute`]: what to run plus how.
+#[derive(Clone, Debug)]
+pub struct RunRequest<'a> {
+    /// The query payload.
+    pub queries: Queries<'a>,
+    /// Per-request knobs.
+    pub options: RunOptions,
+}
+
+impl<'a> RunRequest<'a> {
+    /// A default-options request for one query.
+    pub fn query(query: &'a PackedSeq) -> RunRequest<'a> {
+        RunRequest {
+            queries: Queries::One(query),
+            options: RunOptions::default(),
+        }
+    }
+
+    /// A default-options request for a batch.
+    pub fn batch(queries: &'a SeqSet) -> RunRequest<'a> {
+        RunRequest {
+            queries: Queries::Set(queries),
+            options: RunOptions::default(),
+        }
+    }
+
+    /// Replace the options.
+    pub fn options(mut self, options: RunOptions) -> RunRequest<'a> {
+        self.options = options;
+        self
+    }
+}
+
+/// What [`Engine::execute`] returns per query.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// The canonical MEM set and run statistics.
+    pub result: GpumemResult,
+    /// The query's trace when [`RunOptions::trace`] was set.
+    pub trace: Option<Trace>,
+}
+
+/// The engine's registration in a [`Registry`]: the base session is
+/// pinned for the engine's lifetime (released on drop).
+struct RegistryBinding {
+    registry: Arc<Registry>,
+    handle: RefHandle,
+}
+
+/// Builds an [`Engine`] — the single construction surface replacing the
+/// old `new` / `with_spec` / `from_session` trio.
+///
+/// ```no_run
+/// # use gpumem_core::{Engine, GpumemConfig};
+/// # use gpumem_seq::GenomeModel;
+/// # use gpu_sim::DeviceSpec;
+/// let reference = GenomeModel::mammalian().generate(10_000, 1);
+/// let engine = Engine::builder(reference)
+///     .config(GpumemConfig::builder(25).build().unwrap())
+///     .spec(DeviceSpec::tesla_k20c())
+///     .threads(4)
+///     .build()
+///     .unwrap();
+/// ```
+pub struct EngineBuilder {
+    reference: Arc<PackedSeq>,
+    config: Option<GpumemConfig>,
+    spec: DeviceSpec,
+    threads: usize,
+    registry: Option<Arc<Registry>>,
+    name: Option<String>,
+    session: Option<Arc<RefSession>>,
+}
+
+impl EngineBuilder {
+    /// The pipeline configuration (default: `GpumemConfig::builder(20)`,
+    /// the CLI's default minimum MEM length).
+    pub fn config(mut self, config: GpumemConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// The simulated device spec each worker runs (default: the paper's
+    /// Tesla K20c). Ignored when a [`Registry`] is attached — sessions
+    /// then validate against the registry's spec.
+    pub fn spec(mut self, spec: DeviceSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Number of query workers (default 1; clamped to ≥ 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Host the engine's session in `registry`: the session is
+    /// registered (deduplicated against existing entries) and pinned
+    /// for the engine's lifetime, per-request seed-mode override
+    /// sessions share the registry's byte budget, and
+    /// [`Engine::metrics`] carries the registry counters.
+    pub fn registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// The name to register the reference under (default `"default"`;
+    /// only meaningful with [`EngineBuilder::registry`]).
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// Bind an existing (possibly shared, possibly warmed) session
+    /// instead of creating one; overrides `config` and the reference
+    /// passed to [`Engine::builder`]. Incompatible with
+    /// [`EngineBuilder::registry`].
+    pub fn session(mut self, session: Arc<RefSession>) -> Self {
+        self.session = Some(session);
+        self
+    }
+
+    /// Validate and assemble the engine.
+    pub fn build(self) -> Result<Engine, RunError> {
+        if let Some(session) = self.session {
+            if self.registry.is_some() {
+                return Err(RunError::InvalidOptions(
+                    "EngineBuilder::session is incompatible with EngineBuilder::registry; \
+                     register the (reference, config) pair instead"
+                        .to_string(),
+                ));
+            }
+            return Ok(Engine::assemble(session, self.spec, self.threads, None));
+        }
+        let config = match self.config {
+            Some(config) => config,
+            None => GpumemConfig::builder(20)
+                .build()
+                .expect("default configuration is valid"),
+        };
+        match self.registry {
+            Some(registry) => {
+                let name = self.name.as_deref().unwrap_or("default");
+                let handle = registry.add(name, self.reference, config)?;
+                let session = registry
+                    .pin_raw(handle)
+                    .expect("freshly added handle resolves");
+                let spec = registry.spec().clone();
+                Ok(Engine::assemble(
+                    session,
+                    spec,
+                    self.threads,
+                    Some(RegistryBinding { registry, handle }),
+                ))
+            }
+            None => {
+                let session = Arc::new(RefSession::new(self.reference, config, &self.spec)?);
+                Ok(Engine::assemble(session, self.spec, self.threads, None))
+            }
+        }
+    }
+}
+
 /// The serving engine: a [`RefSession`] bound to a pool of query
-/// workers.
+/// workers, optionally hosted in a [`Registry`].
 pub struct Engine {
     session: Arc<RefSession>,
+    spec: DeviceSpec,
     workers: Vec<Mutex<Worker>>,
     created: Instant,
     latency: Mutex<LatencyHistogram>,
     build_wait: Mutex<Duration>,
     matching_totals: Mutex<LaunchStats>,
+    registry: Option<RegistryBinding>,
+    /// Sessions materialized for per-request seed-mode overrides on
+    /// registry-less engines (registry-hosted engines route overrides
+    /// through the registry so they share its byte budget).
+    overrides: Mutex<HashMap<GpumemConfig, Arc<RefSession>>>,
+}
+
+/// The resolved (session, config) pair one [`Engine::execute`] call
+/// runs under; holds the override session's pin for the duration.
+struct ResolvedRun {
+    session: Arc<RefSession>,
+    config: GpumemConfig,
+    _pin: Option<crate::registry::PinnedSession>,
+}
+
+/// A sink that just concatenates (the cross-shard merge needs the raw
+/// Global batch, not a canonicalized collector).
+struct VecSink(Vec<Mem>);
+
+impl MemSink for VecSink {
+    fn mems(&mut self, _stage: MemStage, mems: &[Mem]) {
+        self.0.extend_from_slice(mems);
+    }
+}
+
+/// Everything one shard brings home.
+struct ShardRun {
+    stats: GpumemStats,
+    mems: Vec<Mem>,
+    fragments: Vec<Mem>,
+    build_wait: Duration,
+    trace: Option<Trace>,
 }
 
 impl Engine {
+    /// Start building an engine for `reference` (see [`EngineBuilder`]).
+    pub fn builder(reference: impl Into<Arc<PackedSeq>>) -> EngineBuilder {
+        EngineBuilder {
+            reference: reference.into(),
+            config: None,
+            spec: DeviceSpec::tesla_k20c(),
+            threads: 1,
+            registry: None,
+            name: None,
+            session: None,
+        }
+    }
+
     /// Serve `reference` on the paper's Tesla K20c with one query
     /// worker.
+    #[deprecated(note = "use Engine::builder(reference).config(config).build()")]
     pub fn new(reference: PackedSeq, config: GpumemConfig) -> Result<Engine, RunError> {
-        Engine::with_spec(reference, config, DeviceSpec::tesla_k20c(), 1)
+        Engine::builder(reference).config(config).build()
     }
 
     /// Serve `reference` on `query_threads` workers of an explicit
     /// device spec (each worker simulates its own device).
+    #[deprecated(
+        note = "use Engine::builder(reference).config(config).spec(spec).threads(n).build()"
+    )]
     pub fn with_spec(
         reference: PackedSeq,
         config: GpumemConfig,
         spec: DeviceSpec,
         query_threads: usize,
     ) -> Result<Engine, RunError> {
-        let session = Arc::new(RefSession::new(Arc::new(reference), config, &spec)?);
-        Ok(Engine::from_session(session, spec, query_threads))
+        Engine::builder(reference)
+            .config(config)
+            .spec(spec)
+            .threads(query_threads)
+            .build()
     }
 
     /// Bind an existing (possibly shared, possibly warmed) session to a
     /// fresh worker pool.
+    #[deprecated(note = "use Engine::builder(reference).session(session).spec(spec).threads(n)")]
     pub fn from_session(
         session: Arc<RefSession>,
         spec: DeviceSpec,
         query_threads: usize,
+    ) -> Engine {
+        Engine::assemble(session, spec, query_threads, None)
+    }
+
+    fn assemble(
+        session: Arc<RefSession>,
+        spec: DeviceSpec,
+        query_threads: usize,
+        registry: Option<RegistryBinding>,
     ) -> Engine {
         let workers = (0..query_threads.max(1))
             .map(|_| {
@@ -495,17 +854,30 @@ impl Engine {
             .collect();
         Engine {
             session,
+            spec,
             workers,
             created: Instant::now(),
             latency: Mutex::new(LatencyHistogram::new()),
             build_wait: Mutex::new(Duration::ZERO),
             matching_totals: Mutex::new(LaunchStats::default()),
+            registry,
+            overrides: Mutex::new(HashMap::new()),
         }
     }
 
     /// The underlying session (shareable with other engines).
     pub fn session(&self) -> &Arc<RefSession> {
         &self.session
+    }
+
+    /// The registry the engine is hosted in, if any.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref().map(|b| &b.registry)
+    }
+
+    /// The device spec each worker simulates.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
     }
 
     /// Number of query workers.
@@ -520,14 +892,16 @@ impl Engine {
         self.session.warm(&worker.device)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_on_worker(
         &self,
         worker: &mut Worker,
         query: &PackedSeq,
         sink: &mut dyn MemSink,
         trace: Option<&TraceRecorder>,
+        session: &RefSession,
+        config: &GpumemConfig,
     ) -> GpumemStats {
-        let session = &self.session;
         // Time every row-index acquisition: building a cold row, or
         // waiting on another query's in-flight build of the same row.
         let mut build_wait = Duration::ZERO;
@@ -539,7 +913,7 @@ impl Engine {
         };
         let stats = run_tiles(
             &worker.device,
-            session.config(),
+            config,
             session.reference(),
             query,
             &mut provider,
@@ -552,10 +926,16 @@ impl Engine {
         stats
     }
 
-    fn collect_on_worker(&self, worker: &mut Worker, query: &PackedSeq) -> GpumemResult {
+    fn collect_on_worker(
+        &self,
+        worker: &mut Worker,
+        query: &PackedSeq,
+        session: &RefSession,
+        config: &GpumemConfig,
+    ) -> GpumemResult {
         let t0 = Instant::now();
         let mut collector = MemCollector::default();
-        let mut stats = self.run_on_worker(worker, query, &mut collector, None);
+        let mut stats = self.run_on_worker(worker, query, &mut collector, None, session, config);
         let t = Instant::now();
         let mems = collector.into_canonical();
         stats.match_wall += t.elapsed();
@@ -564,44 +944,352 @@ impl Engine {
         GpumemResult { mems, stats }
     }
 
-    /// Account one completed query to the latency histogram and the
-    /// executing worker.
+    /// Account one completed query to the latency histogram, the
+    /// executing worker, and — when registry-hosted — the registry's
+    /// LRU clock (which also enforces the byte budget, charging any
+    /// rows the query lazily built).
     fn record_query(&self, worker: &mut Worker, latency: Duration) {
         worker.busy += latency;
         worker.queries += 1;
         self.latency.lock().record(latency);
+        if let Some(binding) = &self.registry {
+            binding.registry.touch(binding.handle);
+        }
     }
 
-    /// Stream one query's MEMs into `sink` as stages complete (see the
-    /// module docs for the ordering contract). A warmed session makes
-    /// this a zero-index-launch operation.
-    pub fn run_with_sink(
+    /// Resolve a request's options into the (session, config) pair to
+    /// run under. Schedule knobs are free overrides on the base
+    /// session; a seed-mode override needs its own index layout, so it
+    /// resolves to a separate session — through the registry (budgeted,
+    /// pinned for the call) when hosted, else a per-engine cache.
+    fn resolve_options(&self, opts: &RunOptions) -> Result<ResolvedRun, RunError> {
+        let base = self.session.config();
+        let mut config = base.clone();
+        config.schedule_policy = opts.schedule_policy.unwrap_or(base.schedule_policy);
+        config.work_stealing = opts.work_stealing.unwrap_or(base.work_stealing);
+        config.query_staging = opts.query_staging.unwrap_or(base.query_staging);
+        match opts.seed_mode {
+            Some(mode) if mode != base.seed_mode => {
+                // Re-derive through the validating builder: the seed
+                // mode dictates step and therefore the tile geometry.
+                let derived = GpumemConfig::builder(base.min_len)
+                    .seed_len(base.seed_len)
+                    .seed_mode(mode)
+                    .threads_per_block(base.threads_per_block)
+                    .blocks_per_tile(base.blocks_per_tile)
+                    .load_balancing(base.load_balancing)
+                    .index_kind(base.index_kind)
+                    .build()
+                    .map_err(|e| RunError::InvalidOptions(e.to_string()))?;
+                // The session is keyed on the index-relevant shape:
+                // schedule knobs are launch-order details and must not
+                // multiply sessions.
+                let session_config = derived.clone();
+                config.min_len = derived.min_len;
+                config.seed_len = derived.seed_len;
+                config.step = derived.step;
+                config.seed_mode = derived.seed_mode;
+                let (session, pin) = self.override_session(session_config)?;
+                Ok(ResolvedRun {
+                    session,
+                    config,
+                    _pin: pin,
+                })
+            }
+            _ => Ok(ResolvedRun {
+                session: Arc::clone(&self.session),
+                config,
+                _pin: None,
+            }),
+        }
+    }
+
+    /// The cached session for an overridden index layout.
+    fn override_session(
+        &self,
+        session_config: GpumemConfig,
+    ) -> Result<(Arc<RefSession>, Option<crate::registry::PinnedSession>), RunError> {
+        if let Some(binding) = &self.registry {
+            let handle = binding.registry.add(
+                "seed-mode-override",
+                Arc::clone(self.session.reference_arc()),
+                session_config,
+            )?;
+            let pin = binding
+                .registry
+                .pin(handle)
+                .expect("freshly added handle resolves");
+            let session = Arc::clone(pin.session());
+            return Ok((session, Some(pin)));
+        }
+        let mut overrides = self.overrides.lock();
+        if let Some(session) = overrides.get(&session_config) {
+            return Ok((Arc::clone(session), None));
+        }
+        let session = Arc::new(RefSession::new(
+            Arc::clone(self.session.reference_arc()),
+            session_config.clone(),
+            &self.spec,
+        )?);
+        overrides.insert(session_config, Arc::clone(&session));
+        Ok((session, None))
+    }
+
+    /// How many shards a request resolves to.
+    fn effective_shards(&self, opts: &RunOptions) -> usize {
+        opts.shard_plan
+            .as_ref()
+            .map(|p| p.n_shards())
+            .unwrap_or(opts.shards)
+            .max(1)
+    }
+
+    /// The unified run surface: execute every query of `request` under
+    /// its options, returning one [`RunOutput`] per query in order.
+    /// [`Engine::run`], [`Engine::run_traced`], and
+    /// [`Engine::run_batch`] are thin adapters over this.
+    ///
+    /// Untraced single-device batches fan out across the engine's
+    /// workers; traced or sharded requests run queries sequentially
+    /// (tracing owns worker 0's observer; a sharded query is already
+    /// parallel across its shard devices).
+    pub fn execute(&self, request: &RunRequest<'_>) -> Vec<Result<RunOutput, RunError>> {
+        let opts = &request.options;
+        let n = match request.queries {
+            Queries::One(_) => 1,
+            Queries::Set(set) => set.records.len(),
+        };
+        let resolved = match self.resolve_options(opts) {
+            Ok(resolved) => resolved,
+            Err(e) => return (0..n).map(|_| Err(e.clone())).collect(),
+        };
+        match request.queries {
+            Queries::One(query) => vec![self.execute_one(query, &resolved, opts)],
+            Queries::Set(set) if opts.trace || self.effective_shards(opts) >= 2 => (0..n)
+                .map(|i| self.execute_one(&set.record_seq(i), &resolved, opts))
+                .collect(),
+            Queries::Set(set) => {
+                let n_workers = self.workers.len();
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(n_workers)
+                    .build()
+                    .expect("thread pool");
+                pool.install(|| {
+                    (0..n)
+                        .into_par_iter()
+                        .map(|i| {
+                            let query = set.record_seq(i);
+                            ensure_sort_key(&query)?;
+                            let mut worker = self.workers[i % n_workers].lock();
+                            Ok(RunOutput {
+                                result: self.collect_on_worker(
+                                    &mut worker,
+                                    &query,
+                                    &resolved.session,
+                                    &resolved.config,
+                                ),
+                                trace: None,
+                            })
+                        })
+                        .collect()
+                })
+            }
+        }
+    }
+
+    fn execute_one(
         &self,
         query: &PackedSeq,
-        sink: &mut dyn MemSink,
-    ) -> Result<GpumemStats, RunError> {
+        resolved: &ResolvedRun,
+        opts: &RunOptions,
+    ) -> Result<RunOutput, RunError> {
         ensure_sort_key(query)?;
+        let shards = self.effective_shards(opts);
+        if shards >= 2 {
+            return self.run_sharded(query, resolved, opts, shards);
+        }
+        if opts.trace {
+            let (result, trace) =
+                self.traced_on_worker0(query, &resolved.session, &resolved.config);
+            return Ok(RunOutput {
+                result,
+                trace: Some(trace),
+            });
+        }
+        let mut worker = self.workers[0].lock();
+        Ok(RunOutput {
+            result: self.collect_on_worker(&mut worker, query, &resolved.session, &resolved.config),
+            trace: None,
+        })
+    }
+
+    /// One query across N simulated devices: each shard runs its tile
+    /// rows on a fresh device with its own scratch, then the shards'
+    /// out-tile fragments are concatenated and host-merged once. See
+    /// [`crate::shard`] for why the result is byte-identical to a
+    /// single-device run.
+    fn run_sharded(
+        &self,
+        query: &PackedSeq,
+        resolved: &ResolvedRun,
+        opts: &RunOptions,
+        n_shards: usize,
+    ) -> Result<RunOutput, RunError> {
+        let session = &resolved.session;
+        let config = &resolved.config;
+        let reference = session.reference();
         let t0 = Instant::now();
+        let tiling = (reference.len() >= config.seed_len && !query.is_empty())
+            .then(|| Tiling::new(config.tile_len(), reference.len(), query.len()));
+        let n_rows = tiling.as_ref().map_or(0, Tiling::n_rows);
+        let plan = match &opts.shard_plan {
+            Some(plan) => {
+                if !plan.covers(n_rows) {
+                    return Err(RunError::InvalidOptions(format!(
+                        "shard plan assigns {} rows but the run has {n_rows} tile rows",
+                        plan.n_rows()
+                    )));
+                }
+                plan.clone()
+            }
+            None => {
+                // Row mass ∝ reference bases covered (the last row may
+                // be short); occurrence-accurate masses would need the
+                // indexes built up front, defeating lazy residency.
+                let masses: Vec<u64> = (0..n_rows)
+                    .map(|row| tiling.as_ref().expect("rows imply tiling").row_range(row).len() as u64)
+                    .collect();
+                ShardPlan::from_row_masses(n_shards, &masses)
+            }
+        };
+
+        let shard_runs: Vec<ShardRun> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..plan.n_shards())
+                .map(|s| {
+                    let rows = plan.rows(s);
+                    let session = Arc::clone(session);
+                    scope.spawn(move || {
+                        self.run_shard_body(query, &session, config, rows, opts.trace, s)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+
+        let mut stats = GpumemStats::default();
+        stats.rows = n_rows;
+        stats.cols = tiling.as_ref().map_or(0, Tiling::n_cols);
+        let mut mems: Vec<Mem> = Vec::new();
+        let mut fragments: Vec<Mem> = Vec::new();
+        let mut traces: Vec<Trace> = Vec::new();
+        for run in shard_runs {
+            stats.index += run.stats.index.clone();
+            stats.matching += run.stats.matching.clone();
+            stats.index_wall += run.stats.index_wall;
+            stats.match_wall += run.stats.match_wall;
+            stats.counts.in_block += run.stats.counts.in_block;
+            stats.counts.out_block += run.stats.counts.out_block;
+            stats.counts.in_tile += run.stats.counts.in_tile;
+            stats.shard_matching.push(run.stats.matching);
+            mems.extend(run.mems);
+            fragments.extend(run.fragments);
+            *self.build_wait.lock() += run.build_wait;
+            if let Some(trace) = run.trace {
+                traces.push(trace);
+            }
+        }
+        *self.matching_totals.lock() += stats.matching.clone();
+
+        // The cross-shard global merge: one host merge over every
+        // shard's fragments, exactly what a single device would feed it.
+        let mut global = VecSink(Vec::new());
+        finish_global(
+            reference,
+            query,
+            fragments,
+            config.min_len,
+            &mut global,
+            None,
+            &mut stats,
+        );
+        mems.extend(global.0);
+        let t = Instant::now();
+        let mems = canonicalize(mems);
+        stats.match_wall += t.elapsed();
+        stats.counts.total = mems.len();
+
         let mut worker = self.workers[0].lock();
-        let stats = self.run_on_worker(&mut worker, query, sink, None);
         self.record_query(&mut worker, t0.elapsed());
-        Ok(stats)
+        drop(worker);
+        let trace = (!traces.is_empty()).then(|| Trace::merge(traces));
+        Ok(RunOutput {
+            result: GpumemResult { mems, stats },
+            trace,
+        })
     }
 
-    /// Run one query, collecting the canonical MEM set — the thin
-    /// adapter over [`Engine::run_with_sink`].
-    pub fn run(&self, query: &PackedSeq) -> Result<GpumemResult, RunError> {
-        ensure_sort_key(query)?;
-        let mut worker = self.workers[0].lock();
-        Ok(self.collect_on_worker(&mut worker, query))
+    /// One shard's tile rows on a fresh simulated device.
+    fn run_shard_body(
+        &self,
+        query: &PackedSeq,
+        session: &Arc<RefSession>,
+        config: &GpumemConfig,
+        rows: &[usize],
+        traced: bool,
+        shard_id: usize,
+    ) -> ShardRun {
+        let device = Device::new(self.spec.clone());
+        let recorder = traced.then(|| Arc::new(TraceRecorder::new(device.spec().warp_size)));
+        if let Some(recorder) = &recorder {
+            device.set_observer(Some(crate::trace::as_observer(recorder)));
+        }
+        let shard_span = recorder
+            .as_ref()
+            .map(|r| r.begin(format!("shard {shard_id}"), SpanCat::Run));
+        let mut scratch = RunScratch::new(session.config());
+        let mut collector = MemCollector::default();
+        let mut build_wait = Duration::ZERO;
+        let mut provider = |device: &Device, row: usize, _region: Region| {
+            let t = Instant::now();
+            let out = session.row_index(device, row);
+            build_wait += t.elapsed();
+            out
+        };
+        let stats = run_tile_rows(
+            &device,
+            config,
+            session.reference(),
+            query,
+            &mut provider,
+            &mut scratch,
+            &mut collector,
+            recorder.as_deref(),
+            Some(rows),
+        );
+        if let (Some(recorder), Some(id)) = (&recorder, shard_span) {
+            recorder.end(id);
+        }
+        if recorder.is_some() {
+            device.set_observer(None);
+        }
+        ShardRun {
+            stats,
+            mems: collector.into_canonical(),
+            fragments: std::mem::take(&mut scratch.out_tile),
+            build_wait,
+            trace: recorder.map(|r| r.snapshot()),
+        }
     }
 
-    /// [`Engine::run`] with structured tracing: also returns the
-    /// query's [`Trace`] (see [`crate::trace`]). Runs on worker 0 with
-    /// the recorder installed as that device's launch observer for the
-    /// duration of the call.
-    pub fn run_traced(&self, query: &PackedSeq) -> Result<(GpumemResult, Trace), RunError> {
-        ensure_sort_key(query)?;
+    fn traced_on_worker0(
+        &self,
+        query: &PackedSeq,
+        session: &RefSession,
+        config: &GpumemConfig,
+    ) -> (GpumemResult, Trace) {
         let mut worker = self.workers[0].lock();
         let recorder = Arc::new(TraceRecorder::new(worker.device.spec().warp_size));
         worker
@@ -610,13 +1298,61 @@ impl Engine {
         let query_span = recorder.begin("query", SpanCat::Run);
         let t0 = Instant::now();
         let mut collector = MemCollector::default();
-        let mut stats = self.run_on_worker(&mut worker, query, &mut collector, Some(&recorder));
+        let mut stats =
+            self.run_on_worker(&mut worker, query, &mut collector, Some(&recorder), session, config);
         let mems = collector.into_canonical();
         stats.counts.total = mems.len();
         recorder.end(query_span);
         worker.device.set_observer(None);
         self.record_query(&mut worker, t0.elapsed());
-        Ok((GpumemResult { mems, stats }, recorder.snapshot()))
+        (GpumemResult { mems, stats }, recorder.snapshot())
+    }
+
+    /// Stream one query's MEMs into `sink` as stages complete (see the
+    /// module docs for the ordering contract). A warmed session makes
+    /// this a zero-index-launch operation. The streaming sibling of
+    /// [`Engine::execute`] (a sink has no [`RunOutput`] shape, so this
+    /// stays its own entry point).
+    pub fn run_with_sink(
+        &self,
+        query: &PackedSeq,
+        sink: &mut dyn MemSink,
+    ) -> Result<GpumemStats, RunError> {
+        ensure_sort_key(query)?;
+        let t0 = Instant::now();
+        let mut worker = self.workers[0].lock();
+        let stats =
+            self.run_on_worker(&mut worker, query, sink, None, &self.session, self.session.config());
+        self.record_query(&mut worker, t0.elapsed());
+        Ok(stats)
+    }
+
+    /// Run one query, collecting the canonical MEM set — the
+    /// default-options adapter over [`Engine::execute`].
+    pub fn run(&self, query: &PackedSeq) -> Result<GpumemResult, RunError> {
+        self.execute(&RunRequest::query(query))
+            .pop()
+            .expect("one query yields one output")
+            .map(|out| out.result)
+    }
+
+    /// [`Engine::run`] with structured tracing: also returns the
+    /// query's [`Trace`] (see [`crate::trace`]) — the
+    /// `RunOptions { trace: true, .. }` adapter over
+    /// [`Engine::execute`]. Runs on worker 0 with the recorder
+    /// installed as that device's launch observer for the duration of
+    /// the call.
+    pub fn run_traced(&self, query: &PackedSeq) -> Result<(GpumemResult, Trace), RunError> {
+        let options = RunOptions {
+            trace: true,
+            ..RunOptions::default()
+        };
+        let out = self
+            .execute(&RunRequest::query(query).options(options))
+            .pop()
+            .expect("one query yields one output")?;
+        let trace = out.trace.expect("traced run records a trace");
+        Ok((out.result, trace))
     }
 
     /// Export the engine's serving metrics: query-latency histogram,
@@ -690,30 +1426,33 @@ impl Engine {
             index_cache,
             workers,
             device,
+            registry: self
+                .registry
+                .as_ref()
+                .map(|b| b.registry.stats())
+                .unwrap_or_default(),
         }
     }
 
     /// Run every record of `queries` as an independent query, in
-    /// parallel across the engine's workers. Results come back in
-    /// record order, each exactly what [`Engine::run`] would return for
-    /// that record alone.
+    /// parallel across the engine's workers — the batch adapter over
+    /// [`Engine::execute`]. Results come back in record order, each
+    /// exactly what [`Engine::run`] would return for that record alone.
     pub fn run_batch(&self, queries: &SeqSet) -> Vec<Result<GpumemResult, RunError>> {
-        let n_workers = self.workers.len();
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(n_workers)
-            .build()
-            .expect("thread pool");
-        pool.install(|| {
-            (0..queries.records.len())
-                .into_par_iter()
-                .map(|i| {
-                    let query = queries.record_seq(i);
-                    ensure_sort_key(&query)?;
-                    let mut worker = self.workers[i % n_workers].lock();
-                    Ok(self.collect_on_worker(&mut worker, &query))
-                })
-                .collect()
-        })
+        self.execute(&RunRequest::batch(queries))
+            .into_iter()
+            .map(|r| r.map(|out| out.result))
+            .collect()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Release the lifetime pin taken by `EngineBuilder::build` so
+        // the registry may evict or remove this engine's session.
+        if let Some(binding) = &self.registry {
+            binding.registry.unpin(binding.handle);
+        }
     }
 }
 
@@ -730,6 +1469,16 @@ mod tests {
             .seed_len(8)
             .threads_per_block(8)
             .blocks_per_tile(2)
+            .build()
+            .unwrap()
+    }
+
+    /// The standard test engine: `reference` on a test-tiny device.
+    fn engine_of(reference: &PackedSeq, cfg: GpumemConfig, threads: usize) -> Engine {
+        Engine::builder(reference.clone())
+            .config(cfg)
+            .spec(DeviceSpec::test_tiny())
+            .threads(threads)
             .build()
             .unwrap()
     }
@@ -755,8 +1504,7 @@ mod tests {
     fn engine_run_matches_gpumem_run() {
         let reference = GenomeModel::mammalian().generate(2_000, 800);
         let query = GenomeModel::mammalian().generate(1_500, 801);
-        let engine =
-            Engine::with_spec(reference.clone(), config(16), DeviceSpec::test_tiny(), 1).unwrap();
+        let engine = engine_of(&reference, config(16), 1);
         let classic = Gpumem::with_device(config(16), Device::new(DeviceSpec::test_tiny()))
             .run(&reference, &query)
             .unwrap();
@@ -768,8 +1516,7 @@ mod tests {
     #[test]
     fn second_query_builds_nothing() {
         let reference = GenomeModel::mammalian().generate(3_000, 802);
-        let engine =
-            Engine::with_spec(reference.clone(), config(16), DeviceSpec::test_tiny(), 1).unwrap();
+        let engine = engine_of(&reference, config(16), 1);
         let q1 = GenomeModel::mammalian().generate(1_000, 803);
         let first = engine.run(&q1).unwrap();
         assert!(first.stats.index.launches > 0, "cold run builds indexes");
@@ -784,8 +1531,7 @@ mod tests {
     #[test]
     fn warm_prebuilds_every_row() {
         let reference = GenomeModel::mammalian().generate(2_500, 804);
-        let engine =
-            Engine::with_spec(reference.clone(), config(16), DeviceSpec::test_tiny(), 1).unwrap();
+        let engine = engine_of(&reference, config(16), 1);
         let report = engine.warm();
         assert_eq!(report.rows, engine.session().rows());
         assert!(report.stats.launches > 0);
@@ -810,13 +1556,7 @@ mod tests {
             })
             .collect();
         for workers in [1, 2, 4] {
-            let engine = Engine::with_spec(
-                reference.clone(),
-                config(16),
-                DeviceSpec::test_tiny(),
-                workers,
-            )
-            .unwrap();
+            let engine = engine_of(&reference, config(16), workers);
             let batch = engine.run_batch(&queries);
             assert_eq!(batch.len(), 4);
             for (result, expect) in batch.iter().zip(&sequential) {
@@ -829,8 +1569,7 @@ mod tests {
     fn batch_builds_each_row_index_once() {
         let reference = GenomeModel::mammalian().generate(2_500, 807);
         let queries = query_set(&reference, 6);
-        let engine =
-            Engine::with_spec(reference.clone(), config(16), DeviceSpec::test_tiny(), 3).unwrap();
+        let engine = engine_of(&reference, config(16), 3);
         let results = engine.run_batch(&queries);
         let total_index_launches: u64 = results
             .iter()
@@ -859,8 +1598,7 @@ mod tests {
         }
 
         let reference = GenomeModel::mammalian().generate(3_000, 808);
-        let engine =
-            Engine::with_spec(reference.clone(), config(20), DeviceSpec::test_tiny(), 1).unwrap();
+        let engine = engine_of(&reference, config(20), 1);
         // Self-comparison: the main diagonal guarantees every stage
         // (including Global) fires.
         let run = |engine: &Engine| {
@@ -906,14 +1644,19 @@ mod tests {
             .blocks_per_tile(2)
             .build()
             .unwrap();
-        let err = Engine::with_spec(reference, big, spec, 1).err().unwrap();
+        let err = Engine::builder(reference)
+            .config(big)
+            .spec(spec)
+            .build()
+            .err()
+            .unwrap();
         assert!(matches!(err, RunError::DeviceMemoryExceeded { .. }));
     }
 
     #[test]
     fn empty_batch_and_empty_records() {
         let reference = GenomeModel::uniform().generate(500, 810);
-        let engine = Engine::with_spec(reference, config(16), DeviceSpec::test_tiny(), 2).unwrap();
+        let engine = engine_of(&reference, config(16), 2);
         assert!(engine.run_batch(&SeqSet::from_records(&[])).is_empty());
         let empty_record = SeqSet::from_records(&[FastaRecord {
             header: "empty".into(),
@@ -927,8 +1670,7 @@ mod tests {
     #[test]
     fn metrics_account_queries_cache_and_workers() {
         let reference = GenomeModel::mammalian().generate(2_000, 811);
-        let engine =
-            Engine::with_spec(reference.clone(), config(16), DeviceSpec::test_tiny(), 2).unwrap();
+        let engine = engine_of(&reference, config(16), 2);
         let q = GenomeModel::mammalian().generate(1_000, 812);
         engine.run(&q).unwrap();
         engine.run(&q).unwrap();
@@ -1005,7 +1747,11 @@ mod tests {
         // RefOnly rows (whose denser step-6 index would violate the
         // dual probe contract).
         let warm = cache.session(&reference, ref_only.clone()).unwrap();
-        let engine_warm = Engine::from_session(Arc::clone(&warm), DeviceSpec::test_tiny(), 1);
+        let engine_warm = Engine::builder(Arc::clone(&reference))
+            .session(Arc::clone(&warm))
+            .spec(DeviceSpec::test_tiny())
+            .build()
+            .unwrap();
         engine_warm.warm();
         assert_eq!(warm.built_rows(), warm.rows());
 
@@ -1018,7 +1764,11 @@ mod tests {
         assert_eq!(cache.len(), 2);
 
         // And the dual session still answers correctly.
-        let engine_cold = Engine::from_session(cold, DeviceSpec::test_tiny(), 1);
+        let engine_cold = Engine::builder(Arc::clone(&reference))
+            .session(cold)
+            .spec(DeviceSpec::test_tiny())
+            .build()
+            .unwrap();
         let got = engine_cold.run(&query).unwrap();
         assert_eq!(got.mems, naive_mems(&reference, &query, 25));
 
@@ -1040,8 +1790,7 @@ mod tests {
     #[test]
     fn engine_run_traced_matches_untraced_and_reconciles() {
         let reference = GenomeModel::mammalian().generate(2_000, 813);
-        let engine =
-            Engine::with_spec(reference.clone(), config(16), DeviceSpec::test_tiny(), 1).unwrap();
+        let engine = engine_of(&reference, config(16), 1);
         let q = GenomeModel::mammalian().generate(1_200, 814);
         let plain = engine.run(&q).unwrap();
         let (traced, trace) = engine.run_traced(&q).unwrap();
@@ -1059,5 +1808,275 @@ mod tests {
         let after = engine.run(&q).unwrap();
         assert_eq!(after.mems, plain.mems);
         assert_eq!(engine.metrics().queries, 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_still_work() {
+        let reference = GenomeModel::mammalian().generate(1_500, 830);
+        let query = GenomeModel::mammalian().generate(900, 831);
+        let expect = naive_mems(&reference, &query, 16);
+
+        let a = Engine::new(reference.clone(), config(16)).unwrap();
+        assert_eq!(a.run(&query).unwrap().mems, expect);
+
+        let b =
+            Engine::with_spec(reference.clone(), config(16), DeviceSpec::test_tiny(), 2).unwrap();
+        assert_eq!(b.run(&query).unwrap().mems, expect);
+        assert_eq!(b.query_threads(), 2);
+
+        let session = Arc::new(
+            RefSession::new(
+                Arc::new(reference.clone()),
+                config(16),
+                &DeviceSpec::test_tiny(),
+            )
+            .unwrap(),
+        );
+        let c = Engine::from_session(session, DeviceSpec::test_tiny(), 1);
+        assert_eq!(c.run(&query).unwrap().mems, expect);
+    }
+
+    #[test]
+    fn session_cache_builds_different_references_in_parallel() {
+        // Regression test for the map-lock-held-across-construction bug:
+        // pre-insert reference A's slot and hold its *slot* lock (as an
+        // in-flight construction would), then ask the cache for
+        // reference B from this thread while a second thread is parked
+        // on A. With the old single-lock design the parked thread held
+        // the whole map hostage and this call deadlocked; now it
+        // completes while A is still "building".
+        let cache = Arc::new(SessionCache::new(DeviceSpec::test_tiny()));
+        let ref_a = Arc::new(GenomeModel::mammalian().generate(1_000, 832));
+        let ref_b = Arc::new(GenomeModel::mammalian().generate(1_000, 833));
+
+        let key_a = (Arc::as_ptr(&ref_a) as usize, config(16));
+        let slot_a = Arc::new(Mutex::new(None));
+        cache
+            .sessions
+            .lock()
+            .insert(key_a, Arc::clone(&slot_a));
+        let in_flight = slot_a.lock();
+
+        let parked = {
+            let cache = Arc::clone(&cache);
+            let ref_a = Arc::clone(&ref_a);
+            std::thread::spawn(move || cache.session(&ref_a, config(16)).unwrap())
+        };
+        // Give the parked thread time to reach A's slot lock; whether it
+        // has or not, B must not be blocked by A's construction.
+        std::thread::sleep(Duration::from_millis(20));
+        let session_b = cache.session(&ref_b, config(16)).unwrap();
+        assert!(Arc::ptr_eq(session_b.reference_arc(), &ref_b));
+
+        drop(in_flight);
+        let session_a = parked.join().unwrap();
+        assert!(Arc::ptr_eq(session_a.reference_arc(), &ref_a));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn sharded_run_is_byte_identical_to_single_device() {
+        let reference = GenomeModel::mammalian().generate(3_000, 834);
+        let query = GenomeModel::mammalian().generate(2_000, 835);
+        let engine = engine_of(&reference, config(16), 1);
+        let single = engine.run(&query).unwrap();
+        assert_eq!(single.mems, naive_mems(&reference, &query, 16));
+        assert!(single.stats.rows >= 4, "grid large enough to shard");
+        for shards in [2usize, 3, 4, 7] {
+            let options = RunOptions {
+                shards,
+                ..RunOptions::default()
+            };
+            let out = engine
+                .execute(&RunRequest::query(&query).options(options))
+                .pop()
+                .unwrap()
+                .unwrap();
+            assert_eq!(out.result.mems, single.mems, "{shards} shards");
+            assert_eq!(out.result.stats.shard_matching.len(), shards);
+            assert_eq!(out.result.stats.rows, single.stats.rows);
+            assert_eq!(out.result.stats.counts.total, single.stats.counts.total);
+        }
+    }
+
+    #[test]
+    fn sharded_run_honors_explicit_plans_and_rejects_bad_ones() {
+        let reference = GenomeModel::mammalian().generate(2_500, 836);
+        let query = GenomeModel::mammalian().generate(1_500, 837);
+        let engine = engine_of(&reference, config(16), 1);
+        let single = engine.run(&query).unwrap();
+        let n_rows = single.stats.rows;
+        assert!(n_rows >= 3);
+
+        // A deliberately lopsided hand-written plan still merges right.
+        let mut rows: Vec<usize> = (0..n_rows).collect();
+        let rest = rows.split_off(1);
+        let plan = ShardPlan::from_assignments(vec![rows, rest]);
+        let options = RunOptions {
+            shard_plan: Some(plan),
+            ..RunOptions::default()
+        };
+        let out = engine
+            .execute(&RunRequest::query(&query).options(options))
+            .pop()
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.result.mems, single.mems);
+
+        // A plan that misses rows is refused, not silently wrong.
+        let bad = RunOptions {
+            shard_plan: Some(ShardPlan::from_assignments(vec![vec![0], vec![1]])),
+            ..RunOptions::default()
+        };
+        let err = engine
+            .execute(&RunRequest::query(&query).options(bad))
+            .pop()
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(err, RunError::InvalidOptions(_)));
+    }
+
+    #[test]
+    fn sharded_traced_run_merges_shard_traces() {
+        let reference = GenomeModel::mammalian().generate(2_000, 838);
+        let query = GenomeModel::mammalian().generate(1_200, 839);
+        let engine = engine_of(&reference, config(16), 1);
+        let single = engine.run(&query).unwrap();
+        let options = RunOptions {
+            trace: true,
+            shards: 2,
+            ..RunOptions::default()
+        };
+        let out = engine
+            .execute(&RunRequest::query(&query).options(options))
+            .pop()
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.result.mems, single.mems);
+        let trace = out.trace.expect("traced shard run yields a trace");
+        let shard_spans: Vec<_> = trace
+            .spans()
+            .iter()
+            .filter(|s| s.cat == SpanCat::Run && s.name.starts_with("shard "))
+            .collect();
+        assert_eq!(shard_spans.len(), 2, "one span per shard");
+    }
+
+    #[test]
+    fn run_options_override_schedule_and_seed_mode() {
+        use gpumem_index::SeedMode;
+        let reference = GenomeModel::mammalian().generate(2_500, 840);
+        let query = GenomeModel::mammalian().generate(1_500, 841);
+        let engine = engine_of(&reference, config(25), 1);
+        let base = engine.run(&query).unwrap();
+
+        // Schedule knobs change launch order, never the MEM set.
+        let options = RunOptions {
+            schedule_policy: Some(SchedulePolicy::MassDescending),
+            work_stealing: Some(true),
+            query_staging: Some(true),
+            ..RunOptions::default()
+        };
+        let out = engine
+            .execute(&RunRequest::query(&query).options(options))
+            .pop()
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.result.mems, base.mems);
+
+        // A seed-mode override answers exactly like an engine built
+        // with that mode, and materializes exactly one extra session.
+        let mode = SeedMode::DualSampled { k1: 4, k2: 3 };
+        let options = RunOptions {
+            seed_mode: Some(mode),
+            ..RunOptions::default()
+        };
+        let overridden = engine
+            .execute(&RunRequest::query(&query).options(options.clone()))
+            .pop()
+            .unwrap()
+            .unwrap();
+        let dual_cfg = GpumemConfig::builder(25)
+            .seed_len(8)
+            .threads_per_block(8)
+            .blocks_per_tile(2)
+            .seed_mode(mode)
+            .build()
+            .unwrap();
+        let dual_engine = engine_of(&reference, dual_cfg, 1);
+        assert_eq!(
+            overridden.result.mems,
+            dual_engine.run(&query).unwrap().mems
+        );
+        assert_eq!(overridden.result.mems, naive_mems(&reference, &query, 25));
+        // Repeating the override reuses the cached session.
+        engine
+            .execute(&RunRequest::query(&query).options(options))
+            .pop()
+            .unwrap()
+            .unwrap();
+        assert_eq!(engine.overrides.lock().len(), 1);
+    }
+
+    #[test]
+    fn registry_hosted_engine_reports_counters_and_unpins_on_drop() {
+        let registry = Arc::new(Registry::new(DeviceSpec::test_tiny()));
+        let reference = GenomeModel::mammalian().generate(2_000, 842);
+        let query = GenomeModel::mammalian().generate(1_200, 843);
+        let engine = Engine::builder(reference.clone())
+            .config(config(16))
+            .registry(Arc::clone(&registry))
+            .name("host-test")
+            .build()
+            .unwrap();
+        assert!(engine.registry().is_some());
+        let handle = registry.handle_by_name("host-test").unwrap();
+        assert!(!registry.remove(handle), "engine's pin blocks removal");
+
+        engine.run(&query).unwrap();
+        engine.run(&query).unwrap();
+        let m = engine.metrics();
+        assert!(m.registry.attached);
+        assert_eq!(m.registry.references, 1);
+        assert_eq!(m.registry.pinned, 1);
+        assert!(m.registry.resident_bytes > 0);
+        assert!(
+            m.registry.hits >= 1,
+            "second query touches a warm session"
+        );
+
+        drop(engine);
+        assert!(registry.remove(handle), "drop released the pin");
+    }
+
+    #[test]
+    fn plain_engine_metrics_mark_registry_detached() {
+        let reference = GenomeModel::uniform().generate(600, 844);
+        let engine = engine_of(&reference, config(16), 1);
+        let m = engine.metrics();
+        assert!(!m.registry.attached);
+        assert_eq!(m.registry.references, 0);
+        assert_eq!(m.registry.resident_bytes, 0);
+    }
+
+    #[test]
+    fn batch_with_shard_options_matches_plain_batch() {
+        let reference = GenomeModel::mammalian().generate(2_000, 845);
+        let queries = query_set(&reference, 3);
+        let engine = engine_of(&reference, config(16), 2);
+        let plain = engine.run_batch(&queries);
+        let options = RunOptions {
+            shards: 2,
+            ..RunOptions::default()
+        };
+        let sharded = engine.execute(&RunRequest::batch(&queries).options(options));
+        assert_eq!(sharded.len(), plain.len());
+        for (s, p) in sharded.iter().zip(&plain) {
+            assert_eq!(
+                s.as_ref().unwrap().result.mems,
+                p.as_ref().unwrap().mems
+            );
+        }
     }
 }

@@ -52,17 +52,21 @@ pub mod expand;
 pub mod generate;
 pub mod global;
 pub mod pipeline;
+pub mod registry;
 pub mod schedule;
+pub mod shard;
 pub mod tile;
 pub mod tile_run;
 pub mod trace;
 
 pub use config::{ConfigError, GpumemConfig, GpumemConfigBuilder, IndexKind, SchedulePolicy};
 pub use engine::{
-    DeviceCounters, Engine, MemCollector, MemSink, MemStage, MetricsSnapshot, RefSession,
-    SessionCache,
+    DeviceCounters, Engine, EngineBuilder, MemCollector, MemSink, MemStage, MetricsSnapshot,
+    Queries, RefSession, RunOptions, RunOutput, RunRequest, SessionCache,
 };
 pub use expand::Bounds;
+pub use registry::{PinnedSession, RefEntryInfo, RefHandle, Registry, RegistryStats};
+pub use shard::ShardPlan;
 pub use gpumem_index::SeedMode;
 pub use pipeline::{
     Gpumem, GpumemResult, GpumemStats, IndexBuildReport, RunError, RunScratch, StageCounts,

@@ -55,6 +55,11 @@ pub enum RunError {
         /// The device's global memory capacity in bytes.
         capacity: u64,
     },
+    /// A [`RunRequest`](crate::engine::RunRequest) carried options the
+    /// engine cannot honor (conflicting builder inputs, a seed-mode
+    /// override that fails config validation, a shard plan that does
+    /// not cover the run's tile rows, …).
+    InvalidOptions(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -69,6 +74,7 @@ impl std::fmt::Display for RunError {
                 "tile working set (~{estimate} bytes) exceeds device memory ({capacity} bytes); \
                  reduce blocks_per_tile or seed_len"
             ),
+            RunError::InvalidOptions(why) => write!(f, "invalid run options: {why}"),
         }
     }
 }
@@ -162,7 +168,7 @@ pub struct RunScratch {
     block: BlockScratch,
     blocks_out: BlockOutput,
     tile_out: TileOutput,
-    out_tile: Vec<Mem>,
+    pub(crate) out_tile: Vec<Mem>,
 }
 
 impl RunScratch {
@@ -215,6 +221,11 @@ pub struct GpumemStats {
     pub rows: usize,
     /// Number of tile columns.
     pub cols: usize,
+    /// Per-shard extraction statistics of a sharded run, one entry per
+    /// shard in shard order; empty for single-device runs. `matching`
+    /// is their sum, but the per-shard split is what a speedup model
+    /// needs: the sharded critical path is the *slowest* shard.
+    pub shard_matching: Vec<LaunchStats>,
 }
 
 impl std::fmt::Display for GpumemStats {
@@ -274,6 +285,41 @@ pub(crate) fn run_tiles(
     sink: &mut dyn MemSink,
     trace: Option<&TraceRecorder>,
 ) -> GpumemStats {
+    let mut stats = run_tile_rows(
+        device, config, reference, query, row_index, scratch, sink, trace, None,
+    );
+    finish_global(
+        reference,
+        query,
+        std::mem::take(&mut scratch.out_tile),
+        config.min_len,
+        sink,
+        trace,
+        &mut stats,
+    );
+    stats
+}
+
+/// The tile loop restricted to a subset of tile rows — the per-shard
+/// core of [`run_tiles`]. Runs every tile of the rows listed in `rows`
+/// (`None` = all rows), streaming in-block/in-tile MEMs into `sink` and
+/// leaving the produced out-tile fragments in `scratch.out_tile` for a
+/// later [`finish_global`]. Out-tile fragments are per-tile products —
+/// independent of which device runs the tile — so concatenating the
+/// fragments of disjoint row subsets and host-merging them once
+/// reproduces the single-device output exactly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_tile_rows(
+    device: &Device,
+    config: &GpumemConfig,
+    reference: &PackedSeq,
+    query: &PackedSeq,
+    row_index: &mut dyn FnMut(&Device, usize, Region) -> (SharedSeedLookup, LaunchStats),
+    scratch: &mut RunScratch,
+    sink: &mut dyn MemSink,
+    trace: Option<&TraceRecorder>,
+    rows: Option<&[usize]>,
+) -> GpumemStats {
     let mut stats = GpumemStats::default();
     scratch.out_tile.clear();
 
@@ -281,6 +327,18 @@ pub(crate) fn run_tiles(
         let tiling = Tiling::new(config.tile_len(), reference.len(), query.len());
         stats.rows = tiling.n_rows();
         stats.cols = tiling.n_cols();
+        let all_rows: Vec<usize>;
+        let subset: &[usize] = match rows {
+            Some(rows) => rows,
+            None => {
+                all_rows = (0..tiling.n_rows()).collect();
+                &all_rows
+            }
+        };
+        debug_assert!(
+            subset.iter().all(|&r| r < tiling.n_rows()),
+            "shard rows out of range"
+        );
 
         // Persistent-block steal queue (one segment per block of a tile
         // launch) and shared-memory staging arena, shared across every
@@ -296,19 +354,22 @@ pub(crate) fn run_tiles(
             .query_staging
             .then(|| SharedArena::new(device.spec().shared_mem_per_block));
 
-        // Launch order. `MassDescending` needs every row's index up
-        // front to sample tile masses, so it builds them in a pre-pass
-        // (same spans/stats as the in-loop build; like a serving
-        // session, it holds all row indexes alive for the run) and the
-        // tile loop below consumes the cache. `InOrder` walks the grid
-        // row-major with the build inline — byte-identical to the
-        // unscheduled pipeline.
+        // Launch order. `MassDescending` needs every subset row's index
+        // up front to sample tile masses, so it builds them in a
+        // pre-pass (same spans/stats as the in-loop build; like a
+        // serving session, it holds all row indexes alive for the run)
+        // and the tile loop below consumes the cache. `InOrder` walks
+        // the subset in ascending row order with the build inline —
+        // byte-identical to the unscheduled pipeline.
         let mut row_indexes: Vec<Option<SharedSeedLookup>> =
             (0..tiling.n_rows()).map(|_| None).collect();
         let schedule = match config.schedule_policy {
-            SchedulePolicy::InOrder => TileSchedule::in_order(tiling.n_rows(), tiling.n_cols()),
+            SchedulePolicy::InOrder => TileSchedule {
+                row_order: subset.to_vec(),
+                col_orders: vec![(0..tiling.n_cols()).collect(); tiling.n_rows()],
+            },
             SchedulePolicy::MassDescending => {
-                for (row, slot) in row_indexes.iter_mut().enumerate() {
+                for &row in subset {
                     let row_range = tiling.row_range(row);
                     let t0 = Instant::now();
                     let index_span = trace.map(|t| t.begin("index_build", SpanCat::Stage));
@@ -325,13 +386,13 @@ pub(crate) fn run_tiles(
                     }
                     stats.index += istats;
                     stats.index_wall += t0.elapsed();
-                    *slot = Some(index);
+                    row_indexes[row] = Some(index);
                 }
-                let indexes: Vec<SharedSeedLookup> = row_indexes
+                let indexes: Vec<SharedSeedLookup> = subset
                     .iter()
-                    .map(|i| Arc::clone(i.as_ref().expect("prepass built every row")))
+                    .map(|&row| Arc::clone(row_indexes[row].as_ref().expect("prepass built row")))
                     .collect();
-                crate::schedule::plan_mass_descending(config, query, &tiling, &indexes)
+                crate::schedule::plan_mass_descending_rows(config, query, &tiling, subset, &indexes)
             }
         };
 
@@ -462,18 +523,28 @@ pub(crate) fn run_tiles(
         }
     }
 
-    // Host merge of out-tile fragments (§III-C2). A stage span with
-    // zero device stats: it runs on the host, so it contributes wall
-    // time but nothing to the launch-stat reconciliation.
+    stats
+}
+
+/// Host merge of out-tile fragments (§III-C2) — the closing half of
+/// [`run_tiles`], split out so a sharded run can concatenate every
+/// shard's fragments and merge them once. A stage span with zero device
+/// stats: it runs on the host, so it contributes wall time but nothing
+/// to the launch-stat reconciliation. Finalizes `stats.counts`
+/// (`out_tile`, `from_global`, and the emitted `total`).
+pub(crate) fn finish_global(
+    reference: &PackedSeq,
+    query: &PackedSeq,
+    out_tile: Vec<Mem>,
+    min_len: u32,
+    sink: &mut dyn MemSink,
+    trace: Option<&TraceRecorder>,
+    stats: &mut GpumemStats,
+) {
     let t2 = Instant::now();
     let global_span = trace.map(|t| t.begin("global_merge", SpanCat::Stage));
-    stats.counts.out_tile = scratch.out_tile.len();
-    let global = global_merge(
-        reference,
-        query,
-        std::mem::take(&mut scratch.out_tile),
-        config.min_len,
-    );
+    stats.counts.out_tile = out_tile.len();
+    let global = global_merge(reference, query, out_tile, min_len);
     stats.counts.from_global = global.len();
     if !global.is_empty() {
         sink.mems(MemStage::Global, &global);
@@ -483,8 +554,6 @@ pub(crate) fn run_tiles(
     }
     stats.match_wall += t2.elapsed();
     stats.counts.total = stats.counts.in_block + stats.counts.in_tile + stats.counts.from_global;
-
-    stats
 }
 
 /// The GPUMEM tool: a configuration bound to a (simulated) device.

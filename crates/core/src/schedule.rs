@@ -119,11 +119,29 @@ pub fn plan_mass_descending(
     indexes: &[SharedSeedLookup],
 ) -> TileSchedule {
     assert_eq!(indexes.len(), tiling.n_rows(), "one index per tile row");
+    let rows: Vec<usize> = (0..tiling.n_rows()).collect();
+    plan_mass_descending_rows(config, query, tiling, &rows, indexes)
+}
+
+/// [`plan_mass_descending`] restricted to a subset of tile rows — the
+/// shard-local planner. `rows` lists the tile-row ids this shard owns
+/// and `indexes[i]` is the partial index of `rows[i]`. The returned
+/// schedule's `row_order` is a permutation of `rows`; `col_orders` is
+/// still indexed by absolute row id (rows outside the subset get an
+/// empty column order and are never issued).
+pub fn plan_mass_descending_rows(
+    config: &GpumemConfig,
+    query: &PackedSeq,
+    tiling: &Tiling,
+    rows: &[usize],
+    indexes: &[SharedSeedLookup],
+) -> TileSchedule {
+    assert_eq!(indexes.len(), rows.len(), "one index per subset row");
     let codec = SeedCodec::new(config.seed_len);
     let q_step = config.query_step();
-    let mut row_masses = vec![0u64; tiling.n_rows()];
-    let mut col_orders = Vec::with_capacity(tiling.n_rows());
-    for (row, index) in indexes.iter().enumerate() {
+    let mut row_masses = Vec::with_capacity(rows.len());
+    let mut col_orders = vec![Vec::new(); tiling.n_rows()];
+    for (&row, index) in rows.iter().zip(indexes) {
         let col_masses: Vec<u64> = (0..tiling.n_cols())
             .map(|col| {
                 tile_mass(
@@ -136,11 +154,11 @@ pub fn plan_mass_descending(
                 )
             })
             .collect();
-        row_masses[row] = col_masses.iter().sum();
-        col_orders.push(descending(&col_masses));
+        row_masses.push(col_masses.iter().sum());
+        col_orders[row] = descending(&col_masses);
     }
     TileSchedule {
-        row_order: descending(&row_masses),
+        row_order: descending(&row_masses).into_iter().map(|i| rows[i]).collect(),
         col_orders,
     }
 }

@@ -1,9 +1,14 @@
 //! Command-line MEM extraction, MUMmer-style.
 //!
 //! ```text
-//! gpumem-cli [OPTIONS] <reference.fa> <query.fa>
+//! gpumem-cli run [OPTIONS] <reference.fa> <query.fa>   extract MEMs
+//! gpumem-cli registry <add|list|evict-stats> ...       manage a reference set
+//! gpumem-cli bench-info [--min-len L]                  device catalog + tile geometry
 //!
-//! OPTIONS:
+//! The bare flag form `gpumem-cli [OPTIONS] <ref> <query>` still works
+//! as an alias for `run` but is deprecated (a note goes to stderr).
+//!
+//! RUN OPTIONS:
 //!   --tool <gpumem|mummer|essamem|sparsemem|slamem>   finder (default gpumem)
 //!   --min-len <L>        minimum MEM length (default 20)
 //!   --seed-len <ls>      GPUMEM seed length (default min(13, L))
@@ -16,6 +21,9 @@
 //!   --threads <t>        CPU finder threads (default 1)
 //!   --query-threads <n>  GPUMEM query workers for multi-record query
 //!                        FASTA (default 1)
+//!   --shards <n>         split each query's tile rows across n
+//!                        simulated devices and merge (default 1; the
+//!                        merged MEM set is byte-identical to n = 1)
 //!   --schedule-policy <inorder|mass>
 //!                        GPUMEM tile launch order: grid order
 //!                        (default) or heaviest sampled seed-occurrence
@@ -48,10 +56,25 @@
 //! coordinates as in `mummer -maxmatch`, grouped by query record in
 //! input order; with more than one query record, each line gains the
 //! record name as a final column.
+//!
+//! `registry` manages a plain-text handle file (`name  path  min_len
+//! seed_len`, tab-separated, `#gpumem-registry v1` header):
+//!
+//! ```text
+//! gpumem-cli registry add <handles.tsv> <name> <reference.fa>
+//!            [--min-len L] [--seed-len ls]     validate + append an entry
+//! gpumem-cli registry list <handles.tsv>       table of hosted references
+//! gpumem-cli registry evict-stats <handles.tsv>
+//!            [--budget <bytes>] [--rounds N]   warm every reference in
+//!                                              rounds under the byte
+//!                                              budget, print the
+//!                                              registry counters as JSON
+//! ```
 
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gpumem::baselines::{
     find_mems_both_strands, EssaMem, MemFinder, Mummer, SlaMem, SparseMem, VariantFilter,
@@ -60,8 +83,11 @@ use gpumem::index::{check_dual_steps, max_coprime_steps};
 use gpumem::seq::{
     read_fasta, AmbigPolicy, FastaRecord, Mem, PackedSeq, SeqSet, Strand, StrandMem,
 };
-use gpumem::sim::{DeviceSpec, LaunchStats};
-use gpumem::{Engine, GpumemConfig, GpumemResult, RunError, SchedulePolicy, SeedMode, Trace};
+use gpumem::sim::{Device, DeviceSpec, LaunchStats};
+use gpumem::{
+    Engine, GpumemConfig, GpumemResult, Registry, RunError, RunOptions, RunRequest,
+    SchedulePolicy, SeedMode, Trace,
+};
 
 struct Options {
     tool: String,
@@ -71,6 +97,7 @@ struct Options {
     sparseness: usize,
     threads: usize,
     query_threads: usize,
+    shards: usize,
     schedule_policy: SchedulePolicy,
     work_stealing: bool,
     query_staging: bool,
@@ -86,8 +113,8 @@ struct Options {
     query: String,
 }
 
-fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1);
+fn parse_args(argv: &[String]) -> Result<Options, String> {
+    let mut args = argv.iter().cloned();
     let mut opts = Options {
         tool: "gpumem".into(),
         min_len: 20,
@@ -96,6 +123,7 @@ fn parse_args() -> Result<Options, String> {
         sparseness: 4,
         threads: 1,
         query_threads: 1,
+        shards: 1,
         schedule_policy: SchedulePolicy::InOrder,
         work_stealing: false,
         query_staging: false,
@@ -147,6 +175,14 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad --query-threads: {e}"))?;
                 if opts.query_threads == 0 {
                     return Err("bad --query-threads: must be positive".into());
+                }
+            }
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?;
+                if opts.shards == 0 {
+                    return Err("bad --shards: must be positive".into());
                 }
             }
             "--schedule-policy" => {
@@ -259,6 +295,19 @@ fn collect_batch(
         .collect()
 }
 
+/// Run a batch under explicit [`RunOptions`] and keep only the results.
+fn batch_results(
+    engine: &Engine,
+    queries: &SeqSet,
+    options: &RunOptions,
+) -> Vec<Result<GpumemResult, RunError>> {
+    engine
+        .execute(&RunRequest::batch(queries).options(options.clone()))
+        .into_iter()
+        .map(|r| r.map(|out| out.result))
+        .collect()
+}
+
 fn run_gpumem(
     opts: &Options,
     reference: &PackedSeq,
@@ -281,30 +330,45 @@ fn run_gpumem(
         builder = builder.seed_len(seed_len);
     }
     let config = builder.build().map_err(|e| e.to_string())?;
-    let engine = Engine::with_spec(
-        reference.clone(),
-        config,
-        DeviceSpec::tesla_k20c(),
-        opts.query_threads,
-    )
-    .map_err(|e| e.to_string())?;
+    // Host the session in a (single-reference, unbounded) registry so
+    // `--metrics` exports the registry counters alongside the serving
+    // metrics; the spec stays the paper's Tesla K20c.
+    let registry = Arc::new(Registry::new(DeviceSpec::tesla_k20c()));
+    let engine = Engine::builder(reference.clone())
+        .config(config)
+        .registry(Arc::clone(&registry))
+        .name("cli")
+        .threads(opts.query_threads)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let options = RunOptions {
+        shards: opts.shards,
+        ..RunOptions::default()
+    };
 
     // Tracing serializes queries onto worker 0 so each gets its own
     // span tree; the merged trace lays the queries out one per track.
     let tracing = opts.trace.is_some() || opts.profile;
     let mut traces = Vec::new();
     let forward = if tracing {
+        let traced = RunOptions {
+            trace: true,
+            ..options.clone()
+        };
         let mut results = Vec::with_capacity(queries.records.len());
         for (i, span) in queries.records.iter().enumerate() {
-            let (result, trace) = engine
-                .run_traced(&queries.record_seq(i))
+            let query = queries.record_seq(i);
+            let out = engine
+                .execute(&RunRequest::query(&query).options(traced.clone()))
+                .pop()
+                .expect("one query yields one output")
                 .map_err(|e| format!("query {}: {e}", span.name))?;
-            results.push(result);
-            traces.push(trace);
+            results.push(out.result);
+            traces.push(out.trace.expect("traced run records a trace"));
         }
         results
     } else {
-        collect_batch(queries, engine.run_batch(queries))?
+        collect_batch(queries, batch_results(&engine, queries, &options))?
     };
     let reverse = if opts.both_strands {
         // Reverse-complement each record independently; coordinates map
@@ -319,7 +383,10 @@ fn run_gpumem(
             })
             .collect();
         let rc_set = SeqSet::from_records(&rc_records);
-        Some(collect_batch(queries, engine.run_batch(&rc_set))?)
+        Some(collect_batch(
+            queries,
+            batch_results(&engine, &rc_set, &options),
+        )?)
     } else {
         None
     };
@@ -423,14 +490,358 @@ fn run_finder(
     Ok(out)
 }
 
+fn usage() {
+    eprintln!(
+        "usage: gpumem-cli run [--tool T] [--min-len L] [--seed-len ls] [--seed-mode ref|dual[:k1,k2]] [--sparseness K] [--threads t] [--query-threads n] [--shards n] [--schedule-policy inorder|mass] [--work-stealing] [--query-staging] [--both-strands] [--mum] [--rare t] [--stats] [--sanitize] [--trace out.json] [--metrics out.json] [--profile] <reference.fa> <query.fa>\n       gpumem-cli registry add <handles.tsv> <name> <reference.fa> [--min-len L] [--seed-len ls]\n       gpumem-cli registry list <handles.tsv>\n       gpumem-cli registry evict-stats <handles.tsv> [--budget bytes] [--rounds N]\n       gpumem-cli bench-info [--min-len L]"
+    );
+}
+
 fn main() -> ExitCode {
-    let opts = match parse_args() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("run") => run_main(&argv[1..]),
+        Some("registry") => to_exit_code(registry_main(&argv[1..])),
+        Some("bench-info") => to_exit_code(bench_info_main(&argv[1..])),
+        Some("--help") | Some("-h") => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+        _ => {
+            // The pre-subcommand flag form: keep it working, nudge once.
+            eprintln!("note: flag-style invocation is deprecated; use `gpumem-cli run ...`");
+            run_main(&argv)
+        }
+    }
+}
+
+fn to_exit_code(result: Result<(), String>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One line of a registry handle file.
+struct HandleEntry {
+    name: String,
+    path: String,
+    min_len: u32,
+    seed_len: Option<usize>,
+}
+
+const HANDLE_HEADER: &str = "#gpumem-registry v1";
+
+fn read_handle_file(path: &str) -> Result<Vec<HandleEntry>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut lines = body.lines();
+    if lines.next().map(str::trim) != Some(HANDLE_HEADER) {
+        return Err(format!("{path}: missing `{HANDLE_HEADER}` header"));
+    }
+    let mut entries = Vec::new();
+    for (n, line) in lines.enumerate() {
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 4 {
+            return Err(format!(
+                "{path}:{}: expected 4 tab-separated fields, got {}",
+                n + 2,
+                fields.len()
+            ));
+        }
+        let min_len = fields[2]
+            .parse()
+            .map_err(|e| format!("{path}:{}: bad min_len: {e}", n + 2))?;
+        let seed_len = match fields[3] {
+            "-" => None,
+            s => Some(
+                s.parse()
+                    .map_err(|e| format!("{path}:{}: bad seed_len: {e}", n + 2))?,
+            ),
+        };
+        entries.push(HandleEntry {
+            name: fields[0].to_string(),
+            path: fields[1].to_string(),
+            min_len,
+            seed_len,
+        });
+    }
+    Ok(entries)
+}
+
+fn entry_config(entry: &HandleEntry) -> Result<GpumemConfig, String> {
+    let mut builder = GpumemConfig::builder(entry.min_len)
+        .threads_per_block(128)
+        .blocks_per_tile(16);
+    if let Some(seed_len) = entry.seed_len {
+        builder = builder.seed_len(seed_len);
+    }
+    builder
+        .build()
+        .map_err(|e| format!("{}: {e}", entry.name))
+}
+
+/// Load every handle-file entry into `registry`, returning the handles
+/// in file order.
+fn load_registry(
+    registry: &Registry,
+    entries: &[HandleEntry],
+) -> Result<Vec<gpumem::RefHandle>, String> {
+    entries
+        .iter()
+        .map(|entry| {
+            let reference = Arc::new(load_first_record(&entry.path)?);
+            registry
+                .add(&entry.name, reference, entry_config(entry)?)
+                .map_err(|e| format!("{}: {e}", entry.name))
+        })
+        .collect()
+}
+
+fn registry_main(argv: &[String]) -> Result<(), String> {
+    let (cmd, rest) = argv
+        .split_first()
+        .ok_or("registry: expected add, list, or evict-stats")?;
+    match cmd.as_str() {
+        "add" => registry_add(rest),
+        "list" => registry_list(rest),
+        "evict-stats" => registry_evict_stats(rest),
+        other => Err(format!(
+            "registry: unknown subcommand {other} (expected add, list, or evict-stats)"
+        )),
+    }
+}
+
+fn registry_add(argv: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut min_len = 20u32;
+    let mut seed_len = None;
+    let mut args = argv.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-len" => {
+                min_len = args
+                    .next()
+                    .ok_or("missing value for --min-len")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-len: {e}"))?
+            }
+            "--seed-len" => {
+                seed_len = Some(
+                    args.next()
+                        .ok_or("missing value for --seed-len")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed-len: {e}"))?,
+                )
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("registry add: unknown option {other}"))
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [file, name, fasta] = positional.as_slice() else {
+        return Err(format!(
+            "registry add: expected <handles.tsv> <name> <reference.fa>, got {} positionals",
+            positional.len()
+        ));
+    };
+    if name.contains('\t') {
+        return Err("registry add: name must not contain tabs".into());
+    }
+    let entry = HandleEntry {
+        name: name.clone(),
+        path: fasta.clone(),
+        min_len,
+        seed_len,
+    };
+    // Validate before writing: the FASTA must load and the session must
+    // construct against the default device.
+    let reference = Arc::new(load_first_record(fasta)?);
+    let ref_len = reference.len();
+    let probe = Registry::new(DeviceSpec::tesla_k20c());
+    probe
+        .add(name, reference, entry_config(&entry)?)
+        .map_err(|e| format!("{name}: {e}"))?;
+    let rows = probe.list()[0].rows;
+
+    let mut existing = match std::fs::metadata(file) {
+        Ok(_) => read_handle_file(file)?,
+        Err(_) => Vec::new(),
+    };
+    if existing.iter().any(|e| e.name == *name) {
+        return Err(format!("registry add: name {name} already registered"));
+    }
+    existing.push(entry);
+    let mut body = String::from(HANDLE_HEADER);
+    body.push('\n');
+    for e in &existing {
+        body.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            e.name,
+            e.path,
+            e.min_len,
+            e.seed_len.map_or("-".to_string(), |s| s.to_string())
+        ));
+    }
+    std::fs::write(file, body).map_err(|e| format!("{file}: {e}"))?;
+    println!("registered {name}: {ref_len} bp, {rows} tile rows");
+    Ok(())
+}
+
+fn registry_list(argv: &[String]) -> Result<(), String> {
+    let [file] = argv else {
+        return Err("registry list: expected <handles.tsv>".into());
+    };
+    let entries = read_handle_file(file)?;
+    let registry = Registry::new(DeviceSpec::tesla_k20c());
+    load_registry(&registry, &entries)?;
+    println!(
+        "{:<6} {:<20} {:>12} {:>8} {:>10} {:>14}",
+        "handle", "name", "ref_bp", "rows", "resident", "bytes"
+    );
+    for info in registry.list() {
+        println!(
+            "{:<6} {:<20} {:>12} {:>8} {:>10} {:>14}",
+            info.handle.id(),
+            info.name,
+            info.ref_len,
+            info.rows,
+            info.resident_rows,
+            info.resident_bytes
+        );
+    }
+    Ok(())
+}
+
+fn registry_evict_stats(argv: &[String]) -> Result<(), String> {
+    let mut file = None;
+    let mut budget: Option<u64> = None;
+    let mut rounds = 2usize;
+    let mut args = argv.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--budget" => {
+                budget = Some(
+                    args.next()
+                        .ok_or("missing value for --budget")?
+                        .parse()
+                        .map_err(|e| format!("bad --budget: {e}"))?,
+                )
+            }
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .ok_or("missing value for --rounds")?
+                    .parse()
+                    .map_err(|e| format!("bad --rounds: {e}"))?
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("registry evict-stats: unknown option {other}"))
+            }
+            other => {
+                if file.replace(other.to_string()).is_some() {
+                    return Err("registry evict-stats: expected one <handles.tsv>".into());
+                }
+            }
+        }
+    }
+    let file = file.ok_or("registry evict-stats: expected <handles.tsv>")?;
+    let entries = read_handle_file(&file)?;
+    let registry = match budget {
+        Some(bytes) => Registry::with_budget(DeviceSpec::tesla_k20c(), bytes),
+        None => Registry::new(DeviceSpec::tesla_k20c()),
+    };
+    let handles = load_registry(&registry, &entries)?;
+    // Warm every reference `rounds` times in file order: under a budget
+    // smaller than the combined index footprint, each warm of a cold
+    // reference evicts the coldest resident one — the churn whose
+    // counters this command reports.
+    let device = Device::new(registry.spec().clone());
+    for _ in 0..rounds {
+        for &handle in &handles {
+            let session = registry
+                .session(handle)
+                .expect("loaded handle stays resolvable");
+            session.warm(&device);
+            registry.touch(handle);
+        }
+    }
+    println!("{}", registry.stats().to_json());
+    Ok(())
+}
+
+fn bench_info_main(argv: &[String]) -> Result<(), String> {
+    let mut min_len = 20u32;
+    let mut args = argv.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-len" => {
+                min_len = args
+                    .next()
+                    .ok_or("missing value for --min-len")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-len: {e}"))?
+            }
+            other => return Err(format!("bench-info: unknown option {other}")),
+        }
+    }
+    let config = GpumemConfig::builder(min_len)
+        .threads_per_block(128)
+        .blocks_per_tile(16)
+        .build()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{:<12} {:>4} {:>9} {:>5} {:>10} {:>14}",
+        "device", "SMs", "cores/SM", "warp", "clock_mhz", "mem_bytes"
+    );
+    for spec in [
+        DeviceSpec::tesla_k20c(),
+        DeviceSpec::tesla_k40(),
+        DeviceSpec::test_tiny(),
+    ] {
+        println!(
+            "{:<12} {:>4} {:>9} {:>5} {:>10.0} {:>14}",
+            spec.name,
+            spec.sm_count,
+            spec.cores_per_sm,
+            spec.warp_size,
+            spec.clock_hz / 1e6,
+            spec.global_mem_bytes
+        );
+    }
+    println!(
+        "\nconfig: min_len {} seed_len {} step {} -> tile_len {} ({} threads/block x {} blocks/tile)",
+        config.min_len,
+        config.seed_len,
+        config.step,
+        config.tile_len(),
+        config.threads_per_block,
+        config.blocks_per_tile
+    );
+    println!(
+        "tile-row working set: ~{} bytes",
+        gpumem::core::pipeline::device_memory_estimate(&config)
+    );
+    Ok(())
+}
+
+fn run_main(argv: &[String]) -> ExitCode {
+    let opts = match parse_args(argv) {
         Ok(opts) => opts,
         Err(msg) => {
             if msg != "help" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: gpumem-cli [--tool T] [--min-len L] [--seed-len ls] [--seed-mode ref|dual[:k1,k2]] [--sparseness K] [--threads t] [--query-threads n] [--schedule-policy inorder|mass] [--work-stealing] [--query-staging] [--both-strands] [--mum] [--rare t] [--stats] [--sanitize] [--trace out.json] [--metrics out.json] [--profile] <reference.fa> <query.fa>");
+            usage();
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {

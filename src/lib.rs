@@ -44,10 +44,40 @@
 //!     FastaRecord { header: "q1".into(), seq: "GGGGACGTACGTAAAA".parse().unwrap() },
 //! ]);
 //! let config = GpumemConfig::builder(8).seed_len(4).build().unwrap();
-//! let engine = Engine::new(reference, config)?;
+//! let engine = Engine::builder(reference).config(config).build()?;
 //! for result in engine.run_batch(&queries) {
 //!     assert!(result?.mems.iter().all(|m| m.len >= 8));
 //! }
+//! # Ok::<(), RunError>(())
+//! ```
+//!
+//! ## Hosting many references
+//!
+//! A [`Registry`] hosts many references behind stable [`RefHandle`]s
+//! under one byte budget, evicting the coldest resident indexes when
+//! the budget is exceeded (pinned sessions — e.g. any session backing a
+//! live [`Engine`] — are never evicted):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gpumem::{Engine, GpumemConfig, Registry, RunError};
+//! use gpumem::seq::PackedSeq;
+//! use gpumem::sim::DeviceSpec;
+//!
+//! let registry = Arc::new(Registry::with_budget(
+//!     DeviceSpec::test_tiny(),
+//!     64 << 20, // 64 MiB across all hosted references
+//! ));
+//! let reference = PackedSeq::from_ascii(b"ACGTACGTACGTGGGGACGTACGTACGT").unwrap();
+//! let config = GpumemConfig::builder(8).seed_len(4).build().unwrap();
+//! let engine = Engine::builder(reference)
+//!     .config(config)
+//!     .registry(Arc::clone(&registry))
+//!     .name("chr1")
+//!     .build()?;
+//! let query = PackedSeq::from_ascii(b"TTTTACGTACGTACGTCCCC").unwrap();
+//! engine.run(&query)?;
+//! assert_eq!(engine.metrics().registry.references, 1);
 //! # Ok::<(), RunError>(())
 //! ```
 
@@ -59,7 +89,8 @@ pub use gpumem_seq as seq;
 
 // The serving/session API at the root, so batch users need one `use`.
 pub use gpumem_core::{
-    Engine, Gpumem, GpumemConfig, GpumemResult, GpumemStats, IndexBuildReport, MemCollector,
-    MemSink, MemStage, MetricsSnapshot, RefSession, RunError, SchedulePolicy, SeedMode,
-    SessionCache, Trace, TraceRecorder,
+    Engine, EngineBuilder, Gpumem, GpumemConfig, GpumemResult, GpumemStats, IndexBuildReport,
+    MemCollector, MemSink, MemStage, MetricsSnapshot, PinnedSession, Queries, RefEntryInfo,
+    RefHandle, RefSession, Registry, RegistryStats, RunError, RunOptions, RunOutput, RunRequest,
+    SchedulePolicy, SeedMode, SessionCache, ShardPlan, Trace, TraceRecorder,
 };

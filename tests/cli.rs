@@ -352,6 +352,176 @@ fn locality_knobs_preserve_cli_output() {
 }
 
 #[test]
+fn run_subcommand_matches_legacy_form_which_notes_deprecation() {
+    let dir = std::env::temp_dir().join("gpumem-cli-test-subcmd");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ref_fa, query_fa) = write_pair(&dir);
+
+    let legacy = cli()
+        .args(["--tool", "gpumem", "--min-len", "25", &ref_fa, &query_fa])
+        .output()
+        .expect("binary runs");
+    assert!(legacy.status.success());
+    let err = String::from_utf8_lossy(&legacy.stderr);
+    assert!(err.contains("deprecated"), "missing deprecation note: {err}");
+
+    let sub = cli()
+        .args(["run", "--tool", "gpumem", "--min-len", "25", &ref_fa, &query_fa])
+        .output()
+        .expect("binary runs");
+    assert!(sub.status.success());
+    let err = String::from_utf8_lossy(&sub.stderr);
+    assert!(
+        !err.contains("deprecated"),
+        "run subcommand should not warn: {err}"
+    );
+    assert_eq!(sub.stdout, legacy.stdout, "the two forms must agree");
+    assert!(!sub.stdout.is_empty(), "expected matches");
+}
+
+#[test]
+fn shards_flag_preserves_output() {
+    let dir = std::env::temp_dir().join("gpumem-cli-test-shards");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ref_fa, query_fa) = write_pair(&dir);
+
+    let run = |extra: &[&str]| -> Vec<u8> {
+        let mut args = vec!["run", "--tool", "gpumem", "--min-len", "25"];
+        args.extend_from_slice(extra);
+        args.push(ref_fa.as_str());
+        args.push(query_fa.as_str());
+        let out = cli().args(&args).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "gpumem {extra:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+
+    let single = run(&[]);
+    assert!(!single.is_empty(), "expected matches");
+    assert_eq!(run(&["--shards", "3"]), single, "sharding changed the MEMs");
+    assert_eq!(
+        run(&["--shards", "3", "--both-strands"]),
+        run(&["--both-strands"]),
+        "sharding changed the reverse-strand MEMs"
+    );
+
+    let out = cli()
+        .args(["run", "--shards", "0", &ref_fa, &query_fa])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "--shards 0 must be rejected");
+}
+
+#[test]
+fn registry_subcommands_round_trip() {
+    let dir = std::env::temp_dir().join("gpumem-cli-test-registry");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ref_fa, _) = write_pair(&dir);
+    let second = GenomeModel::mammalian().generate(6_000, 777);
+    let second_fa = {
+        let path = dir.join("ref2.fa");
+        let mut file = std::fs::File::create(&path).unwrap();
+        write_fasta(
+            &mut file,
+            &[FastaRecord {
+                header: "ref2".into(),
+                seq: second,
+            }],
+        )
+        .unwrap();
+        file.flush().unwrap();
+        path.to_str().unwrap().to_string()
+    };
+    let handles = dir.join("handles.tsv");
+    let _ = std::fs::remove_file(&handles);
+    let handles = handles.to_str().unwrap();
+
+    let add = |name: &str, fasta: &str| {
+        let out = cli()
+            .args(["registry", "add", handles, name, fasta, "--min-len", "25"])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "registry add {name} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains(&format!("registered {name}:")), "{stdout}");
+    };
+    add("chr1", &ref_fa);
+    add("chr2", &second_fa);
+
+    // A duplicate name is refused without clobbering the file.
+    let out = cli()
+        .args(["registry", "add", handles, "chr1", &ref_fa, "--min-len", "25"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("already registered"), "{err}");
+
+    let out = cli()
+        .args(["registry", "list", handles])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let listing = String::from_utf8(out.stdout).unwrap();
+    assert!(listing.contains("handle"), "missing header: {listing}");
+    assert!(listing.contains("chr1") && listing.contains("chr2"), "{listing}");
+
+    // Under a tiny budget, warming both references twice must churn.
+    let out = cli()
+        .args([
+            "registry",
+            "evict-stats",
+            handles,
+            "--budget",
+            "4096",
+            "--rounds",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "evict-stats failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stats = String::from_utf8(out.stdout).unwrap();
+    for key in ["\"references\"", "\"evictions\"", "\"resident_bytes\"", "\"hits\""] {
+        assert!(stats.contains(key), "missing {key} in {stats}");
+    }
+    let evictions: u64 = stats
+        .lines()
+        .find(|l| l.contains("\"evictions\""))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|v| v.trim().trim_end_matches(',').parse().unwrap())
+        .unwrap();
+    assert!(evictions > 0, "expected churn under a 4 KiB budget: {stats}");
+}
+
+#[test]
+fn bench_info_prints_device_catalog() {
+    let out = cli()
+        .args(["bench-info", "--min-len", "25"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "bench-info failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for expected in ["Tesla K20c", "Tesla K40", "test-tiny", "tile_len", "working set"] {
+        assert!(stdout.contains(expected), "missing {expected}: {stdout}");
+    }
+}
+
+#[test]
 fn both_strands_superset_and_strand_column() {
     let dir = std::env::temp_dir().join("gpumem-cli-test-strands");
     std::fs::create_dir_all(&dir).unwrap();

@@ -52,7 +52,7 @@ fn serving_api_is_exposed_at_the_root() {
 
     let reference: PackedSeq = "ACGTACGTACGTGGGGACGTACGTACGT".parse().unwrap();
     let config = GpumemConfig::builder(8).seed_len(4).build().unwrap();
-    let engine = Engine::new(reference, config).unwrap();
+    let engine = Engine::builder(reference).config(config).build().unwrap();
 
     let report: IndexBuildReport = engine.warm();
     assert_eq!(report.rows, engine.session().rows());
@@ -95,6 +95,44 @@ fn serving_api_is_exposed_at_the_root() {
         .run_with_sink(&queries.record_seq(0), &mut count)
         .unwrap();
     assert!(count.0 > 0);
+}
+
+#[test]
+fn registry_and_request_api_are_exposed_at_the_root() {
+    use std::sync::Arc;
+    use gpumem::sim::DeviceSpec;
+    use gpumem::{Engine, GpumemConfig, Registry, RunOptions, RunRequest, ShardPlan};
+
+    let reference: PackedSeq = "ACGTACGTACGTGGGGACGTACGTACGT".parse().unwrap();
+    let config = GpumemConfig::builder(8).seed_len(4).build().unwrap();
+    let registry = Arc::new(Registry::with_budget(DeviceSpec::test_tiny(), 1 << 30));
+    let engine = Engine::builder(reference)
+        .config(config)
+        .registry(Arc::clone(&registry))
+        .name("facade")
+        .build()
+        .unwrap();
+    assert_eq!(registry.len(), 1);
+    assert!(registry.handle_by_name("facade").is_some());
+
+    let query: PackedSeq = "TTTTACGTACGTACGTCCCC".parse().unwrap();
+    let plain = engine.run(&query).unwrap();
+    let options = RunOptions {
+        shards: 2,
+        ..RunOptions::default()
+    };
+    let out = engine
+        .execute(&RunRequest::query(&query).options(options))
+        .pop()
+        .unwrap()
+        .unwrap();
+    assert_eq!(out.result.mems, plain.mems);
+
+    let plan = ShardPlan::uniform(2, 8);
+    assert_eq!(plan.n_shards(), 2);
+    let stats = engine.metrics().registry;
+    assert!(stats.attached);
+    assert_eq!(stats.references, 1);
 }
 
 #[test]

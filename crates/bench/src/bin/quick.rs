@@ -55,6 +55,12 @@
 //! values) and exits non-zero when any regresses by more than
 //! `GPUMEM_BENCH_MAX_REGRESS` (default 0.20) — the CI bench-smoke
 //! gate.
+//!
+//! Every run also appends one compact JSON line of headline numbers
+//! (`wall_s`, `match_wall_s`, `qps_batch`, the three modeled ratios,
+//! `mems`, and a unix `ts`) to `results/bench_history.jsonl`
+//! (override with `GPUMEM_BENCH_HISTORY`). The accumulated trajectory
+//! is what `gpumem-cli bench-info --check` gates against.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -738,6 +744,43 @@ fn out_path() -> PathBuf {
         })
 }
 
+fn history_path() -> PathBuf {
+    std::env::var("GPUMEM_BENCH_HISTORY")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("results")
+                .join("bench_history.jsonl")
+        })
+}
+
+/// Append this run's headline numbers to the bench trajectory journal.
+///
+/// One compact JSON line per run; field names match the metric tables
+/// in `gpumem-cli bench-info --check`, which walks the same file. The
+/// journal is untracked (gitignored) so every machine accumulates its
+/// own trajectory.
+fn append_history(line: &str) {
+    let path = history_path();
+    if let Some(dir) = path.parent() {
+        if std::fs::create_dir_all(dir).is_err() {
+            eprintln!("bench history skipped: cannot create {}", dir.display());
+            return;
+        }
+    }
+    use std::io::Write;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| writeln!(file, "{line}"));
+    match appended {
+        Ok(()) => eprintln!("bench history → {}", path.display()),
+        Err(err) => eprintln!("bench history skipped: {err}"),
+    }
+}
+
 fn main() {
     let iters: usize = std::env::var("GPUMEM_QUICK_ITERS")
         .ok()
@@ -1138,6 +1181,33 @@ fn main() {
         before_wall / best.wall_s,
     );
     std::fs::write(&path, &json).expect("write BENCH_pipeline.json");
+
+    // Bench trajectory: one compact line per run, appended after the
+    // report so a write failure can never lose the main artifact.
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let l300 = seedmode
+        .iter()
+        .find(|s| s.l == 300)
+        .expect("L = 300 is in the ablation");
+    append_history(&format!(
+        concat!(
+            "{{\"ts\":{},\"wall_s\":{:.6},\"match_wall_s\":{:.6},\"qps_batch\":{:.3},",
+            "\"seedmode_l300_modeled_ratio\":{:.4},\"skewed_modeled_ratio\":{:.4},",
+            "\"sharded_modeled_ratio\":{:.4},\"mems\":{}}}"
+        ),
+        ts,
+        best.wall_s,
+        best.stats.match_wall.as_secs_f64(),
+        BATCH_QUERIES as f64 / batch_best.batch_wall_s,
+        l300.ref_modeled_match_s / l300.dual_modeled_match_s,
+        skewed.base_modeled_match_s / skewed.tuned_modeled_match_s,
+        sharded_sample.single_modeled_match_s / sharded_sample.max_shard_modeled_match_s,
+        best.mems,
+    ));
+
     println!("{json}");
     println!("→ {}", path.display());
 }

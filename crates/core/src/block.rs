@@ -580,7 +580,14 @@ fn expand_stealing(
                 debug_assert!(false, "steal queue overflow");
                 let range = j * chunk..total.min((j + 1) * chunk);
                 expand_flat(
-                    lane, reference, query, bounds, config, staged, &deferred[range], output,
+                    lane,
+                    reference,
+                    query,
+                    bounds,
+                    config,
+                    staged,
+                    &deferred[range],
+                    output,
                 );
             }
             j += tau;
@@ -595,7 +602,14 @@ fn expand_stealing(
                 }
                 let range = j * chunk..total.min((j + 1) * chunk);
                 expand_flat(
-                    lane, reference, query, bounds, config, staged, &deferred[range], output,
+                    lane,
+                    reference,
+                    query,
+                    bounds,
+                    config,
+                    staged,
+                    &deferred[range],
+                    output,
                 );
             }
         });
@@ -668,8 +682,7 @@ mod tests {
         });
         let out = Mutex::new(BlockOutput::default());
         let stats = device.launch_fn(LaunchConfig::new(1, config.threads_per_block), |ctx| {
-            let mut arena =
-                staging.then(|| SharedArena::new(device.spec().shared_mem_per_block));
+            let mut arena = staging.then(|| SharedArena::new(device.spec().shared_mem_per_block));
             let mut scratch = BlockScratch::new(config.threads_per_block, config.seed_len);
             let mut block_out = BlockOutput::default();
             process_block(
@@ -819,8 +832,16 @@ mod tests {
         stats_of.insert((false, false), base_stats);
         for (stealing, staging) in [(true, false), (false, true), (true, true)] {
             let (got, stats) = run_block_variant(&reference, &query, &cfg, stealing, staging);
-            assert_eq!(canonicalize(got.in_block), expect_in, "{stealing}/{staging}");
-            assert_eq!(canonicalize(got.out_block), expect_out, "{stealing}/{staging}");
+            assert_eq!(
+                canonicalize(got.in_block),
+                expect_in,
+                "{stealing}/{staging}"
+            );
+            assert_eq!(
+                canonicalize(got.out_block),
+                expect_out,
+                "{stealing}/{staging}"
+            );
             if stealing {
                 assert!(stats.steal_events > 0, "skewed run must steal");
             } else {

@@ -50,6 +50,7 @@ use crate::pipeline::{
 };
 use crate::registry::{RefHandle, Registry, RegistryStats};
 use crate::shard::ShardPlan;
+use crate::telemetry::{Event, EventSink, TelemetryClock, WallClock};
 use crate::tile::Tiling;
 use crate::trace::{SpanCat, Trace, TraceRecorder};
 use gpumem_index::SeedMode;
@@ -204,7 +205,10 @@ impl RefSession {
     /// Number of row indexes currently resident (≤ [`RefSession::rows`];
     /// smaller after an eviction).
     pub fn resident_rows(&self) -> usize {
-        self.rows.iter().filter(|slot| slot.lock().is_some()).count()
+        self.rows
+            .iter()
+            .filter(|slot| slot.lock().is_some())
+            .count()
     }
 
     /// Drop every resident row index, returning the bytes freed. The
@@ -287,8 +291,12 @@ pub struct SessionCache {
     /// construction runs under its own slot lock, so concurrent callers
     /// for *different* references (or configs) build in parallel while
     /// callers for the *same* key still build exactly once.
-    sessions: Mutex<HashMap<(usize, GpumemConfig), Arc<Mutex<Option<Arc<RefSession>>>>>>,
+    sessions: Mutex<HashMap<(usize, GpumemConfig), SessionSlot>>,
 }
+
+/// One lazily built slot of a [`SessionCache`]: `None` until the first
+/// caller for the key constructs the session under the slot lock.
+type SessionSlot = Arc<Mutex<Option<Arc<RefSession>>>>;
 
 impl SessionCache {
     /// An empty cache whose sessions validate against `spec`.
@@ -499,11 +507,63 @@ pub struct DeviceCounters {
     pub busiest_block_cycles: u64,
 }
 
+/// Health of the engine's sharded execution path: how the last
+/// sharded run's modeled matching time split across shards, with the
+/// max/mean imbalance ratio as a first-class gauge (1.0 = perfectly
+/// balanced; the signal [`ShardPlan::from_row_masses`] exists to
+/// minimize).
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct ShardHealth {
+    /// Queries served by a multi-shard run so far.
+    pub sharded_runs: u64,
+    /// Shard count of the most recent sharded run.
+    pub shards: u64,
+    /// Per-shard modeled matching seconds of the most recent sharded
+    /// run, in shard order.
+    pub last_modeled_s: Vec<f64>,
+    /// Slowest shard's modeled seconds (the sharded critical path).
+    pub max_modeled_s: f64,
+    /// Mean per-shard modeled seconds.
+    pub mean_modeled_s: f64,
+    /// `max_modeled_s / mean_modeled_s` — 1.0 means a perfectly even
+    /// split (or a zero-mean run, where there is nothing to be
+    /// imbalanced about). 0.0 until the first sharded run, so
+    /// dashboards can tell "no data" from "balanced".
+    pub imbalance: f64,
+}
+
+impl ShardHealth {
+    /// Fold one sharded run's per-shard matching stats in.
+    fn record(&mut self, shard_matching: &[LaunchStats]) {
+        self.sharded_runs += 1;
+        self.shards = shard_matching.len() as u64;
+        self.last_modeled_s = shard_matching
+            .iter()
+            .map(LaunchStats::modeled_secs)
+            .collect();
+        self.max_modeled_s = self.last_modeled_s.iter().copied().fold(0.0, f64::max);
+        self.mean_modeled_s = if self.last_modeled_s.is_empty() {
+            0.0
+        } else {
+            self.last_modeled_s.iter().sum::<f64>() / self.last_modeled_s.len() as f64
+        };
+        self.imbalance = if self.mean_modeled_s > 0.0 {
+            self.max_modeled_s / self.mean_modeled_s
+        } else {
+            1.0
+        };
+    }
+}
+
 /// A point-in-time export of the engine's serving metrics, obtained
-/// from [`Engine::metrics`]; serializes directly to JSON.
+/// from [`Engine::metrics`]; serializes directly to JSON. The unified
+/// exposition formats ([`crate::telemetry::render_prometheus`] /
+/// [`crate::telemetry::render_json`]) are derived from this snapshot,
+/// so everything here is scrapeable.
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct MetricsSnapshot {
-    /// Seconds since the engine was created.
+    /// Seconds since the engine was created, on the engine's
+    /// [`TelemetryClock`].
     pub uptime_s: f64,
     /// Queries completed across all workers.
     pub queries: u64,
@@ -515,9 +575,15 @@ pub struct MetricsSnapshot {
     pub workers: Vec<WorkerUtilization>,
     /// Device-health counters of the matching launches.
     pub device: DeviceCounters,
+    /// Cumulative index-build launch statistics of the session.
+    pub index: LaunchStats,
+    /// Cumulative matching launch statistics across all queries.
+    pub matching: LaunchStats,
     /// Counters of the registry this engine is bound to (all-zero with
     /// `attached: false` for a registry-less engine).
     pub registry: RegistryStats,
+    /// Sharded-execution health (zeroed until a sharded run happens).
+    pub shards: ShardHealth,
 }
 
 impl MetricsSnapshot {
@@ -651,6 +717,9 @@ pub struct EngineBuilder {
     registry: Option<Arc<Registry>>,
     name: Option<String>,
     session: Option<Arc<RefSession>>,
+    clock: Option<Arc<dyn TelemetryClock>>,
+    events: Option<Arc<dyn EventSink>>,
+    warp_floor: Option<f64>,
 }
 
 impl EngineBuilder {
@@ -701,8 +770,41 @@ impl EngineBuilder {
         self
     }
 
+    /// The time source behind `uptime_s` and event timestamps (default:
+    /// a fresh [`WallClock`]). Inject a
+    /// [`ManualClock`](crate::telemetry::ManualClock) for deterministic
+    /// exposition tests.
+    pub fn clock(mut self, clock: Arc<dyn TelemetryClock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Attach a journal sink: the engine emits `run_start`/`run_end`,
+    /// `index_build`, `shard_dispatch`, and `anomaly` events into it.
+    /// With no sink attached the event path is a single branch — runs
+    /// are byte-identical to a sink-less engine. Note this wires the
+    /// *engine* only; call [`Registry::set_event_sink`] to also journal
+    /// eviction and pin/unpin events from a hosting registry.
+    pub fn event_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.events = Some(sink);
+        self
+    }
+
+    /// Emit an `anomaly` event after any run whose matching warp
+    /// efficiency falls below `floor` (only meaningful with
+    /// [`EngineBuilder::event_sink`]).
+    pub fn warp_efficiency_floor(mut self, floor: f64) -> Self {
+        self.warp_floor = Some(floor);
+        self
+    }
+
     /// Validate and assemble the engine.
     pub fn build(self) -> Result<Engine, RunError> {
+        let telemetry = EngineTelemetry {
+            clock: self.clock.unwrap_or_else(|| Arc::new(WallClock::new())),
+            events: self.events,
+            warp_floor: self.warp_floor,
+        };
         if let Some(session) = self.session {
             if self.registry.is_some() {
                 return Err(RunError::InvalidOptions(
@@ -711,7 +813,13 @@ impl EngineBuilder {
                         .to_string(),
                 ));
             }
-            return Ok(Engine::assemble(session, self.spec, self.threads, None));
+            return Ok(Engine::assemble(
+                session,
+                self.spec,
+                self.threads,
+                None,
+                telemetry,
+            ));
         }
         let config = match self.config {
             Some(config) => config,
@@ -732,12 +840,37 @@ impl EngineBuilder {
                     spec,
                     self.threads,
                     Some(RegistryBinding { registry, handle }),
+                    telemetry,
                 ))
             }
             None => {
                 let session = Arc::new(RefSession::new(self.reference, config, &self.spec)?);
-                Ok(Engine::assemble(session, self.spec, self.threads, None))
+                Ok(Engine::assemble(
+                    session,
+                    self.spec,
+                    self.threads,
+                    None,
+                    telemetry,
+                ))
             }
+        }
+    }
+}
+
+/// The engine's telemetry attachment: the clock behind `uptime_s` and
+/// event timestamps, the optional journal sink, and anomaly floors.
+struct EngineTelemetry {
+    clock: Arc<dyn TelemetryClock>,
+    events: Option<Arc<dyn EventSink>>,
+    warp_floor: Option<f64>,
+}
+
+impl Default for EngineTelemetry {
+    fn default() -> EngineTelemetry {
+        EngineTelemetry {
+            clock: Arc::new(WallClock::new()),
+            events: None,
+            warp_floor: None,
         }
     }
 }
@@ -748,11 +881,14 @@ pub struct Engine {
     session: Arc<RefSession>,
     spec: DeviceSpec,
     workers: Vec<Mutex<Worker>>,
-    created: Instant,
+    /// Clock reading at assembly — `uptime_s` is measured from here.
+    created_at: Duration,
     latency: Mutex<LatencyHistogram>,
     build_wait: Mutex<Duration>,
     matching_totals: Mutex<LaunchStats>,
+    shard_health: Mutex<ShardHealth>,
     registry: Option<RegistryBinding>,
+    telemetry: EngineTelemetry,
     /// Sessions materialized for per-request seed-mode overrides on
     /// registry-less engines (registry-hosted engines route overrides
     /// through the registry so they share its byte budget).
@@ -797,6 +933,9 @@ impl Engine {
             registry: None,
             name: None,
             session: None,
+            clock: None,
+            events: None,
+            warp_floor: None,
         }
     }
 
@@ -833,7 +972,13 @@ impl Engine {
         spec: DeviceSpec,
         query_threads: usize,
     ) -> Engine {
-        Engine::assemble(session, spec, query_threads, None)
+        Engine::assemble(
+            session,
+            spec,
+            query_threads,
+            None,
+            EngineTelemetry::default(),
+        )
     }
 
     fn assemble(
@@ -841,6 +986,7 @@ impl Engine {
         spec: DeviceSpec,
         query_threads: usize,
         registry: Option<RegistryBinding>,
+        telemetry: EngineTelemetry,
     ) -> Engine {
         let workers = (0..query_threads.max(1))
             .map(|_| {
@@ -856,12 +1002,42 @@ impl Engine {
             session,
             spec,
             workers,
-            created: Instant::now(),
+            created_at: telemetry.clock.now(),
             latency: Mutex::new(LatencyHistogram::new()),
             build_wait: Mutex::new(Duration::ZERO),
             matching_totals: Mutex::new(LaunchStats::default()),
+            shard_health: Mutex::new(ShardHealth::default()),
             registry,
+            telemetry,
             overrides: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Emit a journal event. Zero-cost when no sink is attached: the
+    /// event is only built (and the clock only read) after the
+    /// `is-some` branch.
+    fn emit(&self, make: impl FnOnce(f64) -> Event) {
+        if let Some(sink) = &self.telemetry.events {
+            let ts = self.telemetry.clock.now().as_secs_f64();
+            sink.event(&make(ts));
+        }
+    }
+
+    /// Emit threshold-crossing anomaly events for one run's stats.
+    fn check_anomalies(&self, stats: &GpumemStats) {
+        if self.telemetry.events.is_none() {
+            return;
+        }
+        if let Some(floor) = self.telemetry.warp_floor {
+            let eff = stats.matching.warp_efficiency(self.spec.warp_size);
+            if eff < floor {
+                self.emit(|ts| {
+                    Event::new("anomaly", ts)
+                        .with_str("metric", "warp_efficiency")
+                        .with_f64("value", eff)
+                        .with_f64("floor", floor)
+                });
+            }
         }
     }
 
@@ -909,6 +1085,16 @@ impl Engine {
             let t = Instant::now();
             let out = session.row_index(device, row);
             build_wait += t.elapsed();
+            // A cached row reports default (zero-launch) stats, so
+            // launches > 0 is exactly "this call built the index".
+            if out.1.launches > 0 {
+                self.emit(|ts| {
+                    Event::new("index_build", ts)
+                        .with_u64("row", row as u64)
+                        .with_u64("launches", out.1.launches)
+                        .with_f64("modeled_s", out.1.modeled_secs())
+                });
+            }
             out
         };
         let stats = run_tiles(
@@ -934,6 +1120,7 @@ impl Engine {
         config: &GpumemConfig,
     ) -> GpumemResult {
         let t0 = Instant::now();
+        self.emit(|ts| Event::new("run_start", ts).with_u64("query_len", query.len() as u64));
         let mut collector = MemCollector::default();
         let mut stats = self.run_on_worker(worker, query, &mut collector, None, session, config);
         let t = Instant::now();
@@ -941,7 +1128,26 @@ impl Engine {
         stats.match_wall += t.elapsed();
         stats.counts.total = mems.len();
         self.record_query(worker, t0.elapsed());
+        self.emit_run_end(query, &stats, mems.len());
+        self.check_anomalies(&stats);
         GpumemResult { mems, stats }
+    }
+
+    /// Emit the `run_end` event carrying the run's stage totals
+    /// (`index + matching`) — by construction the exact sum
+    /// [`Trace::stage_totals`] reports for a traced run, which is what
+    /// lets the journal reconcile against the trace field for field.
+    fn emit_run_end(&self, query: &PackedSeq, stats: &GpumemStats, mems: usize) {
+        self.emit(|ts| {
+            let totals = stats.index.clone() + stats.matching.clone();
+            Event::new("run_end", ts)
+                .with_u64("query_len", query.len() as u64)
+                .with_u64("mems", mems as u64)
+                .with_u64("launches", totals.launches)
+                .with_u64("warp_cycles", totals.warp_cycles)
+                .with_u64("device_cycles", totals.device_cycles)
+                .with_f64("modeled_s", totals.modeled_secs())
+        });
     }
 
     /// Account one completed query to the latency histogram, the
@@ -1139,6 +1345,11 @@ impl Engine {
         let config = &resolved.config;
         let reference = session.reference();
         let t0 = Instant::now();
+        self.emit(|ts| {
+            Event::new("run_start", ts)
+                .with_u64("query_len", query.len() as u64)
+                .with_u64("shards", n_shards as u64)
+        });
         let tiling = (reference.len() >= config.seed_len && !query.is_empty())
             .then(|| Tiling::new(config.tile_len(), reference.len(), query.len()));
         let n_rows = tiling.as_ref().map_or(0, Tiling::n_rows);
@@ -1157,7 +1368,13 @@ impl Engine {
                 // be short); occurrence-accurate masses would need the
                 // indexes built up front, defeating lazy residency.
                 let masses: Vec<u64> = (0..n_rows)
-                    .map(|row| tiling.as_ref().expect("rows imply tiling").row_range(row).len() as u64)
+                    .map(|row| {
+                        tiling
+                            .as_ref()
+                            .expect("rows imply tiling")
+                            .row_range(row)
+                            .len() as u64
+                    })
                     .collect();
                 ShardPlan::from_row_masses(n_shards, &masses)
             }
@@ -1167,6 +1384,11 @@ impl Engine {
             let handles: Vec<_> = (0..plan.n_shards())
                 .map(|s| {
                     let rows = plan.rows(s);
+                    self.emit(|ts| {
+                        Event::new("shard_dispatch", ts)
+                            .with_u64("shard", s as u64)
+                            .with_u64("rows", rows.len() as u64)
+                    });
                     let session = Arc::clone(session);
                     scope.spawn(move || {
                         self.run_shard_body(query, &session, config, rows, opts.trace, s)
@@ -1179,9 +1401,11 @@ impl Engine {
                 .collect()
         });
 
-        let mut stats = GpumemStats::default();
-        stats.rows = n_rows;
-        stats.cols = tiling.as_ref().map_or(0, Tiling::n_cols);
+        let mut stats = GpumemStats {
+            rows: n_rows,
+            cols: tiling.as_ref().map_or(0, Tiling::n_cols),
+            ..GpumemStats::default()
+        };
         let mut mems: Vec<Mem> = Vec::new();
         let mut fragments: Vec<Mem> = Vec::new();
         let mut traces: Vec<Trace> = Vec::new();
@@ -1224,6 +1448,9 @@ impl Engine {
         let mut worker = self.workers[0].lock();
         self.record_query(&mut worker, t0.elapsed());
         drop(worker);
+        self.shard_health.lock().record(&stats.shard_matching);
+        self.emit_run_end(query, &stats, mems.len());
+        self.check_anomalies(&stats);
         let trace = (!traces.is_empty()).then(|| Trace::merge(traces));
         Ok(RunOutput {
             result: GpumemResult { mems, stats },
@@ -1297,14 +1524,23 @@ impl Engine {
             .set_observer(Some(crate::trace::as_observer(&recorder)));
         let query_span = recorder.begin("query", SpanCat::Run);
         let t0 = Instant::now();
+        self.emit(|ts| Event::new("run_start", ts).with_u64("query_len", query.len() as u64));
         let mut collector = MemCollector::default();
-        let mut stats =
-            self.run_on_worker(&mut worker, query, &mut collector, Some(&recorder), session, config);
+        let mut stats = self.run_on_worker(
+            &mut worker,
+            query,
+            &mut collector,
+            Some(&recorder),
+            session,
+            config,
+        );
         let mems = collector.into_canonical();
         stats.counts.total = mems.len();
         recorder.end(query_span);
         worker.device.set_observer(None);
         self.record_query(&mut worker, t0.elapsed());
+        self.emit_run_end(query, &stats, mems.len());
+        self.check_anomalies(&stats);
         (GpumemResult { mems, stats }, recorder.snapshot())
     }
 
@@ -1320,10 +1556,19 @@ impl Engine {
     ) -> Result<GpumemStats, RunError> {
         ensure_sort_key(query)?;
         let t0 = Instant::now();
+        self.emit(|ts| Event::new("run_start", ts).with_u64("query_len", query.len() as u64));
         let mut worker = self.workers[0].lock();
-        let stats =
-            self.run_on_worker(&mut worker, query, sink, None, &self.session, self.session.config());
+        let stats = self.run_on_worker(
+            &mut worker,
+            query,
+            sink,
+            None,
+            &self.session,
+            self.session.config(),
+        );
         self.record_query(&mut worker, t0.elapsed());
+        self.emit_run_end(query, &stats, stats.counts.total);
+        self.check_anomalies(&stats);
         Ok(stats)
     }
 
@@ -1359,7 +1604,12 @@ impl Engine {
     /// index-cache behavior (including build-wait time), and
     /// per-worker utilization. Cheap enough to poll.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let uptime = self.created.elapsed().as_secs_f64();
+        let uptime = self
+            .telemetry
+            .clock
+            .now()
+            .saturating_sub(self.created_at)
+            .as_secs_f64();
         let latency = self.latency.lock();
         let mean_ms = if latency.count == 0 {
             0.0
@@ -1426,11 +1676,14 @@ impl Engine {
             index_cache,
             workers,
             device,
+            index: self.session.index_report().stats,
+            matching: totals,
             registry: self
                 .registry
                 .as_ref()
                 .map(|b| b.registry.stats())
                 .unwrap_or_default(),
+            shards: self.shard_health.lock().clone(),
         }
     }
 
@@ -1852,10 +2105,7 @@ mod tests {
 
         let key_a = (Arc::as_ptr(&ref_a) as usize, config(16));
         let slot_a = Arc::new(Mutex::new(None));
-        cache
-            .sessions
-            .lock()
-            .insert(key_a, Arc::clone(&slot_a));
+        cache.sessions.lock().insert(key_a, Arc::clone(&slot_a));
         let in_flight = slot_a.lock();
 
         let parked = {
@@ -2041,10 +2291,7 @@ mod tests {
         assert_eq!(m.registry.references, 1);
         assert_eq!(m.registry.pinned, 1);
         assert!(m.registry.resident_bytes > 0);
-        assert!(
-            m.registry.hits >= 1,
-            "second query touches a warm session"
-        );
+        assert!(m.registry.hits >= 1, "second query touches a warm session");
 
         drop(engine);
         assert!(registry.remove(handle), "drop released the pin");
@@ -2073,10 +2320,7 @@ mod tests {
         let sharded = engine.execute(&RunRequest::batch(&queries).options(options));
         assert_eq!(sharded.len(), plain.len());
         for (s, p) in sharded.iter().zip(&plain) {
-            assert_eq!(
-                s.as_ref().unwrap().result.mems,
-                p.as_ref().unwrap().mems
-            );
+            assert_eq!(s.as_ref().unwrap().result.mems, p.as_ref().unwrap().mems);
         }
     }
 }

@@ -26,7 +26,11 @@
 //!   the streaming [`MemSink`] result path;
 //! * [`trace`] — the observability layer: hierarchical run spans with
 //!   exact per-stage device statistics, Chrome Trace Event export, and
-//!   the human-readable profile report.
+//!   the human-readable profile report;
+//! * [`telemetry`] — the unified telemetry subsystem: a
+//!   [`MetricsRegistry`] of typed instruments with Prometheus/JSON
+//!   exposition, the structured [`EventSink`] journal, and the
+//!   injectable [`TelemetryClock`].
 //!
 //! The output is the exact canonical MEM set: property tests pin it to
 //! the ground-truth [`gpumem_seq::naive_mems`] and (in the workspace
@@ -55,6 +59,7 @@ pub mod pipeline;
 pub mod registry;
 pub mod schedule;
 pub mod shard;
+pub mod telemetry;
 pub mod tile;
 pub mod tile_run;
 pub mod trace;
@@ -62,15 +67,19 @@ pub mod trace;
 pub use config::{ConfigError, GpumemConfig, GpumemConfigBuilder, IndexKind, SchedulePolicy};
 pub use engine::{
     DeviceCounters, Engine, EngineBuilder, MemCollector, MemSink, MemStage, MetricsSnapshot,
-    Queries, RefSession, RunOptions, RunOutput, RunRequest, SessionCache,
+    Queries, RefSession, RunOptions, RunOutput, RunRequest, SessionCache, ShardHealth,
 };
 pub use expand::Bounds;
-pub use registry::{PinnedSession, RefEntryInfo, RefHandle, Registry, RegistryStats};
-pub use shard::ShardPlan;
 pub use gpumem_index::SeedMode;
 pub use pipeline::{
     Gpumem, GpumemResult, GpumemStats, IndexBuildReport, RunError, RunScratch, StageCounts,
     SORT_KEY_LIMIT,
+};
+pub use registry::{PinnedSession, RefEntryInfo, RefHandle, Registry, RegistryStats};
+pub use shard::ShardPlan;
+pub use telemetry::{
+    Counter, Event, EventSink, EventValue, Gauge, Histogram, InstrumentKind, JsonlEventSink,
+    ManualClock, MemoryEventSink, MetricsRegistry, TelemetryClock, WallClock,
 };
 pub use tile::Tiling;
 pub use trace::{Span, SpanCat, Trace, TraceRecorder};

@@ -228,6 +228,27 @@ pub struct GpumemStats {
     pub shard_matching: Vec<LaunchStats>,
 }
 
+impl GpumemStats {
+    /// Max/mean per-shard modeled matching time of a sharded run — the
+    /// load-imbalance ratio (1.0 = perfectly balanced; also 1.0 for
+    /// single-device runs, where there is nothing to imbalance).
+    pub fn shard_imbalance(&self) -> f64 {
+        if self.shard_matching.is_empty() {
+            return 1.0;
+        }
+        let times: Vec<f64> = self
+            .shard_matching
+            .iter()
+            .map(LaunchStats::modeled_secs)
+            .collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        times.iter().copied().fold(0.0, f64::max) / mean
+    }
+}
+
 impl std::fmt::Display for GpumemStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -434,7 +455,8 @@ pub(crate) fn run_tile_rows(
                 scratch.blocks_out.in_block.clear();
                 scratch.blocks_out.out_block.clear();
                 let batch_span = trace.map(|t| t.begin("block_batch", SpanCat::Stage));
-                let cell = Mutex::new((&mut scratch.blocks_out, &mut scratch.block, arena.as_mut()));
+                let cell =
+                    Mutex::new((&mut scratch.blocks_out, &mut scratch.block, arena.as_mut()));
                 let launch = device.launch_fn_named(
                     LaunchConfig::new(config.blocks_per_tile, config.threads_per_block),
                     "match.blocks",

@@ -29,6 +29,7 @@ use gpumem_seq::PackedSeq;
 use crate::config::GpumemConfig;
 use crate::engine::RefSession;
 use crate::pipeline::RunError;
+use crate::telemetry::{Event, EventSink, TelemetryClock, WallClock};
 
 /// A stable, copyable handle to a registered reference session. Stays
 /// valid across evictions (only [`Registry::remove`] retires it).
@@ -122,6 +123,11 @@ pub struct Registry {
     misses: AtomicU64,
     evictions: AtomicU64,
     peak: AtomicU64,
+    /// Journal sink for `evict`/`pin`/`unpin` events (none by default —
+    /// the zero-cost-off contract).
+    events: Mutex<Option<Arc<dyn EventSink>>>,
+    /// Timestamp source for those events.
+    tele_clock: Mutex<Arc<dyn TelemetryClock>>,
 }
 
 impl Registry {
@@ -150,6 +156,31 @@ impl Registry {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             peak: AtomicU64::new(0),
+            events: Mutex::new(None),
+            tele_clock: Mutex::new(Arc::new(WallClock::new())),
+        }
+    }
+
+    /// Attach (or detach, with `None`) a journal sink: the registry
+    /// emits `evict`, `pin`, and `unpin` events into it. Eviction
+    /// events fire while the registry lock is held, so sinks must not
+    /// call back into the registry.
+    pub fn set_event_sink(&self, sink: Option<Arc<dyn EventSink>>) {
+        *self.events.lock() = sink;
+    }
+
+    /// Replace the clock behind event timestamps (default: a
+    /// [`WallClock`] started at registry creation).
+    pub fn set_telemetry_clock(&self, clock: Arc<dyn TelemetryClock>) {
+        *self.tele_clock.lock() = clock;
+    }
+
+    /// Emit a journal event; a single cheap check when no sink is set.
+    fn emit(&self, make: impl FnOnce(f64) -> Event) {
+        let sink = self.events.lock().clone();
+        if let Some(sink) = sink {
+            let ts = self.tele_clock.lock().now().as_secs_f64();
+            sink.event(&make(ts));
         }
     }
 
@@ -229,13 +260,18 @@ impl Registry {
     /// eviction until dropped. A touch, like [`Registry::session`].
     pub fn pin(self: &Arc<Self>, handle: RefHandle) -> Option<PinnedSession> {
         let mut inner = self.inner.lock();
-        let session = {
+        let (session, pins) = {
             let entry = inner.entries.get_mut(&handle.0)?;
             entry.pins += 1;
-            Arc::clone(&entry.session)
+            (Arc::clone(&entry.session), entry.pins)
         };
         self.touch_locked(&mut inner, handle.0);
         drop(inner);
+        self.emit(|ts| {
+            Event::new("pin", ts)
+                .with_u64("handle", handle.0)
+                .with_u64("pins", pins as u64)
+        });
         Some(PinnedSession {
             registry: Arc::clone(self),
             handle,
@@ -247,12 +283,18 @@ impl Registry {
     /// themselves (the engine pins its base session for its lifetime).
     pub(crate) fn pin_raw(&self, handle: RefHandle) -> Option<Arc<RefSession>> {
         let mut inner = self.inner.lock();
-        let session = {
+        let (session, pins) = {
             let entry = inner.entries.get_mut(&handle.0)?;
             entry.pins += 1;
-            Arc::clone(&entry.session)
+            (Arc::clone(&entry.session), entry.pins)
         };
         self.touch_locked(&mut inner, handle.0);
+        drop(inner);
+        self.emit(|ts| {
+            Event::new("pin", ts)
+                .with_u64("handle", handle.0)
+                .with_u64("pins", pins as u64)
+        });
         Some(session)
     }
 
@@ -262,6 +304,8 @@ impl Registry {
             entry.pins = entry.pins.saturating_sub(1);
         }
         self.enforce_locked(&mut inner);
+        drop(inner);
+        self.emit(|ts| Event::new("unpin", ts).with_u64("handle", handle.0));
     }
 
     /// Refresh `handle`'s recency and enforce the budget — what a bound
@@ -405,6 +449,14 @@ impl Registry {
             if freed > 0 {
                 resident = resident.saturating_sub(freed);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                // Emitted under the registry lock — see
+                // [`Registry::set_event_sink`]'s no-reentrancy contract.
+                self.emit(|ts| {
+                    Event::new("evict", ts)
+                        .with_u64("handle", id)
+                        .with_str("name", &inner.entries[&id].name)
+                        .with_u64("freed_bytes", freed)
+                });
             }
         }
     }
@@ -504,7 +556,11 @@ mod tests {
         let handles: Vec<RefHandle> = refs
             .iter()
             .enumerate()
-            .map(|(i, r)| budgeted.add(&format!("r{i}"), Arc::clone(r), config()).unwrap())
+            .map(|(i, r)| {
+                budgeted
+                    .add(&format!("r{i}"), Arc::clone(r), config())
+                    .unwrap()
+            })
             .collect();
         // Pin r0 and warm everything: r0 (pinned) must survive; the
         // eviction to fit the budget must pick the LRU cold entry (r1).

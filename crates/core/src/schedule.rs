@@ -88,10 +88,7 @@ pub fn tile_mass(
     // Probe stride: a multiple of the query sampling step (so probes
     // sit on positions the block loop would actually serve), widened to
     // stay within the probe budget.
-    let stride = (col_range.len() / PROBES_PER_TILE)
-        .max(1)
-        .div_ceil(q_step)
-        * q_step;
+    let stride = (col_range.len() / PROBES_PER_TILE).max(1).div_ceil(q_step) * q_step;
     // First on-grid position at or after the column start.
     let first = col_range.start.div_ceil(q_step) * q_step;
     let mut mass = 0u64;
@@ -158,7 +155,10 @@ pub fn plan_mass_descending_rows(
         col_orders[row] = descending(&col_masses);
     }
     TileSchedule {
-        row_order: descending(&row_masses).into_iter().map(|i| rows[i]).collect(),
+        row_order: descending(&row_masses)
+            .into_iter()
+            .map(|i| rows[i])
+            .collect(),
         col_orders,
     }
 }
@@ -209,9 +209,8 @@ mod tests {
             config.seed_len,
             config.step,
         )) as SharedSeedLookup;
-        let indexes: Vec<SharedSeedLookup> = (0..tiling.n_rows())
-            .map(|_| Arc::clone(&index))
-            .collect();
+        let indexes: Vec<SharedSeedLookup> =
+            (0..tiling.n_rows()).map(|_| Arc::clone(&index)).collect();
         let plan = plan_mass_descending(&config, &query, &tiling, &indexes);
         // The first-issued column of the first-issued row must cover
         // part of the poly-A block (cols overlapping 600..1200).
@@ -249,9 +248,8 @@ mod tests {
             config.seed_len,
             config.step,
         )) as SharedSeedLookup;
-        let indexes: Vec<SharedSeedLookup> = (0..tiling.n_rows())
-            .map(|_| Arc::clone(&index))
-            .collect();
+        let indexes: Vec<SharedSeedLookup> =
+            (0..tiling.n_rows()).map(|_| Arc::clone(&index)).collect();
         let plan = plan_mass_descending(&config, &query, &tiling, &indexes);
         assert_eq!(
             plan,

@@ -270,7 +270,10 @@ mod tests {
             }
         });
         let report = session.finish();
-        assert!(report.is_clean(), "well-formed queue use flagged:\n{report}");
+        assert!(
+            report.is_clean(),
+            "well-formed queue use flagged:\n{report}"
+        );
     }
 
     #[cfg(feature = "sanitize")]

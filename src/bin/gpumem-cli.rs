@@ -3,7 +3,13 @@
 //! ```text
 //! gpumem-cli run [OPTIONS] <reference.fa> <query.fa>   extract MEMs
 //! gpumem-cli registry <add|list|evict-stats> ...       manage a reference set
+//! gpumem-cli metrics export [OPTIONS] <ref.fa> <query.fa>
+//!                                                      run a batch, print the unified
+//!                                                      telemetry exposition
 //! gpumem-cli bench-info [--min-len L]                  device catalog + tile geometry
+//! gpumem-cli bench-info --check [--max-regress R] [--history f]
+//!                                                      flag regressions against the
+//!                                                      recorded bench trajectory
 //!
 //! The bare flag form `gpumem-cli [OPTIONS] <ref> <query>` still works
 //! as an alias for `run` but is deprecated (a note goes to stderr).
@@ -70,6 +76,27 @@
 //!                                              budget, print the
 //!                                              registry counters as JSON
 //! ```
+//!
+//! `metrics export` runs a query batch through a registry-hosted engine
+//! and prints every serving counter on stdout in Prometheus text format
+//! (default) or the registry JSON shape — the same exposition a scraper
+//! would pull from a serving daemon:
+//!
+//! ```text
+//! gpumem-cli metrics export [--format prometheus|json] [--min-len L]
+//!            [--seed-len ls] [--query-threads n] [--shards n]
+//!            [--journal events.jsonl] <reference.fa> <query.fa>
+//! ```
+//!
+//! `--journal` additionally streams the structured event journal
+//! (run-lifecycle, index-build, registry pin/evict, shard dispatch) to a
+//! JSONL file, one event object per line.
+//!
+//! `bench-info --check` reads the bench trajectory the `quick` bench
+//! appends to `results/bench_history.jsonl` and fails (exit 1) if the
+//! latest entry regresses more than `--max-regress` (default 0.20)
+//! against the best earlier entry — the local mirror of the CI
+//! bench-smoke gate.
 
 use std::fs::File;
 use std::io::BufReader;
@@ -79,14 +106,15 @@ use std::sync::Arc;
 use gpumem::baselines::{
     find_mems_both_strands, EssaMem, MemFinder, Mummer, SlaMem, SparseMem, VariantFilter,
 };
+use gpumem::core::telemetry;
 use gpumem::index::{check_dual_steps, max_coprime_steps};
 use gpumem::seq::{
     read_fasta, AmbigPolicy, FastaRecord, Mem, PackedSeq, SeqSet, Strand, StrandMem,
 };
 use gpumem::sim::{Device, DeviceSpec, LaunchStats};
 use gpumem::{
-    Engine, GpumemConfig, GpumemResult, Registry, RunError, RunOptions, RunRequest,
-    SchedulePolicy, SeedMode, Trace,
+    Engine, EventSink, GpumemConfig, GpumemResult, JsonlEventSink, Registry, RunError, RunOptions,
+    RunRequest, SchedulePolicy, SeedMode, Trace,
 };
 
 struct Options {
@@ -492,7 +520,7 @@ fn run_finder(
 
 fn usage() {
     eprintln!(
-        "usage: gpumem-cli run [--tool T] [--min-len L] [--seed-len ls] [--seed-mode ref|dual[:k1,k2]] [--sparseness K] [--threads t] [--query-threads n] [--shards n] [--schedule-policy inorder|mass] [--work-stealing] [--query-staging] [--both-strands] [--mum] [--rare t] [--stats] [--sanitize] [--trace out.json] [--metrics out.json] [--profile] <reference.fa> <query.fa>\n       gpumem-cli registry add <handles.tsv> <name> <reference.fa> [--min-len L] [--seed-len ls]\n       gpumem-cli registry list <handles.tsv>\n       gpumem-cli registry evict-stats <handles.tsv> [--budget bytes] [--rounds N]\n       gpumem-cli bench-info [--min-len L]"
+        "usage: gpumem-cli run [--tool T] [--min-len L] [--seed-len ls] [--seed-mode ref|dual[:k1,k2]] [--sparseness K] [--threads t] [--query-threads n] [--shards n] [--schedule-policy inorder|mass] [--work-stealing] [--query-staging] [--both-strands] [--mum] [--rare t] [--stats] [--sanitize] [--trace out.json] [--metrics out.json] [--profile] <reference.fa> <query.fa>\n       gpumem-cli registry add <handles.tsv> <name> <reference.fa> [--min-len L] [--seed-len ls]\n       gpumem-cli registry list <handles.tsv>\n       gpumem-cli registry evict-stats <handles.tsv> [--budget bytes] [--rounds N]\n       gpumem-cli metrics export [--format prometheus|json] [--min-len L] [--seed-len ls] [--query-threads n] [--shards n] [--journal events.jsonl] <reference.fa> <query.fa>\n       gpumem-cli bench-info [--min-len L] [--check [--max-regress R] [--history results/bench_history.jsonl]]"
     );
 }
 
@@ -501,6 +529,7 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("run") => run_main(&argv[1..]),
         Some("registry") => to_exit_code(registry_main(&argv[1..])),
+        Some("metrics") => to_exit_code(metrics_main(&argv[1..])),
         Some("bench-info") => to_exit_code(bench_info_main(&argv[1..])),
         Some("--help") | Some("-h") => {
             usage();
@@ -584,9 +613,7 @@ fn entry_config(entry: &HandleEntry) -> Result<GpumemConfig, String> {
     if let Some(seed_len) = entry.seed_len {
         builder = builder.seed_len(seed_len);
     }
-    builder
-        .build()
-        .map_err(|e| format!("{}: {e}", entry.name))
+    builder.build().map_err(|e| format!("{}: {e}", entry.name))
 }
 
 /// Load every handle-file entry into `registry`, returning the handles
@@ -779,8 +806,222 @@ fn registry_evict_stats(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn metrics_main(argv: &[String]) -> Result<(), String> {
+    let (cmd, rest) = argv.split_first().ok_or("metrics: expected export")?;
+    match cmd.as_str() {
+        "export" => metrics_export(rest),
+        other => Err(format!(
+            "metrics: unknown subcommand {other} (expected export)"
+        )),
+    }
+}
+
+/// Run a query batch through a registry-hosted engine and print the
+/// unified telemetry exposition — every `MetricsSnapshot`,
+/// `LaunchStats`, `RegistryStats`, and shard counter, in Prometheus
+/// text format or the registry JSON shape.
+fn metrics_export(argv: &[String]) -> Result<(), String> {
+    let mut format = "prometheus".to_string();
+    let mut min_len = 20u32;
+    let mut seed_len: Option<usize> = None;
+    let mut query_threads = 1usize;
+    let mut shards = 1usize;
+    let mut journal: Option<String> = None;
+    let mut positional = Vec::new();
+    let mut args = argv.iter().cloned();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--format" => format = value("--format")?,
+            "--min-len" => {
+                min_len = value("--min-len")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-len: {e}"))?
+            }
+            "--seed-len" => {
+                seed_len = Some(
+                    value("--seed-len")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed-len: {e}"))?,
+                )
+            }
+            "--query-threads" => {
+                query_threads = value("--query-threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --query-threads: {e}"))?;
+                if query_threads == 0 {
+                    return Err("bad --query-threads: must be positive".into());
+                }
+            }
+            "--shards" => {
+                shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?;
+                if shards == 0 {
+                    return Err("bad --shards: must be positive".into());
+                }
+            }
+            "--journal" => journal = Some(value("--journal")?),
+            other if other.starts_with("--") => {
+                return Err(format!("metrics export: unknown option {other}"))
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if format != "prometheus" && format != "json" {
+        return Err(format!(
+            "bad --format {format}: expected prometheus or json"
+        ));
+    }
+    let [ref_path, query_path] = positional.as_slice() else {
+        return Err(format!(
+            "metrics export: expected <reference.fa> <query.fa>, got {} positionals",
+            positional.len()
+        ));
+    };
+    let reference = load_first_record(ref_path)?;
+    let queries = SeqSet::from_records(&load_records(query_path)?);
+    let mut cfg = GpumemConfig::builder(min_len)
+        .threads_per_block(128)
+        .blocks_per_tile(16);
+    if let Some(seed_len) = seed_len {
+        cfg = cfg.seed_len(seed_len);
+    }
+    let config = cfg.build().map_err(|e| e.to_string())?;
+    let registry = Arc::new(Registry::new(DeviceSpec::tesla_k20c()));
+    let sink: Option<Arc<JsonlEventSink>> = match &journal {
+        Some(path) => Some(Arc::new(
+            JsonlEventSink::create(path).map_err(|e| format!("{path}: {e}"))?,
+        )),
+        None => None,
+    };
+    if let Some(sink) = &sink {
+        registry.set_event_sink(Some(Arc::clone(sink) as Arc<dyn EventSink>));
+    }
+    let mut builder = Engine::builder(reference)
+        .config(config)
+        .registry(Arc::clone(&registry))
+        .name("cli")
+        .threads(query_threads);
+    if let Some(sink) = &sink {
+        builder = builder.event_sink(Arc::clone(sink) as Arc<dyn EventSink>);
+    }
+    let engine = builder.build().map_err(|e| e.to_string())?;
+    let options = RunOptions {
+        shards,
+        ..RunOptions::default()
+    };
+    collect_batch(&queries, batch_results(&engine, &queries, &options))?;
+    let snapshot = engine.metrics();
+    match format.as_str() {
+        "prometheus" => print!("{}", telemetry::render_prometheus(&snapshot)),
+        _ => println!("{}", telemetry::render_json(&snapshot)),
+    }
+    Ok(())
+}
+
+/// The history fields where smaller is better (wall seconds).
+const HISTORY_LOWER_BETTER: [&str; 2] = ["wall_s", "match_wall_s"];
+/// The history fields where larger is better (throughput, speedup
+/// ratios).
+const HISTORY_HIGHER_BETTER: [&str; 4] = [
+    "qps_batch",
+    "seedmode_l300_modeled_ratio",
+    "skewed_modeled_ratio",
+    "sharded_modeled_ratio",
+];
+
+/// Compare the newest trajectory entry against the best earlier entry
+/// per metric; fail on any regression beyond `max_regress`.
+fn bench_check(history: &str, max_regress: f64) -> Result<(), String> {
+    let body = match std::fs::read_to_string(history) {
+        Ok(body) => body,
+        Err(_) => {
+            println!("bench-check: no history at {history}; nothing to check");
+            return Ok(());
+        }
+    };
+    let entries: Vec<serde::json::Value> = body
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(n, line)| serde::json::parse(line).map_err(|e| format!("{history}:{}: {e}", n + 1)))
+        .collect::<Result<_, _>>()?;
+    if entries.len() < 2 {
+        println!(
+            "bench-check: {} history entr{} at {history}; need 2+ to compare",
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" }
+        );
+        return Ok(());
+    }
+    let (last, prior) = entries.split_last().expect("len >= 2");
+    let field = |entry: &serde::json::Value, name: &str| {
+        entry.get(name).and_then(serde::json::Value::as_f64)
+    };
+    let mut failures = Vec::new();
+    for name in HISTORY_LOWER_BETTER {
+        let Some(current) = field(last, name) else {
+            continue;
+        };
+        let best = prior
+            .iter()
+            .filter_map(|e| field(e, name))
+            .fold(f64::INFINITY, f64::min);
+        if !best.is_finite() {
+            continue;
+        }
+        if current > best * (1.0 + max_regress) {
+            failures.push(format!(
+                "{name}: {current:.4} vs best {best:.4} (regressed > {:.0}%)",
+                max_regress * 100.0
+            ));
+        } else {
+            println!("ok {name}: {current:.4} (best {best:.4})");
+        }
+    }
+    for name in HISTORY_HIGHER_BETTER {
+        let Some(current) = field(last, name) else {
+            continue;
+        };
+        let best = prior
+            .iter()
+            .filter_map(|e| field(e, name))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !best.is_finite() {
+            continue;
+        }
+        if current < best * (1.0 - max_regress) {
+            failures.push(format!(
+                "{name}: {current:.4} vs best {best:.4} (regressed > {:.0}%)",
+                max_regress * 100.0
+            ));
+        } else {
+            println!("ok {name}: {current:.4} (best {best:.4})");
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench-check: latest entry within {:.0}% of the recorded trajectory",
+            max_regress * 100.0
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "bench trajectory regression: {}",
+            failures.join("; ")
+        ))
+    }
+}
+
 fn bench_info_main(argv: &[String]) -> Result<(), String> {
     let mut min_len = 20u32;
+    let mut check = false;
+    let mut max_regress = 0.20f64;
+    let mut history = "results/bench_history.jsonl".to_string();
     let mut args = argv.iter().cloned();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -791,8 +1032,22 @@ fn bench_info_main(argv: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --min-len: {e}"))?
             }
+            "--check" => check = true,
+            "--max-regress" => {
+                max_regress = args
+                    .next()
+                    .ok_or("missing value for --max-regress")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-regress: {e}"))?
+            }
+            "--history" => {
+                history = args.next().ok_or("missing value for --history")?;
+            }
             other => return Err(format!("bench-info: unknown option {other}")),
         }
+    }
+    if check {
+        return bench_check(&history, max_regress);
     }
     let config = GpumemConfig::builder(min_len)
         .threads_per_block(128)

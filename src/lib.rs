@@ -92,5 +92,12 @@ pub use gpumem_core::{
     Engine, EngineBuilder, Gpumem, GpumemConfig, GpumemResult, GpumemStats, IndexBuildReport,
     MemCollector, MemSink, MemStage, MetricsSnapshot, PinnedSession, Queries, RefEntryInfo,
     RefHandle, RefSession, Registry, RegistryStats, RunError, RunOptions, RunOutput, RunRequest,
-    SchedulePolicy, SeedMode, SessionCache, ShardPlan, Trace, TraceRecorder,
+    SchedulePolicy, SeedMode, SessionCache, ShardHealth, ShardPlan, Trace, TraceRecorder,
+};
+
+// The telemetry subsystem (metrics exposition, event journal, clocks),
+// likewise at the root — see `gpumem_core::telemetry`.
+pub use gpumem_core::{
+    Event, EventSink, EventValue, JsonlEventSink, ManualClock, MemoryEventSink, MetricsRegistry,
+    TelemetryClock, WallClock,
 };

@@ -363,10 +363,21 @@ fn run_subcommand_matches_legacy_form_which_notes_deprecation() {
         .expect("binary runs");
     assert!(legacy.status.success());
     let err = String::from_utf8_lossy(&legacy.stderr);
-    assert!(err.contains("deprecated"), "missing deprecation note: {err}");
+    assert!(
+        err.contains("deprecated"),
+        "missing deprecation note: {err}"
+    );
 
     let sub = cli()
-        .args(["run", "--tool", "gpumem", "--min-len", "25", &ref_fa, &query_fa])
+        .args([
+            "run",
+            "--tool",
+            "gpumem",
+            "--min-len",
+            "25",
+            &ref_fa,
+            &query_fa,
+        ])
         .output()
         .expect("binary runs");
     assert!(sub.status.success());
@@ -457,7 +468,15 @@ fn registry_subcommands_round_trip() {
 
     // A duplicate name is refused without clobbering the file.
     let out = cli()
-        .args(["registry", "add", handles, "chr1", &ref_fa, "--min-len", "25"])
+        .args([
+            "registry",
+            "add",
+            handles,
+            "chr1",
+            &ref_fa,
+            "--min-len",
+            "25",
+        ])
         .output()
         .expect("binary runs");
     assert!(!out.status.success());
@@ -471,7 +490,10 @@ fn registry_subcommands_round_trip() {
     assert!(out.status.success());
     let listing = String::from_utf8(out.stdout).unwrap();
     assert!(listing.contains("handle"), "missing header: {listing}");
-    assert!(listing.contains("chr1") && listing.contains("chr2"), "{listing}");
+    assert!(
+        listing.contains("chr1") && listing.contains("chr2"),
+        "{listing}"
+    );
 
     // Under a tiny budget, warming both references twice must churn.
     let out = cli()
@@ -492,7 +514,12 @@ fn registry_subcommands_round_trip() {
         String::from_utf8_lossy(&out.stderr)
     );
     let stats = String::from_utf8(out.stdout).unwrap();
-    for key in ["\"references\"", "\"evictions\"", "\"resident_bytes\"", "\"hits\""] {
+    for key in [
+        "\"references\"",
+        "\"evictions\"",
+        "\"resident_bytes\"",
+        "\"hits\"",
+    ] {
         assert!(stats.contains(key), "missing {key} in {stats}");
     }
     let evictions: u64 = stats
@@ -501,7 +528,10 @@ fn registry_subcommands_round_trip() {
         .and_then(|l| l.split(':').nth(1))
         .map(|v| v.trim().trim_end_matches(',').parse().unwrap())
         .unwrap();
-    assert!(evictions > 0, "expected churn under a 4 KiB budget: {stats}");
+    assert!(
+        evictions > 0,
+        "expected churn under a 4 KiB budget: {stats}"
+    );
 }
 
 #[test]
@@ -516,7 +546,13 @@ fn bench_info_prints_device_catalog() {
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8(out.stdout).unwrap();
-    for expected in ["Tesla K20c", "Tesla K40", "test-tiny", "tile_len", "working set"] {
+    for expected in [
+        "Tesla K20c",
+        "Tesla K40",
+        "test-tiny",
+        "tile_len",
+        "working set",
+    ] {
         assert!(stdout.contains(expected), "missing {expected}: {stdout}");
     }
 }

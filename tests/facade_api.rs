@@ -99,9 +99,9 @@ fn serving_api_is_exposed_at_the_root() {
 
 #[test]
 fn registry_and_request_api_are_exposed_at_the_root() {
-    use std::sync::Arc;
     use gpumem::sim::DeviceSpec;
     use gpumem::{Engine, GpumemConfig, Registry, RunOptions, RunRequest, ShardPlan};
+    use std::sync::Arc;
 
     let reference: PackedSeq = "ACGTACGTACGTGGGGACGTACGTACGT".parse().unwrap();
     let config = GpumemConfig::builder(8).seed_len(4).build().unwrap();

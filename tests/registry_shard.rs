@@ -91,8 +91,7 @@ fn uniform_and_skewed_explicit_plans_are_byte_identical() {
     // A balanced split, an LPT split over heavily skewed masses, and a
     // pathological placement (everything on shard 2 of 3) all agree.
     let skewed_masses: Vec<u64> = (0..n_rows).map(|r| ((r as u64) + 1).pow(3)).collect();
-    let lopsided =
-        ShardPlan::from_assignments(vec![Vec::new(), (0..n_rows).collect(), Vec::new()]);
+    let lopsided = ShardPlan::from_assignments(vec![Vec::new(), (0..n_rows).collect(), Vec::new()]);
     for (what, plan) in [
         ("uniform", ShardPlan::uniform(3, n_rows)),
         ("lpt-skewed", ShardPlan::from_row_masses(3, &skewed_masses)),
@@ -117,13 +116,13 @@ fn knob_matrix_times_shards_is_byte_identical() {
     let dual = SeedMode::DualSampled { k1: 4, k2: 3 };
     for shards in [2usize, 4] {
         for policy in [SchedulePolicy::InOrder, SchedulePolicy::MassDescending] {
-            for seed_mode in [None, Some(dual.clone())] {
+            for seed_mode in [None, Some(dual)] {
                 let options = RunOptions {
                     shards,
                     schedule_policy: Some(policy),
                     work_stealing: Some(true),
                     query_staging: Some(true),
-                    seed_mode: seed_mode.clone(),
+                    seed_mode,
                     ..RunOptions::default()
                 };
                 assert_eq!(

@@ -34,12 +34,7 @@ fn skewed_pair(content_seed: u64) -> (PackedSeq, PackedSeq) {
     (reference, query)
 }
 
-fn knobbed(
-    min_len: u32,
-    policy: SchedulePolicy,
-    stealing: bool,
-    staging: bool,
-) -> Gpumem {
+fn knobbed(min_len: u32, policy: SchedulePolicy, stealing: bool, staging: bool) -> Gpumem {
     let config = GpumemConfig::builder(min_len)
         .seed_len(6)
         .threads_per_block(32)
@@ -100,7 +95,10 @@ fn tile_reordering_changes_no_modeled_total() {
         assert_eq!(x.warp_cycles, y.warp_cycles, "{what} warp cycles");
         assert_eq!(x.lane_cycles, y.lane_cycles, "{what} lane cycles");
         assert_eq!(x.device_cycles, y.device_cycles, "{what} device cycles");
-        assert_eq!(x.divergence_events, y.divergence_events, "{what} divergence");
+        assert_eq!(
+            x.divergence_events, y.divergence_events,
+            "{what} divergence"
+        );
         assert_eq!(x.atomic_ops, y.atomic_ops, "{what} atomics");
         assert_eq!(x.global_mem_ops, y.global_mem_ops, "{what} global ops");
         assert_eq!(x.comparisons, y.comparisons, "{what} comparisons");
